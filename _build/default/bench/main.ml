@@ -1,0 +1,429 @@
+(* The experiment harness: regenerates every quantitative claim of the
+   paper (see DESIGN.md section 3 and EXPERIMENTS.md), then times the
+   engines with Bechamel.
+
+     dune exec bench/main.exe            run everything
+     dune exec bench/main.exe -- E4      run one experiment section *)
+
+open Cobegin_core
+open Cobegin_lang
+open Cobegin_semantics
+open Cobegin_explore
+open Cobegin_absint
+open Cobegin_analysis
+open Cobegin_apps
+open Cobegin_models
+open Cobegin_petri
+
+let section id title =
+  Format.printf "@.=== %s: %s ===@." id title
+
+let row fmt = Format.printf fmt
+
+let parse src =
+  let prog = Parser.parse_string src in
+  Check.check_exn prog;
+  prog
+
+(* --- E1: Figure 2 / Example 1 — sequential-consistency outcomes --- *)
+
+let e1 () =
+  section "E1" "Figure 2 outcomes: (x,y) never (0,0) under SC";
+  let prog = parse Figures.fig2 in
+  let ctx = Step.make_ctx prog in
+  let full = Space.full ctx in
+  let outcomes =
+    List.filter_map
+      (fun (c : Config.t) ->
+        let ints =
+          Store.bindings c.Config.store
+          |> List.filter_map (fun (_, v) ->
+                 match v with Value.Vint n -> Some n | _ -> None)
+        in
+        match ints with
+        | [ _a; _b; x; y ] -> Some (x, y)
+        | _ -> None)
+      full.Space.final_configs
+    |> List.sort_uniq compare
+  in
+  row "paper: legal (x,y) = 3 of 4 combinations; one impossible@.";
+  row "measured outcomes: %s@."
+    (String.concat ", "
+       (List.map (fun (x, y) -> Printf.sprintf "(%d,%d)" x y) outcomes));
+  row "impossible (0,0) absent: %b | outcomes: %d | configurations: %d@."
+    (not (List.mem (0, 0) outcomes))
+    (List.length outcomes)
+    full.Space.stats.Space.configurations
+
+(* --- E2: Figure 3 — configuration folding merges dangling links --- *)
+
+let e2 () =
+  section "E2" "Figure 3 folding: dangling result-configurations merge";
+  let prog = parse Figures.fig3 in
+  let concrete = Space.full (Step.make_ctx prog) in
+  let abstract = Analyzer.analyze ~folding:Machine.Control prog in
+  row "paper: the dangling links merge, 'resulting in only one configuration'@.";
+  row "concrete result-configurations: %d@." concrete.Space.stats.Space.finals;
+  row "abstract result-configurations: %d (configs %d vs concrete %d)@."
+    abstract.Analyzer.finals abstract.Analyzer.abstract_configs
+    concrete.Space.stats.Space.configurations
+
+(* --- E3: Figure 5 — stubborn sets exploit locality --- *)
+
+let e3 () =
+  section "E3" "Figure 5 locality: full vs stubborn configuration counts";
+  let prog = parse Figures.fig5 in
+  let ctx = Step.make_ctx prog in
+  let full = Space.full ctx in
+  let stats = Stubborn.new_stats () in
+  let stub = Stubborn.explore ~stats ctx in
+  row "paper: full space vs 13 configurations, same result-configurations@.";
+  row "%-22s %12s %12s %8s@." "strategy" "configs" "transitions" "finals";
+  row "%-22s %12d %12d %8d@." "full interleaving"
+    full.Space.stats.Space.configurations full.Space.stats.Space.transitions
+    full.Space.stats.Space.finals;
+  row "%-22s %12d %12d %8d@." "stubborn sets"
+    stub.Space.stats.Space.configurations stub.Space.stats.Space.transitions
+    stub.Space.stats.Space.finals;
+  let slp = Sleep.explore (Step.make_ctx prog) in
+  row "%-22s %12d %12d %8d@." "stubborn + sleep"
+    slp.Space.stats.Space.configurations slp.Space.stats.Space.transitions
+    slp.Space.stats.Space.finals;
+  row "result-configurations agree: %b@."
+    (Space.final_store_reprs full = Space.final_store_reprs stub
+    && Space.final_store_reprs full = Space.final_store_reprs slp);
+  row "stubborn expansions: singleton=%d component=%d full=%d@."
+    stats.Stubborn.singleton_expansions stats.Stubborn.component_expansions
+    stats.Stubborn.full_expansions
+
+(* --- E4: dining philosophers — exponential vs polynomial ([Val88]) --- *)
+
+let e4 () =
+  section "E4" "Dining philosophers: net reachability, full vs stubborn";
+  row "paper (citing Val88): exponential in n reduced to ~quadratic@.";
+  row "%4s %12s %12s %10s %10s@." "n" "full" "stubborn" "ratio" "deadlocks";
+  List.iter
+    (fun n ->
+      let net = Philosophers.net n in
+      let full = Reach.full net in
+      let stub = Reach.stubborn net in
+      row "%4d %12d %12d %10.2f %10s@." n full.Reach.stats.Reach.states
+        stub.Reach.stats.Reach.states
+        (float_of_int full.Reach.stats.Reach.states
+        /. float_of_int stub.Reach.stats.Reach.states)
+        (Printf.sprintf "%d=%d" full.Reach.stats.Reach.deadlocks
+           stub.Reach.stats.Reach.deadlocks))
+    [ 2; 3; 4; 5; 6; 7; 8; 9; 10; 11 ];
+  (* growth-rate summary: successive ratios *)
+  let states strategy n =
+    let net = Philosophers.net n in
+    match strategy with
+    | `Full -> (Reach.full net).Reach.stats.Reach.states
+    | `Stub -> (Reach.stubborn net).Reach.stats.Reach.states
+  in
+  let growth strategy =
+    float_of_int (states strategy 9) /. float_of_int (states strategy 8)
+  in
+  row "growth factor n=8→9: full ×%.2f, stubborn ×%.2f@." (growth `Full)
+    (growth `Stub);
+  (* the asymmetric (deadlock-free) variant: both engines must agree on
+     the absence of deadlocks *)
+  let net = Philosophers.net_ordered 6 in
+  let f = Reach.full net and s = Reach.stubborn net in
+  row
+    "ordered variant (n=6): full=%d stubborn=%d deadlocks=%d=%d (must be 0)@."
+    f.Reach.stats.Reach.states s.Reach.stats.Reach.states
+    f.Reach.stats.Reach.deadlocks s.Reach.stats.Reach.deadlocks
+
+(* --- E5: Example 8 — pointers and malloc inside cobegin --- *)
+
+let e5 () =
+  section "E5" "Example 8: dependences and placement through the heap";
+  let prog = parse Figures.example8 in
+  let report = Pipeline.analyze prog in
+  let heap =
+    List.filter (fun i -> i.Lifetime.heap) report.Pipeline.lifetimes
+  in
+  let shared, local =
+    List.partition (fun i -> i.Lifetime.placement = Lifetime.Shared) heap
+  in
+  row "paper: b1 (the cell *y) must be visible to both threads; b2 local@.";
+  row "heap objects: %d | shared: %d | local: %d@." (List.length heap)
+    (List.length shared) (List.length local);
+  let deps = Depend.parallel_deps report.Pipeline.log in
+  row "parallel dependences through heap cells: %d@."
+    (Depend.DepSet.cardinal
+       (Depend.DepSet.filter
+          (fun d ->
+            match d.Depend.obj with
+            | Event.Concrete l ->
+                Value.(l.l_site) > 0
+                &&
+                (match report.Pipeline.program with _ -> true)
+            | Event.Abstract a -> Aloc.is_heap a)
+          deps))
+
+(* --- E6: Figure 8 / Example 15 — parallelizing procedure calls --- *)
+
+let e6 () =
+  section "E6" "Figure 8: Shasha-Snir extended to procedure calls";
+  let prog = parse Figures.fig8 in
+  let report = Pipeline.analyze prog in
+  let par = Pipeline.parallelization report in
+  row "paper: only (s1,s4) and (s2,s3) have dependences@.";
+  row "%a@." Parallelize.pp_report par;
+  (* the transformation applied: on fig8 the delays block any split; on
+     a fully independent variant every call becomes its own branch *)
+  let branches p =
+    Ast.fold_program
+      (fun acc s ->
+        match s.Ast.kind with
+        | Ast.Scobegin bs -> max acc (List.length bs)
+        | _ -> acc)
+      0 p
+  in
+  let prog' = Parallelize.apply prog par in
+  row "apply on fig8: %d branches (delays forbid splitting)@."
+    (branches prog');
+  let free =
+    parse
+      "proc f(p) { *p = 1; } proc g(p) { *p = 2; } proc main() { var a = \
+       malloc(1); var b = malloc(1); var c = malloc(1); var d = malloc(1); \
+       cobegin { f(a); g(b); } { f(c); g(d); } coend; }"
+  in
+  let report' = Pipeline.analyze free in
+  let par' = Pipeline.parallelization report' in
+  let free' = Parallelize.apply free par' in
+  row "apply on independent calls: %d → %d branches@." (branches free)
+    (branches free')
+
+(* --- E7: virtual coarsening ablation --- *)
+
+let e7 () =
+  section "E7" "Virtual coarsening (Observation 5): ablation";
+  row "%-12s %9s %9s %9s %9s %9s@." "program" "plain" "coarsened" "stubborn"
+    "sleep" "all";
+  List.iter
+    (fun (name, src) ->
+      let prog = parse src in
+      let coarse = Cobegin_trans.Coarsen.program prog in
+      let count strategy p =
+        let ctx = Step.make_ctx p in
+        match strategy with
+        | `Full -> (Space.full ctx).Space.stats.Space.configurations
+        | `Stub -> (Stubborn.explore ctx).Space.stats.Space.configurations
+        | `Sleep -> (Sleep.explore ctx).Space.stats.Space.configurations
+      in
+      row "%-12s %9d %9d %9d %9d %9d@." name (count `Full prog)
+        (count `Full coarse) (count `Stub prog) (count `Sleep prog)
+        (count `Sleep coarse))
+    [
+      ("fig2", Figures.fig2);
+      ("fig5", Figures.fig5);
+      ("fig3", Figures.fig3);
+      ("busywait", Figures.busywait);
+      ("mutex", Figures.mutex);
+    ]
+
+(* --- E8: McDowell clans as an abstraction --- *)
+
+let e8 () =
+  section "E8" "Clan folding (McDowell) on k identical branches";
+  row "%4s %12s %12s %12s %10s@." "k" "exact" "control" "clan" "ctl/clan";
+  List.iter
+    (fun k ->
+      let prog = parse (Figures.clan_workload k) in
+      let size folding =
+        (Analyzer.analyze ~folding prog).Analyzer.abstract_configs
+      in
+      let e = size Machine.Exact
+      and c = size Machine.Control
+      and l = size Machine.Clan in
+      row "%4d %12d %12d %12d %10.2f@." k e c l
+        (float_of_int c /. float_of_int l))
+    [ 1; 2; 3; 4; 5 ]
+
+(* --- E9: the section-5 analyses across engines --- *)
+
+let e9 () =
+  section "E9" "Analyses summary: side effects / dependences / lifetimes";
+  row "%-12s %8s %8s %8s %8s %8s@." "program" "engine" "sideeff" "pardeps"
+    "objects" "shared";
+  List.iter
+    (fun (name, src) ->
+      List.iter
+        (fun (ename, engine) ->
+          let report =
+            Pipeline.analyze
+              ~options:{ Pipeline.default_options with engine }
+              (parse src)
+          in
+          let sideeff =
+            List.fold_left
+              (fun n r ->
+                n
+                + Side_effect.EffectSet.cardinal r.Side_effect.reads
+                + Side_effect.EffectSet.cardinal r.Side_effect.writes)
+              0 report.Pipeline.side_effects
+          in
+          let pardeps =
+            Depend.DepSet.cardinal (Depend.parallel_deps report.Pipeline.log)
+          in
+          let shared =
+            List.length
+              (List.filter
+                 (fun i -> i.Lifetime.placement = Lifetime.Shared)
+                 report.Pipeline.lifetimes)
+          in
+          row "%-12s %8s %8d %8d %8d %8d@." name ename sideeff pardeps
+            (List.length report.Pipeline.lifetimes)
+            shared)
+        [
+          ("conc", Pipeline.Concrete_full);
+          ( "abs",
+            Pipeline.Abstract (Analyzer.Intervals, Machine.Control) );
+        ])
+    [
+      ("fig2", Figures.fig2);
+      ("example8", Figures.example8);
+      ("fig8", Figures.fig8);
+      ("busywait", Figures.busywait);
+    ]
+
+(* --- E10: memory placement + compile-time GC --- *)
+
+let e10 () =
+  section "E10" "Memory hierarchy placement and deallocation lists";
+  let prog = parse Figures.example8 in
+  let report = Pipeline.analyze prog in
+  row "placement:@.%a@." Placement.pp report.Pipeline.placements;
+  row "deallocation plan:@.%a@." Ctgc.pp report.Pipeline.gc_plan;
+  let reclaimed = Ctgc.statically_reclaimed report.Pipeline.gc_plan in
+  row "heap objects statically reclaimed: %d@." (List.length reclaimed)
+
+(* --- E11: the introduction's claim — protocols a compiler must not
+   break.  Peterson's algorithm is correct under SC; the write reordering
+   a sequential optimizer might apply breaks it, and exploration
+   exhibits a concrete violating schedule. --- *)
+
+let e11 () =
+  section "E11" "Sequential-consistency-dependent protocols (paper intro)";
+  row "%-18s %10s %8s %8s %10s@." "protocol" "configs" "finals" "errors"
+    "deadlocks";
+  List.iter
+    (fun (name, src) ->
+      let ctx = Step.make_ctx (parse src) in
+      let r = Space.full ctx in
+      row "%-18s %10d %8d %8d %10d@." name r.Space.stats.Space.configurations
+        r.Space.stats.Space.finals r.Space.stats.Space.errors
+        r.Space.stats.Space.deadlocks)
+    Protocols.all_named;
+  let broken_ctx = Step.make_ctx (parse Protocols.peterson_broken) in
+  (match Cobegin_explore.Trace.error_witness broken_ctx with
+  | Some w ->
+      row "violating schedule for peterson_broken (%d steps): %s@."
+        (List.length w.Cobegin_explore.Trace.schedule)
+        (String.concat "→"
+           (List.map
+              (Format.asprintf "%a" Value.pp_pid)
+              w.Cobegin_explore.Trace.schedule))
+  | None -> row "no violation found (unexpected)@.");
+  (* and the program-level philosophers, with locks *)
+  row "@.philosophers as a lock program (full vs stubborn vs sleep):@.";
+  row "%4s %10s %10s %10s %10s@." "n" "full" "stubborn" "sleep" "deadlocks";
+  List.iter
+    (fun n ->
+      let ctx () = Step.make_ctx (parse (Philosophers.program n)) in
+      let full = Space.full (ctx ()) in
+      let stub = Stubborn.explore (ctx ()) in
+      let slp = Sleep.explore (ctx ()) in
+      row "%4d %10d %10d %10d %10d@." n
+        full.Space.stats.Space.configurations
+        stub.Space.stats.Space.configurations
+        slp.Space.stats.Space.configurations
+        full.Space.stats.Space.deadlocks)
+    [ 2; 3 ]
+
+(* --- Bechamel timings: one per experiment family --- *)
+
+let bechamel () =
+  section "TIMING" "Bechamel micro-benchmarks (ns per run)";
+  let open Bechamel in
+  let fig5 = parse Figures.fig5 in
+  let fig8 = parse Figures.fig8 in
+  let phil4 = Philosophers.net 4 in
+  let tests =
+    [
+      Test.make ~name:"E3-fig5-full"
+        (Staged.stage (fun () -> Space.full (Step.make_ctx fig5)));
+      Test.make ~name:"E3-fig5-stubborn"
+        (Staged.stage (fun () -> Stubborn.explore (Step.make_ctx fig5)));
+      Test.make ~name:"E4-phil4-full"
+        (Staged.stage (fun () -> Reach.full phil4));
+      Test.make ~name:"E4-phil4-stubborn"
+        (Staged.stage (fun () -> Reach.stubborn phil4));
+      Test.make ~name:"E2-fig3-abstract"
+        (Staged.stage (fun () ->
+             Analyzer.analyze ~folding:Machine.Control (parse Figures.fig3)));
+      Test.make ~name:"E6-fig8-pipeline"
+        (Staged.stage (fun () -> Pipeline.analyze fig8));
+      Test.make ~name:"E7-coarsen-fig5"
+        (Staged.stage (fun () -> Cobegin_trans.Coarsen.program fig5));
+      Test.make ~name:"E8-clan3"
+        (Staged.stage (fun () ->
+             Analyzer.analyze ~folding:Machine.Clan
+               (parse (Figures.clan_workload 3))));
+    ]
+  in
+  let grouped = Test.make_grouped ~name:"experiments" ~fmt:"%s %s" tests in
+  let cfg =
+    Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) ~stabilize:false ()
+  in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let raw = Benchmark.all cfg instances grouped in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0
+      ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name r acc ->
+        let est =
+          match Analyze.OLS.estimates r with
+          | Some [ e ] -> e
+          | _ -> nan
+        in
+        (name, est) :: acc)
+      results []
+    |> List.sort compare
+  in
+  row "%-32s %16s@." "benchmark" "time/run";
+  List.iter
+    (fun (name, ns) ->
+      let pretty =
+        if Float.is_nan ns then "n/a"
+        else if ns > 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+        else if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+        else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+        else Printf.sprintf "%.0f ns" ns
+      in
+      row "%-32s %16s@." name pretty)
+    rows
+
+let experiments =
+  [
+    ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
+    ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
+    ("TIMING", bechamel);
+  ]
+
+let () =
+  let wanted = Array.to_list Sys.argv |> List.tl in
+  let run (id, f) =
+    if wanted = [] || List.mem id wanted then f ()
+  in
+  Format.printf
+    "Reproduction harness — Chow & Harrison, ICPP 1992 (see EXPERIMENTS.md)@.";
+  List.iter run experiments;
+  Format.printf "@.done.@."

@@ -1,0 +1,275 @@
+(* coanalyze — command-line front end to the framework.
+
+   Subcommands:
+     analyze   run an engine on a source file and print the full report
+     explore   just the state-space statistics (full vs stubborn vs both)
+     races     co-enabledness race scan
+     parallel  Shasha–Snir style parallelization report
+     examples  print a named built-in example program
+
+   Examples:
+     coanalyze analyze prog.cob --engine stubborn --coarsen
+     coanalyze analyze prog.cob --engine abstract --domain signs --folding clan
+     coanalyze explore prog.cob
+     coanalyze examples fig8 | coanalyze parallel /dev/stdin *)
+
+open Cmdliner
+open Cobegin_core
+open Cobegin_absint
+
+let read_program path =
+  try Ok (Pipeline.load_file path) with
+  | Cobegin_lang.Parser.Error (msg, pos) ->
+      Error
+        (Format.asprintf "%a" Cobegin_lang.Parser.pp_error (msg, pos))
+  | Cobegin_lang.Check.Ill_formed diags ->
+      Error
+        (Format.asprintf "@[<v>%a@]"
+           (Format.pp_print_list Cobegin_lang.Check.pp_diagnostic)
+           diags)
+  | Sys_error e -> Error e
+
+let file_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"FILE" ~doc:"Source file in the cobegin language.")
+
+let engine_arg =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "full" -> Ok Pipeline.Concrete_full
+    | "stubborn" -> Ok Pipeline.Concrete_stubborn
+    | "abstract" -> Ok (Pipeline.Abstract (Analyzer.Intervals, Machine.Control))
+    | _ -> Error (`Msg "engine must be full, stubborn, or abstract")
+  in
+  let print ppf e = Pipeline.pp_engine ppf e in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Pipeline.Concrete_full
+    & info [ "engine"; "e" ] ~docv:"ENGINE"
+        ~doc:"Exploration engine: $(b,full), $(b,stubborn) or $(b,abstract).")
+
+let domain_arg =
+  let parse s =
+    match Analyzer.domain_of_string s with
+    | Some d -> Ok d
+    | None -> Error (`Msg "domain must be intervals, constants, signs or parity")
+  in
+  Arg.(
+    value
+    & opt (conv (parse, Analyzer.pp_domain)) Analyzer.Intervals
+    & info [ "domain" ] ~docv:"DOMAIN"
+        ~doc:
+          "Numeric domain for the abstract engine: $(b,intervals), \
+           $(b,constants), $(b,signs), $(b,parity).")
+
+let folding_arg =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "exact" -> Ok Machine.Exact
+    | "control" | "taylor" -> Ok Machine.Control
+    | "clan" | "mcdowell" -> Ok Machine.Clan
+    | _ -> Error (`Msg "folding must be exact, control or clan")
+  in
+  Arg.(
+    value
+    & opt (conv (parse, Machine.pp_folding)) Machine.Control
+    & info [ "folding" ] ~docv:"FOLDING"
+        ~doc:
+          "Configuration folding for the abstract engine: $(b,exact), \
+           $(b,control) (Taylor) or $(b,clan) (McDowell).")
+
+let coarsen_arg =
+  Arg.(
+    value & flag
+    & info [ "coarsen" ]
+        ~doc:"Apply virtual coarsening (Observation 5) before exploring.")
+
+let inline_arg =
+  Arg.(
+    value & flag
+    & info [ "inline" ] ~doc:"Inline non-recursive procedure calls first.")
+
+let races_arg =
+  Arg.(
+    value & flag
+    & info [ "races" ] ~doc:"Also run the co-enabledness race scan.")
+
+let max_configs_arg =
+  Arg.(
+    value & opt int 500_000
+    & info [ "max-configs" ] ~docv:"N"
+        ~doc:"Exploration budget (configurations).")
+
+let mk_options engine domain folding coarsen inline races max_configs =
+  let engine =
+    match engine with
+    | Pipeline.Abstract _ -> Pipeline.Abstract (domain, folding)
+    | e -> e
+  in
+  {
+    Pipeline.engine;
+    coarsen;
+    inline;
+    max_configs;
+    find_races = races;
+  }
+
+let options_term =
+  Term.(
+    const mk_options $ engine_arg $ domain_arg $ folding_arg $ coarsen_arg
+    $ inline_arg $ races_arg $ max_configs_arg)
+
+let handle_budget f =
+  try f () with
+  | Cobegin_explore.Space.Budget_exceeded n ->
+      Error (Printf.sprintf "state budget exceeded (%d configurations)" n)
+  | Machine.Budget_exceeded n ->
+      Error (Printf.sprintf "abstract state budget exceeded (%d)" n)
+
+let analyze_cmd =
+  let run file options =
+    match read_program file with
+    | Error e ->
+        Format.eprintf "%s@." e;
+        1
+    | Ok prog -> (
+        match
+          handle_budget (fun () ->
+              Ok (Pipeline.analyze ~options prog))
+        with
+        | Error e ->
+            Format.eprintf "%s@." e;
+            1
+        | Ok report ->
+            Format.printf "%a@." Pipeline.pp_report report;
+            0)
+  in
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Run the full analysis pipeline on a program.")
+    Term.(const run $ file_arg $ options_term)
+
+let explore_cmd =
+  let run file coarsen max_configs =
+    match read_program file with
+    | Error e ->
+        Format.eprintf "%s@." e;
+        1
+    | Ok prog -> (
+        match
+          handle_budget (fun () ->
+              let prog =
+                if coarsen then Cobegin_trans.Coarsen.program prog else prog
+              in
+              let ctx = Cobegin_semantics.Step.make_ctx prog in
+              let full =
+                Cobegin_explore.Space.full ~max_configs ctx
+              in
+              let stats = Cobegin_explore.Stubborn.new_stats () in
+              let stub =
+                Cobegin_explore.Stubborn.explore ~max_configs ~stats ctx
+              in
+              Format.printf "full:     %a@." Cobegin_explore.Space.pp_stats
+                full.Cobegin_explore.Space.stats;
+              Format.printf "stubborn: %a@." Cobegin_explore.Space.pp_stats
+                stub.Cobegin_explore.Space.stats;
+              let slp = Cobegin_explore.Sleep.explore ~max_configs ctx in
+              Format.printf "sleep:    %a@." Cobegin_explore.Space.pp_stats
+                slp.Cobegin_explore.Space.stats;
+              Format.printf
+                "stubborn expansions: singleton=%d component=%d full=%d@."
+                stats.Cobegin_explore.Stubborn.singleton_expansions
+                stats.component_expansions stats.full_expansions;
+              Format.printf "final stores agree: %b@."
+                (Cobegin_explore.Space.final_store_reprs full
+                = Cobegin_explore.Space.final_store_reprs stub);
+              Ok ())
+        with
+        | Error e ->
+            Format.eprintf "%s@." e;
+            1
+        | Ok () -> 0)
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:"Compare full and stubborn-set state-space generation.")
+    Term.(const run $ file_arg $ coarsen_arg $ max_configs_arg)
+
+let races_cmd =
+  let run file max_configs =
+    match read_program file with
+    | Error e ->
+        Format.eprintf "%s@." e;
+        1
+    | Ok prog ->
+        let ctx = Cobegin_semantics.Step.make_ctx prog in
+        let races =
+          Cobegin_analysis.Race.find ~max_configs ctx
+        in
+        Format.printf "%a@." Cobegin_analysis.Race.pp races;
+        if Cobegin_analysis.Race.RaceSet.is_empty races then 0 else 2
+  in
+  Cmd.v
+    (Cmd.info "races" ~doc:"Detect access anomalies by co-enabledness.")
+    Term.(const run $ file_arg $ max_configs_arg)
+
+let parallel_cmd =
+  let run file options =
+    match read_program file with
+    | Error e ->
+        Format.eprintf "%s@." e;
+        1
+    | Ok prog -> (
+        match
+          handle_budget (fun () ->
+              let report = Pipeline.analyze ~options prog in
+              Ok (Pipeline.parallelization report))
+        with
+        | Error e ->
+            Format.eprintf "%s@." e;
+            1
+        | Ok par ->
+            Format.printf "%a@." Cobegin_apps.Parallelize.pp_report par;
+            0)
+  in
+  Cmd.v
+    (Cmd.info "parallel"
+       ~doc:"Shasha–Snir delay/parallelization report for segment programs.")
+    Term.(const run $ file_arg $ options_term)
+
+let examples_cmd =
+  let all =
+    Cobegin_models.Figures.all_named @ Cobegin_models.Protocols.all_named
+  in
+  let run name =
+    match List.assoc_opt name all with
+    | Some src ->
+        print_string src;
+        0
+    | None ->
+        Format.eprintf "unknown example %s; available: %s@." name
+          (String.concat ", " (List.map fst all));
+        1
+  in
+  let name_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"NAME" ~doc:"Example name (fig2, fig5, example8, ...).")
+  in
+  Cmd.v
+    (Cmd.info "examples" ~doc:"Print a built-in example program.")
+    Term.(const run $ name_arg)
+
+let main_cmd =
+  let doc =
+    "static analysis of shared-memory cobegin programs by state-space \
+     exploration, stubborn sets and abstract interpretation (Chow & \
+     Harrison, ICPP 1992)"
+  in
+  Cmd.group
+    (Cmd.info "coanalyze" ~version:"1.0.0" ~doc)
+    [ analyze_cmd; explore_cmd; races_cmd; parallel_cmd; examples_cmd ]
+
+let () = exit (Cmd.eval' main_cmd)

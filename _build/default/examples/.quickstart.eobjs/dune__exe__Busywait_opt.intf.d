@@ -1,0 +1,1 @@
+examples/busywait_opt.mli:

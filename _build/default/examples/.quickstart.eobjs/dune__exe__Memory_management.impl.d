@@ -1,0 +1,1 @@
+examples/memory_management.ml: Cobegin_analysis Cobegin_apps Cobegin_core Cobegin_lang Cobegin_models Ctgc Figures Format Lifetime List Pipeline Placement

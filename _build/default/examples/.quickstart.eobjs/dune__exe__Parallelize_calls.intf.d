@@ -1,0 +1,1 @@
+examples/parallelize_calls.mli:

@@ -1,0 +1,1 @@
+examples/peterson_demo.ml: Cobegin_core Cobegin_explore Cobegin_models Cobegin_semantics Cobegin_trans Config Format Option Pipeline Protocols Replay Step

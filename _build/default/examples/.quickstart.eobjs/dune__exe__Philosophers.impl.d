@@ -1,0 +1,1 @@
+examples/philosophers.ml: Array Cobegin_core Cobegin_explore Cobegin_models Cobegin_petri Cobegin_semantics Format List Net Philosophers Reach Sys

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cobegin_core Cobegin_explore Cobegin_semantics Format List Pipeline Printf String

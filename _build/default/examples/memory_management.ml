@@ -1,0 +1,39 @@
+(* Object lifetimes, hierarchical memory placement and compile-time GC
+   (paper sections 5.3 and 7, Example 8): the cell written by one thread
+   and read by the other must live in shared memory; the private cell can
+   be local, and both can be reclaimed without a garbage collector.
+
+     dune exec examples/memory_management.exe *)
+
+open Cobegin_core
+open Cobegin_models
+open Cobegin_analysis
+open Cobegin_apps
+
+let () =
+  let prog = Pipeline.load_source Figures.example8 in
+  Format.printf "program:@.%a@." Cobegin_lang.Pretty.pp_program prog;
+  let report = Pipeline.analyze prog in
+
+  Format.printf "=== lifetimes ===@.";
+  List.iter
+    (fun i -> Format.printf "%a@." Lifetime.pp_info i)
+    report.Pipeline.lifetimes;
+
+  Format.printf "@.=== memory placement ===@.";
+  Format.printf "%a@." Placement.pp report.Pipeline.placements;
+
+  let heap_shared =
+    List.filter
+      (fun (i : Lifetime.info) ->
+        i.Lifetime.heap && i.Lifetime.placement = Lifetime.Shared)
+      report.Pipeline.lifetimes
+  in
+  Format.printf "@.heap objects needing the shared level: %d@."
+    (List.length heap_shared);
+
+  Format.printf "@.=== compile-time GC plan ===@.";
+  Format.printf "%a@." Ctgc.pp report.Pipeline.gc_plan;
+  let reclaimed = Ctgc.statically_reclaimed report.Pipeline.gc_plan in
+  Format.printf "@.heap objects reclaimed statically: %d@."
+    (List.length reclaimed)

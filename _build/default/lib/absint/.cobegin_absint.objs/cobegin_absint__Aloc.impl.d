@@ -1,0 +1,1 @@
+lib/absint/aloc.ml: Cobegin_domains Format Int String

@@ -1,0 +1,1 @@
+lib/absint/aloc.mli: Cobegin_domains Format

@@ -1,0 +1,1 @@
+lib/absint/alog.ml: Aloc Format Pstring Set

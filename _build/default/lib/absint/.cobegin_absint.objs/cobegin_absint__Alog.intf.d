@@ -1,0 +1,1 @@
+lib/absint/alog.mli: Aloc Format Pstring Set

@@ -1,0 +1,1 @@
+lib/absint/analyzer.mli: Alog Cobegin_domains Cobegin_lang Const Format Int_parity Interval Machine Parity Sign

@@ -1,0 +1,1 @@
+lib/absint/aval.ml: Aloc Bool3 Cobegin_domains Format Lattice List Powerset String

@@ -1,0 +1,1 @@
+lib/absint/machine.ml: Aloc Alog Ast Aval Bool3 Cobegin_domains Cobegin_lang Format Hashtbl Int Lattice List Map Pretty Printf Pstring Queue String

@@ -1,0 +1,50 @@
+(* Abstract locations (paper section 6): the abstraction of concrete
+   locations by their creation point.  A concrete location (pid, site,
+   seq, off) abstracts to its site — a declaration site, a parameter slot
+   of a call site, or a malloc site (block offsets folded into the site).
+   The abstraction is finite for any program, which is one of the two
+   ingredients making the abstract configuration space finite (the other
+   is the store lattice). *)
+
+type t =
+  | Adecl of { site : int; var : string }
+  | Aparam of { proc : string; idx : int; var : string }
+      (* context-insensitive: one abstract cell per formal parameter *)
+  | Asite of { site : int } (* malloc block, all offsets *)
+
+let compare (a : t) (b : t) =
+  match (a, b) with
+  | Adecl x, Adecl y ->
+      let c = Int.compare x.site y.site in
+      if c <> 0 then c else String.compare x.var y.var
+  | Aparam x, Aparam y ->
+      let c = String.compare x.proc y.proc in
+      if c <> 0 then c else Int.compare x.idx y.idx
+  | Asite x, Asite y -> Int.compare x.site y.site
+  | Adecl _, _ -> -1
+  | _, Adecl _ -> 1
+  | Aparam _, _ -> -1
+  | _, Aparam _ -> 1
+
+let equal a b = compare a b = 0
+
+let site = function
+  | Adecl { site; _ } | Asite { site } -> Some site
+  | Aparam _ -> None
+
+let is_heap = function Asite _ -> true | Adecl _ | Aparam _ -> false
+
+let pp ppf = function
+  | Adecl { site; var } -> Format.fprintf ppf "%s@@%d" var site
+  | Aparam { proc; idx; var } -> Format.fprintf ppf "%s.%s#%d" proc var idx
+  | Asite { site } -> Format.fprintf ppf "heap@@%d" site
+
+module Ordered = struct
+  type nonrec t = t
+
+  let compare = compare
+  let equal = equal
+  let pp = pp
+end
+
+module Set = Cobegin_domains.Powerset.Make (Ordered)

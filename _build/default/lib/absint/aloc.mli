@@ -1,0 +1,31 @@
+(** Abstract locations (paper section 6): concrete locations abstracted
+    by their creation point — a declaration site, a formal parameter
+    slot (context-insensitive, one cell per formal), or a malloc site
+    (block offsets folded in).  Finite for any program, which together
+    with the store lattice makes the abstract configuration space
+    finite. *)
+
+type t =
+  | Adecl of { site : int; var : string }
+  | Aparam of { proc : string; idx : int; var : string }
+  | Asite of { site : int }  (** malloc block, all offsets *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val site : t -> int option
+(** The creation site label; [None] for parameters (identified by their
+    callee, not a site). *)
+
+val is_heap : t -> bool
+val pp : Format.formatter -> t -> unit
+
+module Ordered : sig
+  type nonrec t = t
+
+  val compare : t -> t -> int
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end
+
+module Set : module type of Cobegin_domains.Powerset.Make (Ordered)

@@ -1,0 +1,56 @@
+(* The abstract instrumentation log: what the instrumented abstract
+   semantics records.  Accesses carry the *abstract* procedure string
+   (instances erased, k-limited) — precise enough for side effects,
+   dependences, and lifetimes at the abstraction the paper describes. *)
+
+type kind = Read | Write
+
+type access = {
+  label : int; (* statement performing the access *)
+  aloc : Aloc.t;
+  kind : kind;
+  apstr : Pstring.t;
+}
+
+type alloc = { al_aloc : Aloc.t; al_site : int; al_birth : Pstring.t }
+
+module AccessSet = Set.Make (struct
+  type t = access
+
+  let compare = compare
+end)
+
+module AllocSet = Set.Make (struct
+  type t = alloc
+
+  let compare = compare
+end)
+
+type t = { accesses : AccessSet.t; allocs : AllocSet.t }
+
+let empty = { accesses = AccessSet.empty; allocs = AllocSet.empty }
+
+let add_access a log = { log with accesses = AccessSet.add a log.accesses }
+let add_alloc a log = { log with allocs = AllocSet.add a log.allocs }
+
+let union a b =
+  {
+    accesses = AccessSet.union a.accesses b.accesses;
+    allocs = AllocSet.union a.allocs b.allocs;
+  }
+
+let accesses log = AccessSet.elements log.accesses
+let allocs log = AllocSet.elements log.allocs
+
+let pp_kind ppf = function
+  | Read -> Format.pp_print_string ppf "R"
+  | Write -> Format.pp_print_string ppf "W"
+
+let pp_access ppf a =
+  Format.fprintf ppf "%a(%a)@@stmt%d in %a" pp_kind a.kind Aloc.pp a.aloc
+    a.label Pstring.pp a.apstr
+
+let pp ppf log =
+  Format.fprintf ppf "@[<v>%a@]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_access)
+    (accesses log)

@@ -1,0 +1,29 @@
+(** The abstract instrumentation log: accesses and allocations recorded
+    by the abstract machine, at abstract locations and instance-erased
+    k-limited procedure strings.  Deduplicated by construction (sets). *)
+
+type kind = Read | Write
+
+type access = {
+  label : int;  (** statement performing the access; -1 = implicit *)
+  aloc : Aloc.t;
+  kind : kind;
+  apstr : Pstring.t;  (** abstract procedure string *)
+}
+
+type alloc = { al_aloc : Aloc.t; al_site : int; al_birth : Pstring.t }
+
+module AccessSet : Set.S with type elt = access
+module AllocSet : Set.S with type elt = alloc
+
+type t = { accesses : AccessSet.t; allocs : AllocSet.t }
+
+val empty : t
+val add_access : access -> t -> t
+val add_alloc : alloc -> t -> t
+val union : t -> t -> t
+val accesses : t -> access list
+val allocs : t -> alloc list
+val pp_kind : Format.formatter -> kind -> unit
+val pp_access : Format.formatter -> access -> unit
+val pp : Format.formatter -> t -> unit

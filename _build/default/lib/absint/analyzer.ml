@@ -1,0 +1,100 @@
+(* Ready-made instantiations of the abstract machine and a domain-agnostic
+   driver.  The analyses in Cobegin_analysis consume the [Alog.t] this
+   produces, independent of the numeric domain chosen. *)
+
+open Cobegin_domains
+
+module Interval_machine = Machine.Make (Interval)
+module Const_machine = Machine.Make (Const)
+module Sign_machine = Machine.Make (Sign)
+module Parity_machine = Machine.Make (Parity)
+module Int_parity_machine = Machine.Make (Int_parity)
+
+type domain = Intervals | Constants | Signs | Parities | Interval_parity
+
+let pp_domain ppf d =
+  Format.pp_print_string ppf
+    (match d with
+    | Intervals -> "intervals"
+    | Constants -> "constants"
+    | Signs -> "signs"
+    | Parities -> "parity"
+    | Interval_parity -> "interval×parity")
+
+let domain_of_string = function
+  | "intervals" | "interval" -> Some Intervals
+  | "constants" | "const" -> Some Constants
+  | "signs" | "sign" -> Some Signs
+  | "parity" -> Some Parities
+  | "interval-parity" | "intparity" -> Some Interval_parity
+  | _ -> None
+
+(* Domain-independent result summary. *)
+type summary = {
+  domain : domain;
+  folding : Machine.folding;
+  abstract_configs : int;
+  revisits : int;
+  widenings : int;
+  finals : int;
+  errors : int;
+  log : Alog.t;
+}
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "[%a/%a] abstract configurations=%d revisits=%d widenings=%d finals=%d errors=%d"
+    pp_domain s.domain Machine.pp_folding s.folding s.abstract_configs
+    s.revisits s.widenings s.finals s.errors
+
+let analyze ?(domain = Intervals) ?(folding = Machine.Control) ?widen_after
+    ?max_configs ?(k_pstring = 8) ?(max_call_depth = 64)
+    (prog : Cobegin_lang.Ast.program) : summary =
+  let pack ~abstract_configs ~revisits ~widenings ~finals ~errors ~log =
+    {
+      domain;
+      folding;
+      abstract_configs;
+      revisits;
+      widenings;
+      finals;
+      errors;
+      log;
+    }
+  in
+  match domain with
+  | Intervals ->
+      let module M = Interval_machine in
+      let ctx = M.make_ctx ~params:{ M.k_pstring; max_call_depth } prog in
+      let r = M.explore ~folding ?widen_after ?max_configs ctx in
+      pack ~abstract_configs:r.M.stats.M.abstract_configs
+        ~revisits:r.M.stats.M.revisits ~widenings:r.M.stats.M.widenings
+        ~finals:r.M.stats.M.finals ~errors:r.M.stats.M.errors ~log:r.M.log
+  | Constants ->
+      let module M = Const_machine in
+      let ctx = M.make_ctx ~params:{ M.k_pstring; max_call_depth } prog in
+      let r = M.explore ~folding ?widen_after ?max_configs ctx in
+      pack ~abstract_configs:r.M.stats.M.abstract_configs
+        ~revisits:r.M.stats.M.revisits ~widenings:r.M.stats.M.widenings
+        ~finals:r.M.stats.M.finals ~errors:r.M.stats.M.errors ~log:r.M.log
+  | Signs ->
+      let module M = Sign_machine in
+      let ctx = M.make_ctx ~params:{ M.k_pstring; max_call_depth } prog in
+      let r = M.explore ~folding ?widen_after ?max_configs ctx in
+      pack ~abstract_configs:r.M.stats.M.abstract_configs
+        ~revisits:r.M.stats.M.revisits ~widenings:r.M.stats.M.widenings
+        ~finals:r.M.stats.M.finals ~errors:r.M.stats.M.errors ~log:r.M.log
+  | Parities ->
+      let module M = Parity_machine in
+      let ctx = M.make_ctx ~params:{ M.k_pstring; max_call_depth } prog in
+      let r = M.explore ~folding ?widen_after ?max_configs ctx in
+      pack ~abstract_configs:r.M.stats.M.abstract_configs
+        ~revisits:r.M.stats.M.revisits ~widenings:r.M.stats.M.widenings
+        ~finals:r.M.stats.M.finals ~errors:r.M.stats.M.errors ~log:r.M.log
+  | Interval_parity ->
+      let module M = Int_parity_machine in
+      let ctx = M.make_ctx ~params:{ M.k_pstring; max_call_depth } prog in
+      let r = M.explore ~folding ?widen_after ?max_configs ctx in
+      pack ~abstract_configs:r.M.stats.M.abstract_configs
+        ~revisits:r.M.stats.M.revisits ~widenings:r.M.stats.M.widenings
+        ~finals:r.M.stats.M.finals ~errors:r.M.stats.M.errors ~log:r.M.log

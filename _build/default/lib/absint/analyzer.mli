@@ -1,0 +1,44 @@
+(** Ready-made instantiations of the abstract machine, and a
+    domain-agnostic driver whose result ({!Alog.t} + counts) feeds the
+    analyses of Cobegin_analysis unchanged. *)
+
+open Cobegin_domains
+
+module Interval_machine : module type of Machine.Make (Interval)
+module Const_machine : module type of Machine.Make (Const)
+module Sign_machine : module type of Machine.Make (Sign)
+module Parity_machine : module type of Machine.Make (Parity)
+module Int_parity_machine : module type of Machine.Make (Int_parity)
+
+(** The numeric domain of the abstract values (paper section 3: each
+    choice induces a different analysis). *)
+type domain = Intervals | Constants | Signs | Parities | Interval_parity
+
+val pp_domain : Format.formatter -> domain -> unit
+val domain_of_string : string -> domain option
+
+type summary = {
+  domain : domain;
+  folding : Machine.folding;
+  abstract_configs : int;  (** distinct abstract configurations *)
+  revisits : int;  (** joins into an existing key *)
+  widenings : int;
+  finals : int;  (** abstract final stores *)
+  errors : int;  (** possible runtime failures (may-analysis) *)
+  log : Alog.t;
+}
+
+val pp_summary : Format.formatter -> summary -> unit
+
+val analyze :
+  ?domain:domain ->
+  ?folding:Machine.folding ->
+  ?widen_after:int ->
+  ?max_configs:int ->
+  ?k_pstring:int ->
+  ?max_call_depth:int ->
+  Cobegin_lang.Ast.program ->
+  summary
+(** Run the abstract machine.  Defaults: intervals, Control folding,
+    widening after 3 revisits, k_pstring = 8, call depth 64.
+    @raise Machine.Budget_exceeded when the configuration budget is hit. *)

@@ -1,0 +1,166 @@
+(* Abstract values: the product of
+     - a numeric component (functor parameter: intervals by default),
+     - a three-valued boolean component,
+     - a points-to set of abstract locations,
+     - a set of procedure names (abstraction of function values).
+   The concretization of a record is the union of the concretizations of
+   its components; evaluation is strict in bottom. *)
+
+open Cobegin_domains
+
+module Make (N : Lattice.NUMERIC) = struct
+  module FunSet = Powerset.Make (struct
+    type t = string
+
+    let compare = String.compare
+    let equal = String.equal
+    let pp = Format.pp_print_string
+  end)
+
+  type t = {
+    num : N.t;
+    bool3 : Bool3.t;
+    ptrs : Aloc.Set.t;
+    funs : FunSet.t;
+  }
+
+  let bottom =
+    {
+      num = N.bottom;
+      bool3 = Bool3.bottom;
+      ptrs = Aloc.Set.bottom;
+      funs = FunSet.bottom;
+    }
+
+  let is_bottom v =
+    N.is_bottom v.num && Bool3.is_bottom v.bool3
+    && Aloc.Set.is_bottom v.ptrs && FunSet.is_bottom v.funs
+
+  let of_int n = { bottom with num = N.of_int n }
+  let of_bool b = { bottom with bool3 = Bool3.of_bool b }
+  let of_aloc l = { bottom with ptrs = Aloc.Set.singleton l }
+  let of_alocs ls = { bottom with ptrs = ls }
+  let of_fun f = { bottom with funs = FunSet.singleton f }
+  let num_top = { bottom with num = N.top }
+
+  (* The default value of fresh cells is the integer 0. *)
+  let zero = of_int 0
+
+  let join a b =
+    {
+      num = N.join a.num b.num;
+      bool3 = Bool3.join a.bool3 b.bool3;
+      ptrs = Aloc.Set.join a.ptrs b.ptrs;
+      funs = FunSet.join a.funs b.funs;
+    }
+
+  let widen a b =
+    {
+      num = N.widen a.num b.num;
+      bool3 = Bool3.widen a.bool3 b.bool3;
+      ptrs = Aloc.Set.widen a.ptrs b.ptrs;
+      funs = FunSet.widen a.funs b.funs;
+    }
+
+  let leq a b =
+    N.leq a.num b.num && Bool3.leq a.bool3 b.bool3
+    && Aloc.Set.leq a.ptrs b.ptrs && FunSet.leq a.funs b.funs
+
+  let equal a b =
+    N.equal a.num b.num && Bool3.equal a.bool3 b.bool3
+    && Aloc.Set.equal a.ptrs b.ptrs && FunSet.equal a.funs b.funs
+
+  (* --- operator transfer functions --- *)
+
+  let lift_num f a b = { bottom with num = f a.num b.num }
+
+  let add a b = lift_num N.add a b
+  let sub a b = lift_num N.sub a b
+  let mul a b = lift_num N.mul a b
+  let div a b = lift_num N.div a b
+  let neg a = { bottom with num = N.neg a.num }
+  let not_ a = { bottom with bool3 = Bool3.not_ a.bool3 }
+  let and_ a b = { bottom with bool3 = Bool3.and_ a.bool3 b.bool3 }
+  let or_ a b = { bottom with bool3 = Bool3.or_ a.bool3 b.bool3 }
+
+  (* Which components are populated? *)
+  let kinds v =
+    (if not (N.is_bottom v.num) then [ `Num ] else [])
+    @ (if not (Bool3.is_bottom v.bool3) then [ `Bool ] else [])
+    @ (if not (Aloc.Set.is_bottom v.ptrs) then [ `Ptr ] else [])
+    @ if not (FunSet.is_bottom v.funs) then [ `Fun ] else []
+
+  (* Equality may relate any two components of the same kind; values of
+     different kinds compare unequal (so e.g. pointer != 0 is decided). *)
+  let cmp_eq a b =
+    let num = Bool3.of_option (N.cmp_eq a.num b.num) in
+    let num =
+      if N.is_bottom a.num || N.is_bottom b.num then Bool3.Bot else num
+    in
+    let bools =
+      match (a.bool3, b.bool3) with
+      | Bool3.Bot, _ | _, Bool3.Bot -> Bool3.Bot
+      | Bool3.True, Bool3.True | Bool3.False, Bool3.False -> Bool3.True
+      | Bool3.True, Bool3.False | Bool3.False, Bool3.True -> Bool3.False
+      | _ -> Bool3.Either
+    in
+    let ptrs =
+      if Aloc.Set.is_bottom a.ptrs || Aloc.Set.is_bottom b.ptrs then Bool3.Bot
+      else if Aloc.Set.is_bottom (Aloc.Set.inter a.ptrs b.ptrs) then
+        Bool3.False
+      else Bool3.Either
+      (* same abstract location does not imply same concrete one *)
+    in
+    let funs =
+      if FunSet.is_bottom a.funs || FunSet.is_bottom b.funs then Bool3.Bot
+      else
+        match (FunSet.elements a.funs, FunSet.elements b.funs) with
+        | [ f ], [ g ] when String.equal f g -> Bool3.True
+        | _ ->
+            if FunSet.is_bottom (FunSet.inter a.funs b.funs) then Bool3.False
+            else Bool3.Either
+    in
+    let cross =
+      (* a value of one kind never equals a value of another *)
+      if
+        List.exists
+          (fun ka -> List.exists (fun kb -> ka <> kb) (kinds b))
+          (kinds a)
+      then Bool3.False
+      else Bool3.Bot
+    in
+    {
+      bottom with
+      bool3 =
+        List.fold_left Bool3.join Bool3.Bot [ num; bools; ptrs; funs; cross ];
+    }
+
+  let cmp_ne a b = not_ (cmp_eq a b)
+
+  let cmp_with f a b =
+    { bottom with bool3 = Bool3.of_option (f a.num b.num) }
+    |> fun v ->
+    if N.is_bottom a.num || N.is_bottom b.num then bottom else v
+
+  let cmp_lt a b = cmp_with N.cmp_lt a b
+  let cmp_le a b = cmp_with N.cmp_le a b
+  let cmp_gt a b = cmp_with N.cmp_lt b a
+  let cmp_ge a b = cmp_with N.cmp_le b a
+
+  (* Branch refinement on the numeric component. *)
+  let assume_num f a b = { a with num = f a.num b.num }
+
+  let pp ppf v =
+    let parts = ref [] in
+    if not (N.is_bottom v.num) then
+      parts := Format.asprintf "%a" N.pp v.num :: !parts;
+    if not (Bool3.is_bottom v.bool3) then
+      parts := Format.asprintf "%a" Bool3.pp v.bool3 :: !parts;
+    if not (Aloc.Set.is_bottom v.ptrs) then
+      parts := Format.asprintf "ptr%a" Aloc.Set.pp v.ptrs :: !parts;
+    if not (FunSet.is_bottom v.funs) then
+      parts := Format.asprintf "fun%a" FunSet.pp v.funs :: !parts;
+    match !parts with
+    | [] -> Format.pp_print_string ppf "⊥"
+    | ps -> Format.pp_print_string ppf (String.concat "∨" (List.rev ps))
+end

@@ -1,0 +1,1 @@
+lib/analysis/depend.ml: Event Format List Set

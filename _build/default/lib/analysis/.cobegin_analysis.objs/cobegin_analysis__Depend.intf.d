@@ -1,0 +1,1 @@
+lib/analysis/depend.mli: Event Format Set

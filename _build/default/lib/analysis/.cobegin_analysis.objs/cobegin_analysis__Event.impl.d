@@ -1,0 +1,1 @@
+lib/analysis/event.ml: Aloc Alog Cobegin_absint Cobegin_semantics Format List Map Pstring Step Value

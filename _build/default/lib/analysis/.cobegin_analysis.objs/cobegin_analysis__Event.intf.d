@@ -1,0 +1,1 @@
+lib/analysis/event.mli: Aloc Alog Cobegin_absint Cobegin_semantics Format Map Pstring Step Value

@@ -1,0 +1,1 @@
+lib/analysis/lifetime.ml: Event Format List Pstring

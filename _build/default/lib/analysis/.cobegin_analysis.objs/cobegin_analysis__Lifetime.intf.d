@@ -1,0 +1,1 @@
+lib/analysis/lifetime.mli: Event Format Pstring

@@ -1,0 +1,1 @@
+lib/analysis/race.ml: Ast Cobegin_explore Cobegin_lang Cobegin_semantics Config Format List Proc Queue Set Space Step Value

@@ -1,0 +1,1 @@
+lib/analysis/race.mli: Cobegin_semantics Format Set Step Value

@@ -1,0 +1,1 @@
+lib/analysis/side_effect.ml: Ast Cobegin_lang Event Format Int List Pstring Set String

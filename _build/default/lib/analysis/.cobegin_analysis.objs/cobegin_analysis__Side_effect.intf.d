@@ -1,0 +1,1 @@
+lib/analysis/side_effect.mli: Cobegin_lang Event Format Pstring Set

@@ -1,0 +1,85 @@
+(* Data-dependence analysis (paper section 5.2).
+
+   Two accesses to the same object, at least one a write, induce a
+   dependence.  Accesses whose procedure strings may happen in parallel
+   give *parallel* dependences (these are what constrain reordering and
+   further parallelization of cobegin branches); accesses within one
+   thread in program order give *sequential* dependences.  Parallel
+   write/read pairs cannot be oriented at compile time, so they are
+   classified by their access kinds only. *)
+
+type conflict_kind = Write_write | Write_read
+
+let pp_conflict_kind ppf = function
+  | Write_write -> Format.pp_print_string ppf "output (W-W)"
+  | Write_read -> Format.pp_print_string ppf "flow/anti (W-R)"
+
+type dep = {
+  label1 : int; (* statement labels, label1 <= label2 *)
+  label2 : int;
+  obj : Event.obj;
+  kind : conflict_kind;
+  parallel : bool; (* may the two accesses happen in parallel? *)
+}
+
+let compare_dep a b = compare (a.label1, a.label2, a.kind, a.parallel, a.obj)
+    (b.label1, b.label2, b.kind, b.parallel, b.obj)
+
+module DepSet = Set.Make (struct
+  type t = dep
+
+  let compare = compare_dep
+end)
+
+(* All dependences of a log.  Quadratic in accesses per object, which is
+   fine at the program sizes state-space exploration handles anyway. *)
+let of_log (log : Event.log) : DepSet.t =
+  let by_obj = Event.accesses_by_obj log in
+  Event.ObjMap.fold
+    (fun obj accs acc ->
+      let rec pairs acc = function
+        | [] -> acc
+        | (a1 : Event.access) :: rest ->
+            let acc =
+              List.fold_left
+                (fun acc (a2 : Event.access) ->
+                  if a1.Event.kind = Event.Read && a2.Event.kind = Event.Read
+                  then acc
+                  else if a1.Event.label = a2.Event.label then acc
+                  else
+                    let kind =
+                      if a1.Event.kind = Event.Write && a2.Event.kind = Event.Write
+                      then Write_write
+                      else Write_read
+                    in
+                    let parallel =
+                      Event.may_happen_in_parallel log a1.Event.pstr
+                        a2.Event.pstr
+                    in
+                    let label1 = min a1.Event.label a2.Event.label in
+                    let label2 = max a1.Event.label a2.Event.label in
+                    DepSet.add { label1; label2; obj; kind; parallel } acc)
+                acc rest
+            in
+            pairs acc rest
+      in
+      pairs acc accs)
+    by_obj DepSet.empty
+
+(* Only the dependences between concurrent threads. *)
+let parallel_deps log = DepSet.filter (fun d -> d.parallel) (of_log log)
+
+(* Do statements [l1] and [l2] conflict (in parallel)? *)
+let conflicting deps l1 l2 =
+  let a, b = (min l1 l2, max l1 l2) in
+  DepSet.exists (fun d -> d.label1 = a && d.label2 = b && d.parallel) deps
+
+let pp_dep ppf d =
+  Format.fprintf ppf "s%d %s s%d on %a [%a]" d.label1
+    (if d.parallel then "∥" else "→")
+    d.label2 Event.pp_obj d.obj pp_conflict_kind d.kind
+
+let pp_deps ppf deps =
+  Format.fprintf ppf "@[<v>%a@]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_dep)
+    (DepSet.elements deps)

@@ -1,0 +1,35 @@
+(** Data-dependence analysis (paper section 5.2): two accesses to the
+    same object, at least one a write.  Pairs whose procedure strings may
+    happen in parallel are {e parallel} dependences — the constraints on
+    reordering and further parallelization; same-thread pairs are
+    sequential. *)
+
+type conflict_kind =
+  | Write_write  (** output dependence *)
+  | Write_read  (** flow/anti — unordered for parallel accesses *)
+
+val pp_conflict_kind : Format.formatter -> conflict_kind -> unit
+
+type dep = {
+  label1 : int;  (** statement labels, [label1 <= label2] *)
+  label2 : int;
+  obj : Event.obj;
+  kind : conflict_kind;
+  parallel : bool;  (** may the two accesses happen in parallel? *)
+}
+
+val compare_dep : dep -> dep -> int
+
+module DepSet : Set.S with type elt = dep
+
+val of_log : Event.log -> DepSet.t
+(** All dependences of a log. *)
+
+val parallel_deps : Event.log -> DepSet.t
+(** Only the dependences between concurrent threads. *)
+
+val conflicting : DepSet.t -> int -> int -> bool
+(** Do the two statements carry a parallel dependence? *)
+
+val pp_dep : Format.formatter -> dep -> unit
+val pp_deps : Format.formatter -> DepSet.t -> unit

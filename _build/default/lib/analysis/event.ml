@@ -1,0 +1,131 @@
+(* A unified view of instrumentation logs, so each analysis (side effects,
+   dependences, lifetimes) runs unchanged over
+
+     - the concrete log produced by state-space exploration
+       (Cobegin_semantics.Step.events), and
+     - the abstract log produced by the abstract machine
+       (Cobegin_absint.Alog.t).
+
+   Objects are either concrete locations or abstract locations; procedure
+   strings of concrete events carry activation instances (precise), those
+   of abstract events do not (conservative). *)
+
+open Cobegin_semantics
+open Cobegin_absint
+
+type obj = Concrete of Value.loc | Abstract of Aloc.t
+
+let compare_obj a b =
+  match (a, b) with
+  | Concrete x, Concrete y -> Value.compare_loc x y
+  | Abstract x, Abstract y -> Aloc.compare x y
+  | Concrete _, Abstract _ -> -1
+  | Abstract _, Concrete _ -> 1
+
+let equal_obj a b = compare_obj a b = 0
+
+let pp_obj ppf = function
+  | Concrete l -> Value.pp_loc ppf l
+  | Abstract l -> Aloc.pp ppf l
+
+type kind = Read | Write
+
+let pp_kind ppf = function
+  | Read -> Format.pp_print_string ppf "R"
+  | Write -> Format.pp_print_string ppf "W"
+
+type access = { label : int; obj : obj; kind : kind; pstr : Pstring.t }
+
+type alloc = { a_obj : obj; site : int; birth : Pstring.t; heap : bool }
+
+type log = {
+  accesses : access list;
+  allocs : alloc list;
+  precise_pstrings : bool; (* concrete logs carry activation instances *)
+}
+
+module ObjMap = Map.Make (struct
+  type t = obj
+
+  let compare = compare_obj
+end)
+
+let of_concrete (evs : Step.events) : log =
+  let accesses =
+    List.map
+      (fun (a : Step.access) ->
+        {
+          label = a.Step.a_label;
+          obj = Concrete a.Step.a_loc;
+          kind = (match a.Step.a_kind with `Read -> Read | `Write -> Write);
+          pstr = a.Step.a_pstr;
+        })
+      evs.Step.accesses
+  in
+  let allocs =
+    List.map
+      (fun (al : Step.alloc) ->
+        {
+          a_obj = Concrete al.Step.al_loc;
+          site = al.Step.al_site;
+          birth = al.Step.al_birth;
+          heap = al.Step.al_heap;
+        })
+      evs.Step.allocs
+  in
+  {
+    accesses = List.sort_uniq compare accesses;
+    allocs = List.sort_uniq compare allocs;
+    precise_pstrings = true;
+  }
+
+let of_abstract (alog : Alog.t) : log =
+  let accesses =
+    List.map
+      (fun (a : Alog.access) ->
+        {
+          label = a.Alog.label;
+          obj = Abstract a.Alog.aloc;
+          kind = (match a.Alog.kind with Alog.Read -> Read | Alog.Write -> Write);
+          pstr = a.Alog.apstr;
+        })
+      (Alog.accesses alog)
+  in
+  let allocs =
+    List.map
+      (fun (al : Alog.alloc) ->
+        {
+          a_obj = Abstract al.Alog.al_aloc;
+          site = al.Alog.al_site;
+          birth = al.Alog.al_birth;
+          heap = Aloc.is_heap al.Alog.al_aloc;
+        })
+      (Alog.allocs alog)
+  in
+  { accesses; allocs; precise_pstrings = false }
+
+(* May the two recorded events happen in parallel?  Dispatches on the
+   precision of the procedure strings. *)
+let may_happen_in_parallel (log : log) p1 p2 =
+  if log.precise_pstrings then Pstring.may_happen_in_parallel p1 p2
+  else Pstring.may_happen_in_parallel_abstract p1 p2
+
+(* Birthdates per object (several possible under folding). *)
+let births (log : log) : Pstring.t list ObjMap.t =
+  List.fold_left
+    (fun m al ->
+      let old = match ObjMap.find_opt al.a_obj m with Some l -> l | None -> [] in
+      ObjMap.add al.a_obj (al.birth :: old) m)
+    ObjMap.empty log.allocs
+
+(* Accesses grouped per object. *)
+let accesses_by_obj (log : log) : access list ObjMap.t =
+  List.fold_left
+    (fun m a ->
+      let old = match ObjMap.find_opt a.obj m with Some l -> l | None -> [] in
+      ObjMap.add a.obj (a :: old) m)
+    ObjMap.empty log.accesses
+
+let pp_access ppf a =
+  Format.fprintf ppf "%a(%a)@@s%d in %a" pp_kind a.kind pp_obj a.obj a.label
+    Pstring.pp a.pstr

@@ -1,0 +1,46 @@
+(** The unified instrumentation view: each analysis (side effects,
+    dependences, lifetimes) runs unchanged over
+
+    - the concrete log of state-space exploration
+      ({!Cobegin_semantics.Step.events}), and
+    - the abstract log of the abstract machine
+      ({!Cobegin_absint.Alog.t}).
+
+    Concrete procedure strings carry activation instances (exact);
+    abstract ones do not (conservative). *)
+
+open Cobegin_semantics
+open Cobegin_absint
+
+type obj = Concrete of Value.loc | Abstract of Aloc.t
+
+val compare_obj : obj -> obj -> int
+val equal_obj : obj -> obj -> bool
+val pp_obj : Format.formatter -> obj -> unit
+
+type kind = Read | Write
+
+val pp_kind : Format.formatter -> kind -> unit
+
+type access = { label : int; obj : obj; kind : kind; pstr : Pstring.t }
+type alloc = { a_obj : obj; site : int; birth : Pstring.t; heap : bool }
+
+type log = {
+  accesses : access list;
+  allocs : alloc list;
+  precise_pstrings : bool;  (** concrete logs carry instances *)
+}
+
+module ObjMap : Map.S with type key = obj
+
+val of_concrete : Step.events -> log
+val of_abstract : Alog.t -> log
+
+val may_happen_in_parallel : log -> Pstring.t -> Pstring.t -> bool
+(** Dispatches on the log's precision. *)
+
+val births : log -> Pstring.t list ObjMap.t
+(** Possible birthdates per object (several under abstract folding). *)
+
+val accesses_by_obj : log -> access list ObjMap.t
+val pp_access : Format.formatter -> access -> unit

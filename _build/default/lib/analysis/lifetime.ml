@@ -1,0 +1,101 @@
+(* Object-lifetime analysis (paper section 5.3).
+
+   For every object, the *owner* activation is the deepest activation
+   enclosing both the object's birth and every reference to it: the
+   longest common prefix of its birthdate and all access strings.  The
+   object can be deallocated when the owner activation exits (Harrison's
+   deallocation lists, used by the compile-time-GC application), and it
+   needs to live in memory visible to every thread that touches it (the
+   memory-placement application). *)
+
+type placement =
+  | Local of Pstring.t (* all accesses inside one thread/activation *)
+  | Shared (* touched by concurrent threads *)
+
+type info = {
+  obj : Event.obj;
+  site : int; (* allocation site *)
+  heap : bool;
+  births : Pstring.t list;
+  owner : Pstring.t; (* common prefix: deallocation frame *)
+  placement : placement;
+  accessing_strings : Pstring.t list;
+}
+
+(* Deepest common activation of all uses. *)
+let compute_owner ~births ~accesses =
+  match births @ accesses with
+  | [] -> Pstring.empty
+  | first :: rest -> List.fold_left Pstring.common_prefix first rest
+
+let of_log (log : Event.log) : info list =
+  let births = Event.births log in
+  let by_obj = Event.accesses_by_obj log in
+  let allocs_by_obj =
+    List.fold_left
+      (fun m (al : Event.alloc) -> Event.ObjMap.add al.Event.a_obj al m)
+      Event.ObjMap.empty log.Event.allocs
+  in
+  Event.ObjMap.fold
+    (fun obj (al : Event.alloc) acc ->
+      let bs =
+        match Event.ObjMap.find_opt obj births with Some l -> l | None -> []
+      in
+      let accs =
+        match Event.ObjMap.find_opt obj by_obj with Some l -> l | None -> []
+      in
+      let strings = List.map (fun (a : Event.access) -> a.Event.pstr) accs in
+      let owner = compute_owner ~births:bs ~accesses:strings in
+      let placement =
+        let parallel_pair =
+          let rec exists_pair = function
+            | [] -> false
+            | p :: rest ->
+                List.exists (fun q -> Event.may_happen_in_parallel log p q) rest
+                || exists_pair rest
+          in
+          exists_pair strings
+        in
+        if parallel_pair then Shared
+        else
+          match strings with
+          | [] -> Local owner
+          | _ -> Local owner
+      in
+      {
+        obj;
+        site = al.Event.site;
+        heap = al.Event.heap;
+        births = bs;
+        owner;
+        placement;
+        accessing_strings = strings;
+      }
+      :: acc)
+    allocs_by_obj []
+
+(* The deallocation list of an activation: objects whose owner's innermost
+   frame is an activation of [proc] — they die when that activation exits
+   (paper: "associate each function exit with a deallocation list"). *)
+let deallocatable_at_exit_of infos ~proc =
+  List.filter
+    (fun i ->
+      match Pstring.innermost i.owner with
+      | Some (Pstring.Fcall { proc = p; _ }) -> p = proc
+      | _ -> false)
+    infos
+
+(* Objects that die only at the end of the whole program. *)
+let program_lifetime infos =
+  List.filter (fun i -> Pstring.depth i.owner = 0) infos
+
+let pp_placement ppf = function
+  | Shared -> Format.pp_print_string ppf "shared (visible to several threads)"
+  | Local p ->
+      if Pstring.depth p = 0 then Format.pp_print_string ppf "local to main"
+      else Format.fprintf ppf "local to %a" Pstring.pp p
+
+let pp_info ppf i =
+  Format.fprintf ppf "%a (site %d%s): owner=%a, %a" Event.pp_obj i.obj i.site
+    (if i.heap then ", heap" else "")
+    Pstring.pp i.owner pp_placement i.placement

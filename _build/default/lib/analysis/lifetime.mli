@@ -1,0 +1,34 @@
+(** Object-lifetime analysis (paper section 5.3).  The {e owner} of an
+    object is the deepest activation enclosing its birth and every
+    reference: the longest common prefix of its birthdate and all access
+    strings.  The object can be reclaimed when the owner exits, and it
+    must be placed in memory visible to every thread touching it. *)
+
+type placement =
+  | Local of Pstring.t  (** all accesses within one thread/activation *)
+  | Shared  (** touched by concurrent threads *)
+
+type info = {
+  obj : Event.obj;
+  site : int;  (** allocation site (statement label) *)
+  heap : bool;
+  births : Pstring.t list;  (** possible birthdates (several under folding) *)
+  owner : Pstring.t;  (** deallocation frame; [empty] = program exit *)
+  placement : placement;
+  accessing_strings : Pstring.t list;
+}
+
+val compute_owner : births:Pstring.t list -> accesses:Pstring.t list -> Pstring.t
+
+val of_log : Event.log -> info list
+(** One entry per allocated object. *)
+
+val deallocatable_at_exit_of : info list -> proc:string -> info list
+(** The deallocation list of [proc]: objects dying when an activation of
+    [proc] exits (Harrison's compile-time reclamation). *)
+
+val program_lifetime : info list -> info list
+(** Objects that live until the end of the whole program. *)
+
+val pp_placement : Format.formatter -> placement -> unit
+val pp_info : Format.formatter -> info -> unit

@@ -1,0 +1,118 @@
+(* Access-anomaly (data-race) detection via co-enabledness: during an
+   exploration of the configuration graph, two enabled processes whose
+   next-action footprints conflict at the same reachable configuration
+   are simultaneously poised to touch the same location — the anomaly
+   compile-time debugging tools report (paper sections 1 and 8, [MH89]).
+
+   This is exact up to the engine's atomicity (one statement per action):
+   lock-protected accesses never become co-enabled, busy-wait-ordered
+   accesses do not race once the await settles. *)
+
+open Cobegin_lang
+open Cobegin_semantics
+open Cobegin_explore
+
+type race = {
+  stmt1 : int;
+  stmt2 : int;
+  loc : Value.loc;
+  write_write : bool;
+}
+
+let compare_race a b =
+  compare
+    (a.stmt1, a.stmt2, a.write_write, Value.compare_loc a.loc b.loc)
+    (b.stmt1, b.stmt2, b.write_write, 0)
+
+module RaceSet = Set.Make (struct
+  type t = race
+
+  let compare = compare_race
+end)
+
+let stmt_label_of (p : Proc.t) =
+  match Proc.next_stmt p with Some s -> s.Ast.label | None -> -1
+
+(* Scan every reachable configuration for co-enabled conflicting pairs. *)
+let find ?(max_configs = 200_000) ctx : RaceSet.t =
+  let races = ref RaceSet.empty in
+  let module Tbl = Space.ConfigTbl in
+  let visited = Tbl.create 1024 in
+  let queue = Queue.create () in
+  let c0 = Step.init ctx in
+  Tbl.add visited c0 ();
+  Queue.add c0 queue;
+  while not (Queue.is_empty queue) do
+    let c = Queue.pop queue in
+    if not (Config.is_error c) then begin
+      let enabled = Step.enabled_processes ctx c in
+      (* synchronization operations (lock/unlock/await) contend by
+         design; their accesses are not anomalies *)
+      let is_sync (p : Proc.t) =
+        match Proc.next_stmt p with
+        | Some { Ast.kind = Ast.Sacquire _ | Ast.Srelease _ | Ast.Sawait _; _ }
+          ->
+            true
+        | _ -> false
+      in
+      let with_fp =
+        List.filter_map
+          (fun p ->
+            if is_sync p then None
+            else Some (p, Step.action_footprint ctx c p))
+          enabled
+      in
+      let rec pairs = function
+        | [] -> ()
+        | (p1, f1) :: rest ->
+            List.iter
+              (fun (p2, f2) ->
+                let w1 = f1.Step.fwrites and w2 = f2.Step.fwrites in
+                let r1 = f1.Step.freads and r2 = f2.Step.freads in
+                let module LS = Value.LocSet in
+                let add ~ww locs =
+                  LS.iter
+                    (fun loc ->
+                      let l1 = stmt_label_of p1 and l2 = stmt_label_of p2 in
+                      races :=
+                        RaceSet.add
+                          {
+                            stmt1 = min l1 l2;
+                            stmt2 = max l1 l2;
+                            loc;
+                            write_write = ww;
+                          }
+                          !races)
+                    locs
+                in
+                add ~ww:true (LS.inter w1 w2);
+                add ~ww:false (LS.union (LS.inter w1 r2) (LS.inter w2 r1)))
+              rest;
+            pairs rest
+      in
+      pairs with_fp;
+      List.iter
+        (fun p ->
+          let c', _ = Step.fire ctx c p in
+          if (not (Tbl.mem visited c')) && Tbl.length visited < max_configs
+          then begin
+            Tbl.add visited c' ();
+            Queue.add c' queue
+          end)
+        enabled
+    end
+  done;
+  !races
+
+let pp_race ppf r =
+  Format.fprintf ppf "s%d %s s%d on %a"
+    r.stmt1
+    (if r.write_write then "W/W" else "R/W")
+    r.stmt2 Value.pp_loc r.loc
+
+let pp ppf rs =
+  if RaceSet.is_empty rs then Format.pp_print_string ppf "no access anomalies"
+  else
+    Format.fprintf ppf "@[<v>%a@]"
+      (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_race)
+      (RaceSet.elements rs)

@@ -1,0 +1,29 @@
+(** Access-anomaly (data-race) detection by co-enabledness: two enabled
+    processes whose next-action footprints conflict at a reachable
+    configuration are simultaneously poised to touch the same location —
+    the anomaly the compile-time debugging literature reports (paper
+    sections 1 and 8, [MH89]).  Synchronization operations (lock, unlock,
+    await) contend by design and are excluded.
+
+    Exact up to the engine's atomicity: lock-protected accesses never
+    become co-enabled; await-ordered accesses do not race. *)
+
+open Cobegin_semantics
+
+type race = {
+  stmt1 : int;  (** statement labels, [stmt1 <= stmt2] *)
+  stmt2 : int;
+  loc : Value.loc;
+  write_write : bool;  (** both sides write *)
+}
+
+val compare_race : race -> race -> int
+
+module RaceSet : Set.S with type elt = race
+
+val find : ?max_configs:int -> Step.ctx -> RaceSet.t
+(** Scan every reachable configuration for co-enabled conflicting
+    pairs. *)
+
+val pp_race : Format.formatter -> race -> unit
+val pp : Format.formatter -> RaceSet.t -> unit

@@ -1,0 +1,103 @@
+(* Side-effect analysis (paper section 5.1).
+
+     "We say function f makes a reference to an object if the evaluation
+      of f reads or writes the object."  A side effect of f is a
+      reference to an object whose extent is not contained in the current
+      activation of f — i.e. the object was born outside that activation.
+
+   Implementation: every logged access carries its procedure string; an
+   access belongs to activation A of f when A's frame appears in the
+   string.  The access is a side effect of f w.r.t. A unless the object's
+   birthdate extends A (born inside).  On concrete logs activation
+   instances make the test exact; on abstract logs the test is structural
+   and errs on the "may" side for objects possibly born in an earlier
+   activation of f (the folding of birthdates, section 6). *)
+
+open Cobegin_lang
+
+type effect_ = { obj : Event.obj; kind : Event.kind; at_label : int }
+
+let compare_effect (a : effect_) (b : effect_) =
+  let c = Event.compare_obj a.obj b.obj in
+  if c <> 0 then c
+  else
+    let c = compare a.kind b.kind in
+    if c <> 0 then c else Int.compare a.at_label b.at_label
+
+module EffectSet = Set.Make (struct
+  type t = effect_
+
+  let compare = compare_effect
+end)
+
+type report = {
+  proc : string;
+  reads : EffectSet.t; (* side-effect reads *)
+  writes : EffectSet.t; (* side-effect writes *)
+}
+
+(* Is [birth] inside activation [prefix] (the string up to and including
+   the f-frame)?  Precise logs compare frames with instances; abstract
+   logs structurally. *)
+let born_inside ~precise ~prefix birth =
+  if precise then Pstring.is_prefix ~prefix birth
+  else
+    let rec go a b =
+      match (a, b) with
+      | [], _ -> true
+      | _, [] -> false
+      | fa :: a', fb :: b' -> Pstring.frame_similar fa fb && go a' b'
+    in
+    go (Pstring.frames prefix) (Pstring.frames birth)
+
+(* Side effects of procedure [proc] over a log. *)
+let of_proc (log : Event.log) ~proc : report =
+  let births = Event.births log in
+  let is_side_effect (a : Event.access) =
+    (* every open activation of [proc] in the access's string *)
+    let activations = Pstring.activations_of ~proc a.Event.pstr in
+    activations <> []
+    && List.exists
+         (fun prefix ->
+           match Event.ObjMap.find_opt a.Event.obj births with
+           | None -> true (* unknown birth: assume outside *)
+           | Some bs ->
+               List.exists
+                 (fun birth ->
+                   not
+                     (born_inside ~precise:log.Event.precise_pstrings ~prefix
+                        birth))
+                 bs)
+         activations
+  in
+  let reads, writes =
+    List.fold_left
+      (fun (r, w) (a : Event.access) ->
+        if is_side_effect a then
+          let e = { obj = a.Event.obj; kind = a.Event.kind; at_label = a.Event.label } in
+          match a.Event.kind with
+          | Event.Read -> (EffectSet.add e r, w)
+          | Event.Write -> (r, EffectSet.add e w)
+        else (r, w))
+      (EffectSet.empty, EffectSet.empty)
+      log.Event.accesses
+  in
+  { proc; reads; writes }
+
+let of_program (log : Event.log) (prog : Ast.program) : report list =
+  List.map (fun p -> of_proc log ~proc:p.Ast.pname) prog.Ast.procs
+
+(* A procedure is pure (side-effect free) when it only touches objects
+   born within its own activations. *)
+let is_pure r = EffectSet.is_empty r.reads && EffectSet.is_empty r.writes
+
+let pp_report ppf r =
+  let objs s =
+    EffectSet.elements s
+    |> List.map (fun e -> Format.asprintf "%a" Event.pp_obj e.obj)
+    |> List.sort_uniq String.compare
+  in
+  Format.fprintf ppf "@[<v 2>%s:%s@ reads:  {%s}@ writes: {%s}@]" r.proc
+    (if is_pure r then " pure" else "")
+    (String.concat ", " (objs r.reads))
+    (String.concat ", " (objs r.writes))

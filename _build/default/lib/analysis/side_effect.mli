@@ -1,0 +1,36 @@
+(** Side-effect analysis (paper section 5.1): a side effect of procedure
+    [f] is a reference, made during an activation of [f], to an object
+    born outside that activation.  Works uniformly over concrete and
+    abstract instrumentation logs ({!Event.log}); concrete logs carry
+    activation instances and are exact, abstract logs are conservative
+    for objects possibly born in an earlier activation (the paper's
+    folding of birthdates). *)
+
+type effect_ = {
+  obj : Event.obj;  (** the referenced object *)
+  kind : Event.kind;
+  at_label : int;  (** statement performing the reference *)
+}
+
+val compare_effect : effect_ -> effect_ -> int
+
+module EffectSet : Set.S with type elt = effect_
+
+type report = {
+  proc : string;
+  reads : EffectSet.t;  (** side-effect reads *)
+  writes : EffectSet.t;  (** side-effect writes *)
+}
+
+val born_inside : precise:bool -> prefix:Pstring.t -> Pstring.t -> bool
+(** Is the birthdate inside the activation designated by [prefix]?
+    [precise] selects instance-exact or structural comparison. *)
+
+val of_proc : Event.log -> proc:string -> report
+val of_program : Event.log -> Cobegin_lang.Ast.program -> report list
+
+val is_pure : report -> bool
+(** No side effects at all: the procedure only touches objects born in
+    its own activations. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,1 @@
+lib/apps/ctgc.ml: Cobegin_analysis Event Format Lifetime List Pstring

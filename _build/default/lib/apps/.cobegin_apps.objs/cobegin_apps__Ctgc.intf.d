@@ -1,0 +1,1 @@
+lib/apps/ctgc.mli: Cobegin_analysis Event Format Lifetime Pstring

@@ -1,0 +1,1 @@
+lib/apps/parallelize.ml: Array Ast Cobegin_analysis Cobegin_lang Event Format Hashtbl List Pstring

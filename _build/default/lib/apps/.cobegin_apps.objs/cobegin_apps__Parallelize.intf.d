@@ -1,0 +1,1 @@
+lib/apps/parallelize.mli: Ast Cobegin_analysis Cobegin_lang Event Format Hashtbl

@@ -1,0 +1,1 @@
+lib/apps/placement.ml: Cobegin_analysis Event Format Lifetime List Pstring

@@ -1,0 +1,1 @@
+lib/apps/placement.mli: Cobegin_analysis Event Format Lifetime

@@ -1,0 +1,53 @@
+(* Compile-time garbage collection (paper section 7, after [Har89]):
+   attach to each procedure exit a *deallocation list* — the objects whose
+   extent is contained in that activation, so their storage can be
+   reclaimed without a runtime collector.  Objects owned by a cobegin
+   branch die at the branch's join; objects owned by no activation live
+   until program exit. *)
+
+open Cobegin_analysis
+
+type point =
+  | Proc_exit of string (* reclaim at return of this procedure *)
+  | Branch_exit of int * int (* reclaim at join of cobegin (label, branch) *)
+  | Program_exit
+
+let point_of_owner owner =
+  match Pstring.innermost owner with
+  | None -> Program_exit
+  | Some (Pstring.Fcall { proc; _ }) -> Proc_exit proc
+  | Some (Pstring.Fbranch { cob; idx; _ }) -> Branch_exit (cob, idx)
+
+type entry = { obj : Event.obj; site : int; heap : bool; at : point }
+
+let deallocation_plan (infos : Lifetime.info list) : entry list =
+  List.map
+    (fun (i : Lifetime.info) ->
+      {
+        obj = i.Lifetime.obj;
+        site = i.Lifetime.site;
+        heap = i.Lifetime.heap;
+        at = point_of_owner i.Lifetime.owner;
+      })
+    infos
+
+(* The heap objects a runtime GC no longer needs to track: everything
+   with a static reclamation point. *)
+let statically_reclaimed entries =
+  List.filter (fun e -> e.heap && e.at <> Program_exit) entries
+
+let pp_point ppf = function
+  | Proc_exit p -> Format.fprintf ppf "exit of %s" p
+  | Branch_exit (cob, idx) -> Format.fprintf ppf "join of cobegin %d, branch %d" cob idx
+  | Program_exit -> Format.pp_print_string ppf "program exit"
+
+let pp_entry ppf e =
+  Format.fprintf ppf "%a (site %d%s) ⇒ reclaim at %a" Event.pp_obj e.obj
+    e.site
+    (if e.heap then ", heap" else "")
+    pp_point e.at
+
+let pp ppf entries =
+  Format.fprintf ppf "@[<v>%a@]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_entry)
+    entries

@@ -1,0 +1,24 @@
+(** Compile-time garbage collection (paper section 7, after [Har89]):
+    attach to each activation exit the deallocation list of objects whose
+    extent it contains, so their storage is reclaimed without a runtime
+    collector. *)
+
+open Cobegin_analysis
+
+type point =
+  | Proc_exit of string  (** reclaim when this procedure returns *)
+  | Branch_exit of int * int  (** reclaim at the join of (cobegin, branch) *)
+  | Program_exit
+
+val point_of_owner : Pstring.t -> point
+
+type entry = { obj : Event.obj; site : int; heap : bool; at : point }
+
+val deallocation_plan : Lifetime.info list -> entry list
+
+val statically_reclaimed : entry list -> entry list
+(** Heap objects a runtime collector no longer needs to track. *)
+
+val pp_point : Format.formatter -> point -> unit
+val pp_entry : Format.formatter -> entry -> unit
+val pp : Format.formatter -> entry list -> unit

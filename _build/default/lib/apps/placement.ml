@@ -1,0 +1,63 @@
+(* Memory-hierarchy placement (paper section 7):
+
+     "Suppose each cobegin thread is executed in a processor.  If we know
+      an object will be referenced by another concurrent thread, then it
+      should be allocated in the memory accessible to both threads" —
+      otherwise it can live in processor-local memory.
+
+   Straightforward consumer of the lifetime analysis: objects with
+   concurrent accessors go to the shared level, everything else is local
+   to its owning activation. *)
+
+open Cobegin_analysis
+
+type level = Shared_memory | Local_memory
+
+type decision = {
+  obj : Event.obj;
+  site : int;
+  level : level;
+  reason : string;
+}
+
+let decide (infos : Lifetime.info list) : decision list =
+  List.map
+    (fun (i : Lifetime.info) ->
+      match i.Lifetime.placement with
+      | Lifetime.Shared ->
+          {
+            obj = i.Lifetime.obj;
+            site = i.Lifetime.site;
+            level = Shared_memory;
+            reason = "accessed by concurrent threads";
+          }
+      | Lifetime.Local owner ->
+          {
+            obj = i.Lifetime.obj;
+            site = i.Lifetime.site;
+            level = Local_memory;
+            reason =
+              Format.asprintf "all accesses within %a"
+                (fun ppf p ->
+                  if Pstring.depth p = 0 then
+                    Format.pp_print_string ppf "the main thread"
+                  else Pstring.pp ppf p)
+                owner;
+          })
+    infos
+
+let shared ds = List.filter (fun d -> d.level = Shared_memory) ds
+let local ds = List.filter (fun d -> d.level = Local_memory) ds
+
+let pp_level ppf = function
+  | Shared_memory -> Format.pp_print_string ppf "SHARED"
+  | Local_memory -> Format.pp_print_string ppf "local"
+
+let pp_decision ppf d =
+  Format.fprintf ppf "%a (site %d): %a — %s" Event.pp_obj d.obj d.site
+    pp_level d.level d.reason
+
+let pp ppf ds =
+  Format.fprintf ppf "@[<v>%a@]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_decision)
+    ds

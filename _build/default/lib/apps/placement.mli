@@ -1,0 +1,22 @@
+(** Memory-hierarchy placement (paper section 7): objects referenced by
+    concurrent threads go to the level visible to all of them; everything
+    else stays in processor-local memory.  A direct consumer of the
+    lifetime analysis. *)
+
+open Cobegin_analysis
+
+type level = Shared_memory | Local_memory
+
+type decision = {
+  obj : Event.obj;
+  site : int;  (** allocation site *)
+  level : level;
+  reason : string;  (** human-readable justification *)
+}
+
+val decide : Lifetime.info list -> decision list
+val shared : decision list -> decision list
+val local : decision list -> decision list
+val pp_level : Format.formatter -> level -> unit
+val pp_decision : Format.formatter -> decision -> unit
+val pp : Format.formatter -> decision list -> unit

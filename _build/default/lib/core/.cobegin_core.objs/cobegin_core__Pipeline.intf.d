@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Analyzer Ast Cobegin_absint Cobegin_analysis Cobegin_apps Cobegin_lang Cobegin_trans Critical Ctgc Depend Event Format Lifetime Machine Parallelize Placement Race Side_effect

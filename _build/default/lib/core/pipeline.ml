@@ -1,0 +1,175 @@
+(* The analyzer pipeline: the paper's framework end-to-end.
+
+     source
+       → parse → check → (virtual coarsening | inlining)        [front end]
+       → state-space exploration (full | stubborn)              [section 2]
+         and/or abstract exploration (folding, numeric domain)  [sections 3-6]
+       → instrumentation log
+       → side effects, dependences, lifetimes                   [section 5]
+       → parallelization, memory placement, compile-time GC     [section 7]
+
+   This module is the public API most users want; the individual
+   libraries stay available for finer control. *)
+
+open Cobegin_lang
+open Cobegin_trans
+open Cobegin_semantics
+open Cobegin_explore
+open Cobegin_absint
+open Cobegin_analysis
+open Cobegin_apps
+
+type engine =
+  | Concrete_full (* ordinary state-space generation *)
+  | Concrete_stubborn (* with persistent/stubborn-set reduction *)
+  | Abstract of Analyzer.domain * Machine.folding
+
+let pp_engine ppf = function
+  | Concrete_full -> Format.pp_print_string ppf "concrete/full"
+  | Concrete_stubborn -> Format.pp_print_string ppf "concrete/stubborn"
+  | Abstract (d, f) ->
+      Format.fprintf ppf "abstract/%a/%a" Analyzer.pp_domain d
+        Machine.pp_folding f
+
+type options = {
+  engine : engine;
+  coarsen : bool; (* apply virtual coarsening first *)
+  inline : bool; (* apply procedure inlining first *)
+  max_configs : int;
+  find_races : bool; (* co-enabledness race scan (concrete engines) *)
+}
+
+let default_options =
+  {
+    engine = Concrete_full;
+    coarsen = false;
+    inline = false;
+    max_configs = 500_000;
+    find_races = false;
+  }
+
+type exploration_stats = {
+  configurations : int;
+  transitions : int; (* 0 for abstract engines *)
+  finals : int;
+  deadlocks : int; (* 0 for abstract engines *)
+  errors : int;
+}
+
+type report = {
+  program : Ast.program; (* after transforms *)
+  engine_used : engine;
+  stats : exploration_stats;
+  log : Event.log;
+  side_effects : Side_effect.report list;
+  deps : Depend.DepSet.t;
+  lifetimes : Lifetime.info list;
+  placements : Placement.decision list;
+  gc_plan : Ctgc.entry list;
+  races : Race.RaceSet.t option;
+  critical : Critical.conflicts;
+}
+
+let load_source src =
+  let prog = Parser.parse_string src in
+  Check.check_exn prog;
+  prog
+
+let load_file path =
+  let prog = Parser.parse_file path in
+  Check.check_exn prog;
+  prog
+
+let transform (opts : options) prog =
+  let prog = if opts.inline then Inline.program prog else prog in
+  let prog = if opts.coarsen then Coarsen.program prog else prog in
+  prog
+
+(* Run the chosen engine, returning stats plus the unified log. *)
+let run_engine (opts : options) prog : exploration_stats * Event.log =
+  match opts.engine with
+  | Concrete_full | Concrete_stubborn ->
+      let ctx = Step.make_ctx prog in
+      let result =
+        match opts.engine with
+        | Concrete_full -> Space.full ~max_configs:opts.max_configs ctx
+        | _ -> Stubborn.explore ~max_configs:opts.max_configs ctx
+      in
+      ( {
+          configurations = result.Space.stats.Space.configurations;
+          transitions = result.Space.stats.Space.transitions;
+          finals = result.Space.stats.Space.finals;
+          deadlocks = result.Space.stats.Space.deadlocks;
+          errors = result.Space.stats.Space.errors;
+        },
+        Event.of_concrete result.Space.log )
+  | Abstract (domain, folding) ->
+      let summary =
+        Analyzer.analyze ~domain ~folding ~max_configs:opts.max_configs prog
+      in
+      ( {
+          configurations = summary.Analyzer.abstract_configs;
+          transitions = 0;
+          finals = summary.Analyzer.finals;
+          deadlocks = 0;
+          errors = summary.Analyzer.errors;
+        },
+        Event.of_abstract summary.Analyzer.log )
+
+let analyze ?(options = default_options) (prog : Ast.program) : report =
+  Check.check_exn prog;
+  let prog = transform options prog in
+  let stats, log = run_engine options prog in
+  let side_effects = Side_effect.of_program log prog in
+  let deps = Depend.of_log log in
+  let lifetimes = Lifetime.of_log log in
+  let placements = Placement.decide lifetimes in
+  let gc_plan = Ctgc.deallocation_plan lifetimes in
+  let races =
+    if options.find_races then
+      match options.engine with
+      | Concrete_full | Concrete_stubborn ->
+          Some (Race.find ~max_configs:options.max_configs (Step.make_ctx prog))
+      | Abstract _ -> None
+    else None
+  in
+  {
+    program = prog;
+    engine_used = options.engine;
+    stats;
+    log;
+    side_effects;
+    deps;
+    lifetimes;
+    placements;
+    gc_plan;
+    races;
+    critical = Critical.of_program prog;
+  }
+
+let analyze_source ?options src = analyze ?options (load_source src)
+
+(* Parallelization report for segment-shaped programs (Figure 8). *)
+let parallelization (r : report) : Parallelize.report =
+  Parallelize.analyze r.program r.log
+
+let pp_stats ppf (s : exploration_stats) =
+  Format.fprintf ppf
+    "configurations=%d transitions=%d finals=%d deadlocks=%d errors=%d"
+    s.configurations s.transitions s.finals s.deadlocks s.errors
+
+let pp_report ppf (r : report) =
+  Format.fprintf ppf
+    "@[<v>engine: %a@ %a@ @ critical references: %a@ @ side effects:@ %a@ @ \
+     parallel dependences:@ %a@ @ lifetimes:@ %a@ @ placement:@ %a@ @ \
+     deallocation plan:@ %a%a@]"
+    pp_engine r.engine_used pp_stats r.stats Critical.pp r.critical
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut Side_effect.pp_report)
+    r.side_effects Depend.pp_deps
+    (Depend.DepSet.filter (fun d -> d.Depend.parallel) r.deps)
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut Lifetime.pp_info)
+    r.lifetimes Placement.pp r.placements Ctgc.pp r.gc_plan
+    (fun ppf -> function
+      | None -> ()
+      | Some races -> Format.fprintf ppf "@ @ races:@ %a" Race.pp races)
+    r.races

@@ -1,0 +1,80 @@
+(** The analyzer pipeline — the paper's framework end to end:
+
+    {v
+source → parse → check → (coarsen | inline)
+       → exploration (full | stubborn) or abstract interpretation
+       → instrumentation log
+       → side effects, dependences, lifetimes            (section 5)
+       → parallelization, placement, compile-time GC     (section 7)
+    v}
+
+    This is the one-call API; the individual libraries remain available
+    for finer control. *)
+
+open Cobegin_lang
+open Cobegin_trans
+open Cobegin_absint
+open Cobegin_analysis
+open Cobegin_apps
+
+(** Which engine produces the instrumentation log. *)
+type engine =
+  | Concrete_full  (** ordinary state-space generation *)
+  | Concrete_stubborn  (** with persistent/stubborn-set reduction *)
+  | Abstract of Analyzer.domain * Machine.folding
+      (** abstract interpretation: numeric domain × configuration folding *)
+
+val pp_engine : Format.formatter -> engine -> unit
+
+type options = {
+  engine : engine;
+  coarsen : bool;  (** apply virtual coarsening first (Observation 5) *)
+  inline : bool;  (** inline non-recursive calls first *)
+  max_configs : int;  (** exploration budget *)
+  find_races : bool;  (** run the co-enabledness race scan too *)
+}
+
+val default_options : options
+(** Concrete full engine, no transforms, 500k budget, no race scan. *)
+
+type exploration_stats = {
+  configurations : int;
+  transitions : int;  (** 0 for abstract engines *)
+  finals : int;
+  deadlocks : int;  (** 0 for abstract engines *)
+  errors : int;
+}
+
+type report = {
+  program : Ast.program;  (** the program after transforms *)
+  engine_used : engine;
+  stats : exploration_stats;
+  log : Event.log;  (** unified instrumentation log *)
+  side_effects : Side_effect.report list;  (** one per procedure *)
+  deps : Depend.DepSet.t;  (** all dependences (parallel + sequential) *)
+  lifetimes : Lifetime.info list;  (** one per object *)
+  placements : Placement.decision list;  (** shared vs local memory *)
+  gc_plan : Ctgc.entry list;  (** static deallocation points *)
+  races : Race.RaceSet.t option;  (** when [find_races] was set *)
+  critical : Critical.conflicts;  (** critical-reference report *)
+}
+
+val load_source : string -> Ast.program
+(** Parse and check a program from source text.
+    @raise Cobegin_lang.Parser.Error on syntax errors
+    @raise Cobegin_lang.Check.Ill_formed on static errors *)
+
+val load_file : string -> Ast.program
+
+val analyze : ?options:options -> Ast.program -> report
+(** Run the pipeline.  May raise {!Cobegin_explore.Space.Budget_exceeded}
+    or {!Cobegin_absint.Machine.Budget_exceeded}. *)
+
+val analyze_source : ?options:options -> string -> report
+
+val parallelization : report -> Parallelize.report
+(** Shasha–Snir conflict/delay/parallelization report for programs whose
+    entry contains one cobegin of straight-line segments (Figure 8). *)
+
+val pp_stats : Format.formatter -> exploration_stats -> unit
+val pp_report : Format.formatter -> report -> unit

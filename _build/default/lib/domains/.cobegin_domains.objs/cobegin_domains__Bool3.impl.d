@@ -1,0 +1,1 @@
+lib/domains/bool3.ml: Format

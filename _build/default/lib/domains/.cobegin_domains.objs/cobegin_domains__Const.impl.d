@@ -1,0 +1,1 @@
+lib/domains/const.ml: Flat Format Int

@@ -1,0 +1,1 @@
+lib/domains/const.mli: Flat Format

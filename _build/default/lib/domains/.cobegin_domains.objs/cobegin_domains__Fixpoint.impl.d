@@ -1,0 +1,1 @@
+lib/domains/fixpoint.ml: Hashtbl Lattice List Map Queue

@@ -1,0 +1,1 @@
+lib/domains/fixpoint.mli: Lattice

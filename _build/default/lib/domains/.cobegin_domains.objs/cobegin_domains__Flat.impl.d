@@ -1,0 +1,1 @@
+lib/domains/flat.ml: Format Lattice

@@ -1,0 +1,1 @@
+lib/domains/flat.mli: Format Lattice

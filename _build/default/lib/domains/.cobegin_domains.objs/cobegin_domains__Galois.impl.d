@@ -1,0 +1,1 @@
+lib/domains/galois.ml: Const Int_parity Interval List Parity Sign

@@ -1,0 +1,1 @@
+lib/domains/galois.mli: Const Int_parity Interval Parity Sign

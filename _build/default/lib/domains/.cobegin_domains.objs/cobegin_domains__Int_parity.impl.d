@@ -1,0 +1,1 @@
+lib/domains/int_parity.ml: Format Interval Parity

@@ -1,0 +1,1 @@
+lib/domains/int_parity.mli: Format Interval Parity

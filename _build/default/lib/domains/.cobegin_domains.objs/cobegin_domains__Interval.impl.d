@@ -1,0 +1,1 @@
+lib/domains/interval.ml: Format List

@@ -1,0 +1,1 @@
+lib/domains/interval.mli: Format

@@ -1,0 +1,1 @@
+lib/domains/lattice.ml: Format List

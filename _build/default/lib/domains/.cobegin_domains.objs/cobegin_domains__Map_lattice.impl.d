@@ -1,0 +1,1 @@
+lib/domains/map_lattice.ml: Format Lattice List Map Option

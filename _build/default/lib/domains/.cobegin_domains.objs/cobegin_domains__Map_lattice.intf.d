@@ -1,0 +1,1 @@
+lib/domains/map_lattice.mli: Format Lattice

@@ -1,0 +1,1 @@
+lib/domains/parity.mli: Format

@@ -1,0 +1,1 @@
+lib/domains/powerset.ml: Format Lattice Set

@@ -1,0 +1,1 @@
+lib/domains/powerset.mli: Format Lattice

@@ -1,0 +1,1 @@
+lib/domains/product.mli: Format Lattice

@@ -1,0 +1,1 @@
+lib/domains/sign.ml: Format List

@@ -1,0 +1,71 @@
+(* Three-valued booleans: the flat lattice over {true,false}, used for
+   abstract branch conditions.  [MaybeTrue]/[MaybeFalse] queries drive
+   which successors an abstract branch generates. *)
+
+type t = Bot | True | False | Either
+
+let bottom = Bot
+let top = Either
+let of_bool b = if b then True else False
+let is_bottom = function Bot -> true | True | False | Either -> false
+let is_top = function Either -> true | True | False | Bot -> false
+
+let equal (a : t) (b : t) = a = b
+
+let leq a b =
+  match (a, b) with
+  | Bot, _ | _, Either -> true
+  | True, True | False, False -> true
+  | (True | False | Either), _ -> false
+
+let join a b =
+  match (a, b) with
+  | Bot, x | x, Bot -> x
+  | Either, _ | _, Either -> Either
+  | True, True -> True
+  | False, False -> False
+  | True, False | False, True -> Either
+
+let meet a b =
+  match (a, b) with
+  | Either, x | x, Either -> x
+  | Bot, _ | _, Bot -> Bot
+  | True, True -> True
+  | False, False -> False
+  | True, False | False, True -> Bot
+
+let widen = join
+
+(* May the value be true (resp. false)?  Bottom may be neither. *)
+let may_be_true = function True | Either -> true | False | Bot -> false
+let may_be_false = function False | Either -> true | True | Bot -> false
+
+let not_ = function
+  | Bot -> Bot
+  | True -> False
+  | False -> True
+  | Either -> Either
+
+let and_ a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | False, _ | _, False -> False
+  | True, True -> True
+  | (True | Either), (True | Either) -> Either
+
+let or_ a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | True, _ | _, True -> True
+  | False, False -> False
+  | (False | Either), (False | Either) -> Either
+
+let of_option = function None -> Either | Some b -> of_bool b
+
+let pp ppf v =
+  Format.pp_print_string ppf
+    (match v with
+    | Bot -> "⊥"
+    | True -> "tt"
+    | False -> "ff"
+    | Either -> "tt/ff")

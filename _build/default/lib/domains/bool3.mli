@@ -1,0 +1,30 @@
+(** Three-valued booleans: the flat lattice over [{true, false}].  The
+    abstract machine uses [may_be_true]/[may_be_false] to decide which
+    branch successors an abstract conditional generates. *)
+
+type t = Bot | True | False | Either
+
+val bottom : t
+val top : t
+val of_bool : bool -> t
+val is_bottom : t -> bool
+val is_top : t -> bool
+val equal : t -> t -> bool
+val leq : t -> t -> bool
+val join : t -> t -> t
+val meet : t -> t -> t
+val widen : t -> t -> t
+
+val may_be_true : t -> bool
+val may_be_false : t -> bool
+
+(** Kleene connectives (strict in [Bot]). *)
+
+val not_ : t -> t
+val and_ : t -> t -> t
+val or_ : t -> t -> t
+
+val of_option : bool option -> t
+(** [None] is [Either]. *)
+
+val pp : Format.formatter -> t -> unit

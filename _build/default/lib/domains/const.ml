@@ -1,0 +1,76 @@
+(* Constant propagation: the flat lattice over int, packaged as a NUMERIC
+   domain so the abstract interpreter can be instantiated with it. *)
+
+module F = Flat.Make (struct
+  type t = int
+
+  let compare = Int.compare
+  let equal = Int.equal
+  let pp = Format.pp_print_int
+end)
+
+type t = F.t
+
+let bottom = F.bottom
+let top = F.top
+let is_bottom = F.is_bottom
+let is_top = F.is_top
+let of_int n = F.atom n
+let equal = F.equal
+let leq = F.leq
+let join = F.join
+let meet = F.meet
+let widen = F.widen
+let pp = F.pp
+let to_option = F.to_option
+
+(* Strict lifting of a binary concrete operation. *)
+let lift2 f a b =
+  match (a, b) with
+  | Flat.Bot, _ | _, Flat.Bot -> Flat.Bot
+  | Flat.Top, _ | _, Flat.Top -> Flat.Top
+  | Flat.Atom x, Flat.Atom y -> f x y
+
+let add = lift2 (fun x y -> Flat.Atom (x + y))
+let sub = lift2 (fun x y -> Flat.Atom (x - y))
+let mul = lift2 (fun x y -> Flat.Atom (x * y))
+
+let div =
+  lift2 (fun x y -> if y = 0 then Flat.Bot else Flat.Atom (x / y))
+
+let neg = function
+  | Flat.Bot -> Flat.Bot
+  | Flat.Top -> Flat.Top
+  | Flat.Atom x -> Flat.Atom (-x)
+
+let contains v n =
+  match v with
+  | Flat.Bot -> false
+  | Flat.Top -> true
+  | Flat.Atom x -> x = n
+
+let decide rel (a : t) (b : t) =
+  match (a, b) with
+  | Flat.Atom x, Flat.Atom y -> Some (rel x y)
+  | (Flat.Bot | Flat.Top | Flat.Atom _), _ -> None
+
+let cmp_eq = decide ( = )
+let cmp_lt = decide ( < )
+let cmp_le = decide ( <= )
+let assume_eq = meet
+
+let assume_ne a b =
+  match (a, b) with
+  | Flat.Atom x, Flat.Atom y when x = y -> Flat.Bot
+  | _ -> a
+
+(* Non-equality relations cannot refine a flat element except to kill it. *)
+let assume_rel rel (a : t) (b : t) =
+  match (a, b) with
+  | Flat.Atom x, Flat.Atom y when not (rel x y) -> Flat.Bot
+  | _ -> a
+
+let assume_lt = assume_rel ( < )
+let assume_le = assume_rel ( <= )
+let assume_gt = assume_rel ( > )
+let assume_ge = assume_rel ( >= )

@@ -1,0 +1,36 @@
+(** Constant propagation: the flat lattice over [int], packaged as a
+    {!Lattice.NUMERIC} domain. *)
+
+type t = int Flat.t
+
+val bottom : t
+val top : t
+val is_bottom : t -> bool
+val is_top : t -> bool
+val of_int : int -> t
+val equal : t -> t -> bool
+val leq : t -> t -> bool
+val join : t -> t -> t
+val meet : t -> t -> t
+val widen : t -> t -> t
+val pp : Format.formatter -> t -> unit
+val to_option : t -> int option
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+val div : t -> t -> t
+(** Constant division by zero is bottom (the concrete program halts). *)
+
+val neg : t -> t
+val contains : t -> int -> bool
+val cmp_eq : t -> t -> bool option
+val cmp_lt : t -> t -> bool option
+val cmp_le : t -> t -> bool option
+val assume_eq : t -> t -> t
+val assume_ne : t -> t -> t
+val assume_lt : t -> t -> t
+val assume_le : t -> t -> t
+val assume_gt : t -> t -> t
+val assume_ge : t -> t -> t

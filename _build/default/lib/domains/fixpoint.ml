@@ -1,0 +1,72 @@
+(* Generic worklist fixpoint engine over a finite set of nodes with lattice
+   annotations.  Used by the flow-insensitive helpers (call-graph may-access,
+   critical-variable inference) and by tests; the abstract state-space
+   explorer has its own specialized loop (Absint.Aexplore). *)
+
+module type PROBLEM = sig
+  module L : Lattice.LATTICE
+
+  type node
+
+  val compare_node : node -> node -> int
+  val nodes : node list
+
+  (* Initial annotation of a node. *)
+  val init : node -> L.t
+
+  (* [transfer n v] recomputes node [n]'s annotation from annotation map
+     lookups; [lookup] provides the current annotation of any node. *)
+  val transfer : lookup:(node -> L.t) -> node -> L.t
+
+  (* Successors to re-examine when [n]'s annotation grows. *)
+  val dependents : node -> node list
+
+  (* After this many updates of one node, switch from join to widening
+     (use [max_int] for finite-height lattices). *)
+  val widening_delay : int
+  val widen : L.t -> L.t -> L.t
+end
+
+module Make (P : PROBLEM) = struct
+  module NM = Map.Make (struct
+    type t = P.node
+
+    let compare = P.compare_node
+  end)
+
+  type solution = P.L.t NM.t
+
+  let lookup sol n =
+    match NM.find_opt n sol with Some v -> v | None -> P.L.bottom
+
+  let solve () : solution =
+    let sol = ref NM.empty in
+    let counts = ref NM.empty in
+    List.iter (fun n -> sol := NM.add n (P.init n) !sol) P.nodes;
+    let queue = Queue.create () in
+    let queued = Hashtbl.create 64 in
+    let enqueue n =
+      if not (Hashtbl.mem queued n) then begin
+        Hashtbl.add queued n ();
+        Queue.add n queue
+      end
+    in
+    List.iter enqueue P.nodes;
+    while not (Queue.is_empty queue) do
+      let n = Queue.pop queue in
+      Hashtbl.remove queued n;
+      let old_v = lookup !sol n in
+      let new_v = P.transfer ~lookup:(lookup !sol) n in
+      let count = match NM.find_opt n !counts with Some c -> c | None -> 0 in
+      let next_v =
+        if count >= P.widening_delay then P.widen old_v new_v
+        else P.L.join old_v new_v
+      in
+      if not (P.L.leq next_v old_v) then begin
+        sol := NM.add n next_v !sol;
+        counts := NM.add n (count + 1) !counts;
+        List.iter enqueue (P.dependents n)
+      end
+    done;
+    !sol
+end

@@ -1,0 +1,35 @@
+(** Generic worklist fixpoint engine over a finite node set with lattice
+    annotations, with join-until-delay-then-widen.  Used by the
+    flow-insensitive helpers and tests; the abstract state-space
+    explorer has its own specialized loop. *)
+
+module type PROBLEM = sig
+  module L : Lattice.LATTICE
+
+  type node
+
+  val compare_node : node -> node -> int
+  val nodes : node list
+
+  val init : node -> L.t
+  (** Initial annotation. *)
+
+  val transfer : lookup:(node -> L.t) -> node -> L.t
+  (** Recompute a node's annotation; [lookup] reads the current map. *)
+
+  val dependents : node -> node list
+  (** Nodes to re-examine when this node's annotation grows. *)
+
+  val widening_delay : int
+  (** Updates of one node before joins become widenings; use [max_int]
+      for finite-height lattices. *)
+
+  val widen : L.t -> L.t -> L.t
+end
+
+module Make (P : PROBLEM) : sig
+  type solution
+
+  val lookup : solution -> P.node -> P.L.t
+  val solve : unit -> solution
+end

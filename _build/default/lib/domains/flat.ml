@@ -1,0 +1,56 @@
+(* Flat lattice over an arbitrary ordered carrier:
+
+        Top
+      / | | \
+     a  b c  ...
+      \ | | /
+        Bot
+
+   The classic constant-propagation shape; [Const] below instantiates it
+   at [int]. *)
+
+type 'a t = Bot | Atom of 'a | Top
+
+module Make (X : Lattice.ORDERED) = struct
+  type nonrec t = X.t t
+
+  let bottom = Bot
+  let top = Top
+  let atom x = Atom x
+  let is_bottom = function Bot -> true | Atom _ | Top -> false
+  let is_top = function Top -> true | Atom _ | Bot -> false
+
+  let equal a b =
+    match (a, b) with
+    | Bot, Bot | Top, Top -> true
+    | Atom x, Atom y -> X.equal x y
+    | (Bot | Atom _ | Top), _ -> false
+
+  let leq a b =
+    match (a, b) with
+    | Bot, _ | _, Top -> true
+    | Atom x, Atom y -> X.equal x y
+    | (Atom _ | Top), Bot | Top, Atom _ -> false
+
+  let join a b =
+    match (a, b) with
+    | Bot, x | x, Bot -> x
+    | Top, _ | _, Top -> Top
+    | Atom x, Atom y -> if X.equal x y then a else Top
+
+  let meet a b =
+    match (a, b) with
+    | Top, x | x, Top -> x
+    | Bot, _ | _, Bot -> Bot
+    | Atom x, Atom y -> if X.equal x y then a else Bot
+
+  (* Finite height: widening is plain join. *)
+  let widen = join
+
+  let pp ppf = function
+    | Bot -> Format.pp_print_string ppf "⊥"
+    | Top -> Format.pp_print_string ppf "⊤"
+    | Atom x -> X.pp ppf x
+
+  let to_option = function Atom x -> Some x | Bot | Top -> None
+end

@@ -1,0 +1,25 @@
+(** Flat lattice over an arbitrary ordered carrier — the classic
+    constant-propagation shape: bottom, one incomparable layer of atoms,
+    top.  {!Const} instantiates it at [int]. *)
+
+type 'a t = Bot | Atom of 'a | Top
+
+module Make (X : Lattice.ORDERED) : sig
+  type nonrec t = X.t t
+
+  val bottom : t
+  val top : t
+  val atom : X.t -> t
+  val is_bottom : t -> bool
+  val is_top : t -> bool
+  val equal : t -> t -> bool
+  val leq : t -> t -> bool
+  val join : t -> t -> t
+  val meet : t -> t -> t
+
+  val widen : t -> t -> t
+  (** Finite height: plain join. *)
+
+  val pp : Format.formatter -> t -> unit
+  val to_option : t -> X.t option
+end

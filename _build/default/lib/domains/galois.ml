@@ -1,0 +1,60 @@
+(* Galois connections (paper section 3): a pair (alpha, gamma) between a
+   concrete powerset and an abstract lattice.  We represent gamma only by a
+   membership test, which is all the soundness tests need: the connection
+   condition specializes to  forall c in C: c in gamma(alpha{c}). *)
+
+type ('c, 'a) t = {
+  name : string;
+  alpha : 'c list -> 'a; (* abstraction of a finite concrete sample *)
+  gamma_mem : 'a -> 'c -> bool; (* membership in the concretization *)
+}
+
+let make ~name ~alpha ~gamma_mem = { name; alpha; gamma_mem }
+
+(* Soundness of the connection on a sample: every sampled concrete value is
+   in the concretization of the abstraction of the sample. *)
+let sound_on_sample conn sample =
+  let a = conn.alpha sample in
+  List.for_all (fun c -> conn.gamma_mem a c) sample
+
+(* Soundness of an abstract operator w.r.t. a concrete operator, checked on
+   samples: f#(alpha xs, alpha ys) must concretize every f(x, y). *)
+let operator_sound_on conn ~abstract_op ~concrete_op xs ys =
+  let ax = conn.alpha xs and ay = conn.alpha ys in
+  let result = abstract_op ax ay in
+  List.for_all
+    (fun x -> List.for_all (fun y -> conn.gamma_mem result (concrete_op x y)) ys)
+    xs
+
+(* Ready-made connections for the numeric domains. *)
+let interval : (int, Interval.t) t =
+  make ~name:"interval"
+    ~alpha:(fun cs ->
+      List.fold_left (fun acc c -> Interval.join acc (Interval.of_int c)) Interval.bottom cs)
+    ~gamma_mem:Interval.contains
+
+let sign : (int, Sign.t) t =
+  make ~name:"sign"
+    ~alpha:(fun cs ->
+      List.fold_left (fun acc c -> Sign.join acc (Sign.of_int c)) Sign.bottom cs)
+    ~gamma_mem:Sign.contains
+
+let parity : (int, Parity.t) t =
+  make ~name:"parity"
+    ~alpha:(fun cs ->
+      List.fold_left (fun acc c -> Parity.join acc (Parity.of_int c)) Parity.bottom cs)
+    ~gamma_mem:Parity.contains
+
+let const : (int, Const.t) t =
+  make ~name:"const"
+    ~alpha:(fun cs ->
+      List.fold_left (fun acc c -> Const.join acc (Const.of_int c)) Const.bottom cs)
+    ~gamma_mem:Const.contains
+
+let int_parity : (int, Int_parity.t) t =
+  make ~name:"interval×parity"
+    ~alpha:(fun cs ->
+      List.fold_left
+        (fun acc c -> Int_parity.join acc (Int_parity.of_int c))
+        Int_parity.bottom cs)
+    ~gamma_mem:Int_parity.contains

@@ -1,0 +1,36 @@
+(** Galois connections (paper section 3), represented by an abstraction
+    of finite samples and a concretization membership test — all the
+    soundness properties of the qcheck suite need. *)
+
+type ('c, 'a) t = {
+  name : string;
+  alpha : 'c list -> 'a;  (** abstraction of a finite concrete sample *)
+  gamma_mem : 'a -> 'c -> bool;  (** membership in the concretization *)
+}
+
+val make :
+  name:string ->
+  alpha:('c list -> 'a) ->
+  gamma_mem:('a -> 'c -> bool) ->
+  ('c, 'a) t
+
+val sound_on_sample : ('c, 'a) t -> 'c list -> bool
+(** Every sampled value is in the concretization of the sample's
+    abstraction: the connection condition on finite samples. *)
+
+val operator_sound_on :
+  ('c, 'a) t ->
+  abstract_op:('a -> 'a -> 'a) ->
+  concrete_op:('c -> 'c -> 'c) ->
+  'c list ->
+  'c list ->
+  bool
+(** [f#(alpha xs, alpha ys)] concretizes every [f x y]. *)
+
+(** Ready-made connections for the numeric domains. *)
+
+val interval : (int, Interval.t) t
+val sign : (int, Sign.t) t
+val parity : (int, Parity.t) t
+val const : (int, Const.t) t
+val int_parity : (int, Int_parity.t) t

@@ -1,0 +1,81 @@
+(* Reduced product of intervals and parity: a further NUMERIC instance
+   demonstrating the paper's point that each choice of abstract domain
+   yields a different analysis for free.  The reduction tightens interval
+   bounds to the parity (e.g. [1,4] ∧ even = [2,4]) and kills values whose
+   components are contradictory. *)
+
+type t = { itv : Interval.t; par : Parity.t }
+
+let reduce (v : t) : t =
+  if Interval.is_bottom v.itv || Parity.is_bottom v.par then
+    { itv = Interval.bottom; par = Parity.bottom }
+  else
+    match v.par with
+    | Parity.Top | Parity.Bot -> v
+    | Parity.Even | Parity.Odd -> (
+        let parity_matches n =
+          match v.par with
+          | Parity.Even -> n mod 2 = 0
+          | Parity.Odd -> n mod 2 <> 0
+          | _ -> true
+        in
+        (* tighten finite bounds inward to the parity *)
+        match v.itv with
+        | Interval.Empty -> { itv = Interval.bottom; par = Parity.bottom }
+        | Interval.Range (lo, hi) ->
+            let lo' =
+              match lo with
+              | Interval.Fin n when not (parity_matches n) -> Interval.Fin (n + 1)
+              | b -> b
+            in
+            let hi' =
+              match hi with
+              | Interval.Fin n when not (parity_matches n) -> Interval.Fin (n - 1)
+              | b -> b
+            in
+            let itv = Interval.of_bounds lo' hi' in
+            if Interval.is_bottom itv then
+              { itv = Interval.bottom; par = Parity.bottom }
+            else { itv; par = v.par })
+
+let make itv par = reduce { itv; par }
+let bottom = { itv = Interval.bottom; par = Parity.bottom }
+let top = { itv = Interval.top; par = Parity.top }
+let is_bottom v = Interval.is_bottom v.itv
+let is_top v = Interval.is_top v.itv && Parity.is_top v.par
+let of_int n = { itv = Interval.of_int n; par = Parity.of_int n }
+
+let equal a b = Interval.equal a.itv b.itv && Parity.equal a.par b.par
+let leq a b = Interval.leq a.itv b.itv && Parity.leq a.par b.par
+let join a b = make (Interval.join a.itv b.itv) (Parity.join a.par b.par)
+let meet a b = make (Interval.meet a.itv b.itv) (Parity.meet a.par b.par)
+let widen a b = make (Interval.widen a.itv b.itv) (Parity.widen a.par b.par)
+
+let lift2 fi fp a b = make (fi a.itv b.itv) (fp a.par b.par)
+let add = lift2 Interval.add Parity.add
+let sub = lift2 Interval.sub Parity.sub
+let mul = lift2 Interval.mul Parity.mul
+let div = lift2 Interval.div Parity.div
+let neg v = make (Interval.neg v.itv) (Parity.neg v.par)
+
+let contains v n = Interval.contains v.itv n && Parity.contains v.par n
+
+(* Comparisons: the interval decides; parity refines equality. *)
+let cmp_eq a b =
+  match Interval.cmp_eq a.itv b.itv with
+  | Some r -> Some r
+  | None -> Parity.cmp_eq a.par b.par
+
+let cmp_lt a b = Interval.cmp_lt a.itv b.itv
+let cmp_le a b = Interval.cmp_le a.itv b.itv
+
+let assume_eq a b = meet a b
+let assume_ne a b = make (Interval.assume_ne a.itv b.itv) a.par
+let assume_lt a b = make (Interval.assume_lt a.itv b.itv) a.par
+let assume_le a b = make (Interval.assume_le a.itv b.itv) a.par
+let assume_gt a b = make (Interval.assume_gt a.itv b.itv) a.par
+let assume_ge a b = make (Interval.assume_ge a.itv b.itv) a.par
+
+let pp ppf v =
+  if is_bottom v then Format.pp_print_string ppf "⊥"
+  else Format.fprintf ppf "%a∧%a" Interval.pp v.itv Parity.pp v.par

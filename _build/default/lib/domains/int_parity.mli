@@ -1,0 +1,38 @@
+(** Reduced product of intervals and parity: a further {!Lattice.NUMERIC}
+    instance demonstrating that each domain choice yields a different
+    analysis for free (paper section 3).  The reduction tightens finite
+    interval bounds inward to the parity (e.g. [1,4] ∧ even = [2,4]) and
+    kills contradictory values. *)
+
+type t = private { itv : Interval.t; par : Parity.t }
+(** Always kept reduced; build with {!make} / {!of_int} / operators. *)
+
+val reduce : t -> t
+val make : Interval.t -> Parity.t -> t
+val bottom : t
+val top : t
+val is_bottom : t -> bool
+val is_top : t -> bool
+val of_int : int -> t
+val equal : t -> t -> bool
+val leq : t -> t -> bool
+val join : t -> t -> t
+val meet : t -> t -> t
+val widen : t -> t -> t
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+val neg : t -> t
+val contains : t -> int -> bool
+val cmp_eq : t -> t -> bool option
+val cmp_lt : t -> t -> bool option
+val cmp_le : t -> t -> bool option
+val assume_eq : t -> t -> t
+val assume_ne : t -> t -> t
+val assume_lt : t -> t -> t
+val assume_le : t -> t -> t
+val assume_gt : t -> t -> t
+val assume_ge : t -> t -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,219 @@
+(* The interval domain over extended integers [-oo, +oo], with the standard
+   widening (unstable bounds jump to infinity).  This is the default numeric
+   domain of the abstract semantics. *)
+
+type bound = NegInf | Fin of int | PosInf
+
+let pp_bound ppf = function
+  | NegInf -> Format.pp_print_string ppf "-oo"
+  | PosInf -> Format.pp_print_string ppf "+oo"
+  | Fin n -> Format.pp_print_int ppf n
+
+let bound_leq a b =
+  match (a, b) with
+  | NegInf, _ | _, PosInf -> true
+  | Fin x, Fin y -> x <= y
+  | _, NegInf | PosInf, _ -> false
+
+let bound_min a b = if bound_leq a b then a else b
+let bound_max a b = if bound_leq a b then b else a
+
+let bound_add a b =
+  match (a, b) with
+  | NegInf, PosInf | PosInf, NegInf ->
+      invalid_arg "Interval.bound_add: -oo + +oo"
+  | NegInf, _ | _, NegInf -> NegInf
+  | PosInf, _ | _, PosInf -> PosInf
+  | Fin x, Fin y -> Fin (x + y)
+
+let bound_neg = function NegInf -> PosInf | PosInf -> NegInf | Fin n -> Fin (-n)
+
+let bound_mul a b =
+  let sign = function
+    | NegInf -> -1
+    | PosInf -> 1
+    | Fin n -> compare n 0
+  in
+  match (a, b) with
+  | Fin x, Fin y -> Fin (x * y)
+  | _ -> (
+      match sign a * sign b with
+      | 0 -> Fin 0
+      | s when s > 0 -> PosInf
+      | _ -> NegInf)
+
+(* An interval is either empty (bottom) or [lo, hi] with lo <= hi. *)
+type t = Empty | Range of bound * bound
+
+let bottom = Empty
+let top = Range (NegInf, PosInf)
+let is_bottom = function Empty -> true | Range _ -> false
+let is_top = function Range (NegInf, PosInf) -> true | Range _ | Empty -> false
+let of_int n = Range (Fin n, Fin n)
+let of_bounds lo hi = if bound_leq lo hi then Range (lo, hi) else Empty
+let range lo hi = of_bounds (Fin lo) (Fin hi)
+let at_least lo = Range (Fin lo, PosInf)
+let at_most hi = Range (NegInf, Fin hi)
+
+let equal a b =
+  match (a, b) with
+  | Empty, Empty -> true
+  | Range (l1, h1), Range (l2, h2) -> l1 = l2 && h1 = h2
+  | (Empty | Range _), _ -> false
+
+let leq a b =
+  match (a, b) with
+  | Empty, _ -> true
+  | Range _, Empty -> false
+  | Range (l1, h1), Range (l2, h2) -> bound_leq l2 l1 && bound_leq h1 h2
+
+let join a b =
+  match (a, b) with
+  | Empty, x | x, Empty -> x
+  | Range (l1, h1), Range (l2, h2) ->
+      Range (bound_min l1 l2, bound_max h1 h2)
+
+let meet a b =
+  match (a, b) with
+  | Empty, _ | _, Empty -> Empty
+  | Range (l1, h1), Range (l2, h2) ->
+      of_bounds (bound_max l1 l2) (bound_min h1 h2)
+
+let widen old_ new_ =
+  match (old_, new_) with
+  | Empty, x | x, Empty -> x
+  | Range (l1, h1), Range (l2, h2) ->
+      let lo = if bound_leq l1 l2 then l1 else NegInf in
+      let hi = if bound_leq h2 h1 then h1 else PosInf in
+      Range (lo, hi)
+
+(* Narrowing: refine a widened fixpoint downwards. *)
+let narrow old_ new_ =
+  match (old_, new_) with
+  | Empty, _ | _, Empty -> Empty
+  | Range (l1, h1), Range (l2, h2) ->
+      let lo = if l1 = NegInf then l2 else l1 in
+      let hi = if h1 = PosInf then h2 else h1 in
+      of_bounds lo hi
+
+let add a b =
+  match (a, b) with
+  | Empty, _ | _, Empty -> Empty
+  | Range (l1, h1), Range (l2, h2) -> Range (bound_add l1 l2, bound_add h1 h2)
+
+let neg = function
+  | Empty -> Empty
+  | Range (lo, hi) -> Range (bound_neg hi, bound_neg lo)
+
+let sub a b = add a (neg b)
+
+let mul a b =
+  match (a, b) with
+  | Empty, _ | _, Empty -> Empty
+  | Range (l1, h1), Range (l2, h2) ->
+      let products =
+        [ bound_mul l1 l2; bound_mul l1 h2; bound_mul h1 l2; bound_mul h1 h2 ]
+      in
+      Range
+        ( List.fold_left bound_min PosInf products,
+          List.fold_left bound_max NegInf products )
+
+(* Integer division, over-approximated conservatively.  We only refine the
+   common cases (strictly positive / strictly negative divisor); anything
+   straddling zero yields top (division by zero halts the concrete program,
+   so over-approximation is sound for reachable values). *)
+let div a b =
+  match (a, b) with
+  | Empty, _ | _, Empty -> Empty
+  | Range (l1, h1), Range (l2, h2) ->
+      let positive = bound_leq (Fin 1) l2
+      and negative = bound_leq h2 (Fin (-1)) in
+      if not (positive || negative) then top
+      else
+        let quot x y =
+          match (x, y) with
+          | Fin a, Fin b when b <> 0 -> Fin (a / b)
+          | Fin _, Fin _ -> assert false (* divisor 0 excluded above *)
+          | Fin 0, (NegInf | PosInf) -> Fin 0
+          | Fin _, (NegInf | PosInf) -> Fin 0
+          | NegInf, b -> if bound_leq (Fin 0) b then NegInf else PosInf
+          | PosInf, b -> if bound_leq (Fin 0) b then PosInf else NegInf
+        in
+        let quotients = [ quot l1 l2; quot l1 h2; quot h1 l2; quot h1 h2 ] in
+        Range
+          ( List.fold_left bound_min PosInf quotients,
+            List.fold_left bound_max NegInf quotients )
+
+let contains v n =
+  match v with
+  | Empty -> false
+  | Range (lo, hi) -> bound_leq lo (Fin n) && bound_leq (Fin n) hi
+
+let singleton = function
+  | Range (Fin a, Fin b) when a = b -> Some a
+  | Range _ | Empty -> None
+
+let cmp_eq a b =
+  match (a, b) with
+  | Empty, _ | _, Empty -> None
+  | _ -> (
+      match (singleton a, singleton b) with
+      | Some x, Some y -> Some (x = y)
+      | _ -> if is_bottom (meet a b) then Some false else None)
+
+let cmp_lt a b =
+  match (a, b) with
+  | Empty, _ | _, Empty -> None
+  | Range (l1, h1), Range (l2, h2) ->
+      if bound_leq h1 l2 && h1 <> l2 then Some true
+      else if
+        (* h1 < l2 fails; decide "always >=": l1 >= h2 *)
+        bound_leq h2 l1
+      then Some false
+      else if h1 = l2 then
+        (* touching: a < b unless both equal that bound everywhere *)
+        match (singleton a, singleton b) with
+        | Some x, Some y -> Some (x < y)
+        | _ -> None
+      else None
+
+let cmp_le a b =
+  match cmp_lt b a with Some r -> Some (not r) | None -> None
+
+(* Branch refinements. *)
+let assume_le a b =
+  match (a, b) with
+  | Empty, _ | _, Empty -> Empty
+  | Range (l1, h1), Range (_, h2) -> of_bounds l1 (bound_min h1 h2)
+
+let assume_ge a b =
+  match (a, b) with
+  | Empty, _ | _, Empty -> Empty
+  | Range (l1, h1), Range (l2, _) -> of_bounds (bound_max l1 l2) h1
+
+let pred_bound = function Fin n -> Fin (n - 1) | b -> b
+let succ_bound = function Fin n -> Fin (n + 1) | b -> b
+
+let assume_lt a b =
+  match b with
+  | Empty -> Empty
+  | Range (_, h2) -> assume_le a (Range (NegInf, pred_bound h2))
+
+let assume_gt a b =
+  match b with
+  | Empty -> Empty
+  | Range (l2, _) -> assume_ge a (Range (succ_bound l2, PosInf))
+
+let assume_eq a b = meet a b
+
+let assume_ne a b =
+  (* Only precise when b is a singleton at one of a's finite bounds. *)
+  match (a, singleton b) with
+  | Empty, _ | _, None -> a
+  | Range (Fin lo, hi), Some n when lo = n -> of_bounds (Fin (lo + 1)) hi
+  | Range (lo, Fin hi), Some n when hi = n -> of_bounds lo (Fin (hi - 1))
+  | Range _, Some _ -> a
+
+let pp ppf = function
+  | Empty -> Format.pp_print_string ppf "⊥"
+  | Range (lo, hi) -> Format.fprintf ppf "[%a,%a]" pp_bound lo pp_bound hi

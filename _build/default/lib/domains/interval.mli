@@ -1,0 +1,76 @@
+(** The interval domain over extended integers, with the classic widening
+    (unstable bounds jump to infinity) and a narrowing.  This is the
+    default numeric domain of the abstract machine; it satisfies
+    {!Lattice.NUMERIC}. *)
+
+type bound = NegInf | Fin of int | PosInf
+
+val pp_bound : Format.formatter -> bound -> unit
+
+type t = Empty | Range of bound * bound
+    (** [Empty] is bottom; [Range (lo, hi)] requires [lo <= hi] — use
+        {!of_bounds} to normalize. *)
+
+val bottom : t
+val top : t
+val is_bottom : t -> bool
+val is_top : t -> bool
+
+val of_int : int -> t
+(** The singleton interval. *)
+
+val of_bounds : bound -> bound -> t
+(** [of_bounds lo hi] is [Empty] when [lo > hi]. *)
+
+val range : int -> int -> t
+(** Finite interval. *)
+
+val at_least : int -> t
+val at_most : int -> t
+
+val equal : t -> t -> bool
+val leq : t -> t -> bool
+val join : t -> t -> t
+val meet : t -> t -> t
+
+val widen : t -> t -> t
+(** [widen old next] keeps stable bounds and discards unstable ones to
+    the corresponding infinity; guarantees stabilization of increasing
+    chains. *)
+
+val narrow : t -> t -> t
+(** Refine a widened fixpoint downwards: infinite bounds of the first
+    argument are replaced by the second's. *)
+
+(** Abstract arithmetic (over-approximating the concrete operations). *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val mul : t -> t -> t
+
+val div : t -> t -> t
+(** Sound for reachable concrete values: division by zero halts the
+    concrete program, so divisors straddling zero yield [top]. *)
+
+val contains : t -> int -> bool
+val singleton : t -> int option
+
+(** Three-valued comparison: [Some r] only when the comparison is [r] for
+    every pair of concretizations. *)
+
+val cmp_eq : t -> t -> bool option
+val cmp_lt : t -> t -> bool option
+val cmp_le : t -> t -> bool option
+
+(** Branch refinements: [assume_rel a b] keeps the part of [a] compatible
+    with [rel] holding against {e some} concretization of [b]. *)
+
+val assume_eq : t -> t -> t
+val assume_ne : t -> t -> t
+val assume_lt : t -> t -> t
+val assume_le : t -> t -> t
+val assume_gt : t -> t -> t
+val assume_ge : t -> t -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,84 @@
+(* Core signatures for the abstract-interpretation substrate (paper section 3).
+
+   A lattice here is a join-semilattice with bottom; [LATTICE_TOP] adds a top
+   element and meet; [WIDENING] adds a widening operator for domains of
+   infinite height (e.g. intervals).  All domains carry a pretty-printer so
+   analysis results are directly reportable. *)
+
+module type ORDERED = sig
+  type t
+
+  val compare : t -> t -> int
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end
+
+module type LATTICE = sig
+  type t
+
+  val bottom : t
+  val is_bottom : t -> bool
+  val leq : t -> t -> bool
+  val join : t -> t -> t
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end
+
+module type LATTICE_TOP = sig
+  include LATTICE
+
+  val top : t
+  val is_top : t -> bool
+  val meet : t -> t -> t
+end
+
+module type WIDENING = sig
+  include LATTICE
+
+  (* [widen old new_] must over-approximate [join old new_] and guarantee
+     stabilization of any increasing chain. *)
+  val widen : t -> t -> t
+end
+
+module type NUMERIC = sig
+  (* Abstract numeric domain: the interface the abstract evaluator needs.
+     [of_int] abstracts a literal; arithmetic over-approximates the concrete
+     operation; [test_*] refine an abstract value under a branch guard and
+     return [bottom] when the guard is infeasible. *)
+  include WIDENING
+
+  val top : t
+  val is_top : t -> bool
+  val meet : t -> t -> t
+  val of_int : int -> t
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val mul : t -> t -> t
+  val div : t -> t -> t
+  val neg : t -> t
+
+  (* Three-valued comparison results: [Some true]/[Some false] when the
+     comparison is decided for all concretizations, [None] otherwise. *)
+  val cmp_eq : t -> t -> bool option
+  val cmp_lt : t -> t -> bool option
+  val cmp_le : t -> t -> bool option
+
+  (* Refinements used by branch pruning: restrict the left value assuming
+     the relation with the right value holds. *)
+  val assume_eq : t -> t -> t
+  val assume_ne : t -> t -> t
+  val assume_lt : t -> t -> t
+  val assume_le : t -> t -> t
+  val assume_gt : t -> t -> t
+  val assume_ge : t -> t -> t
+
+  (* [contains v n] holds iff integer [n] is in the concretization of [v]. *)
+  val contains : t -> int -> bool
+end
+
+(* Lift an equality-based semilattice check: default [is_bottom]. *)
+let is_bottom_default ~equal ~bottom x = equal x bottom
+
+(* Iterated join of a list of elements. *)
+let join_list (type a) (module L : LATTICE with type t = a) (xs : a list) : a =
+  List.fold_left L.join L.bottom xs

@@ -1,0 +1,54 @@
+(* Pointwise map lattice: keys -> L, with absent keys meaning bottom.
+   This is the shape of abstract stores and environments.  [join] and
+   [widen] are pointwise; [leq] checks pointwise inclusion. *)
+
+module Make (K : Lattice.ORDERED) (L : Lattice.LATTICE) = struct
+  module M = Map.Make (struct
+    type t = K.t
+
+    let compare = K.compare
+  end)
+
+  type t = L.t M.t
+
+  let bottom = M.empty
+  let is_bottom = M.is_empty
+
+  (* Keep the map normalized: never store bottom images. *)
+  let set k v m = if L.is_bottom v then M.remove k m else M.add k v m
+  let find k m = match M.find_opt k m with Some v -> v | None -> L.bottom
+  let mem = M.mem
+  let remove = M.remove
+  let bindings = M.bindings
+  let fold = M.fold
+  let iter = M.iter
+  let cardinal = M.cardinal
+  let keys m = List.map fst (M.bindings m)
+
+  let update k f m = set k (f (find k m)) m
+
+  let leq a b = M.for_all (fun k v -> L.leq v (find k b)) a
+
+  let merge_with combine a b =
+    M.merge
+      (fun _ va vb ->
+        let v =
+          combine
+            (Option.value va ~default:L.bottom)
+            (Option.value vb ~default:L.bottom)
+        in
+        if L.is_bottom v then None else Some v)
+      a b
+
+  let join = merge_with L.join
+  let equal a b = M.equal L.equal a b
+
+  let widen_with widen_elt a b = merge_with widen_elt a b
+
+  let pp ppf m =
+    Format.fprintf ppf "@[<v>%a@]"
+      (Format.pp_print_list
+         ~pp_sep:Format.pp_print_cut
+         (fun ppf (k, v) -> Format.fprintf ppf "%a ↦ %a" K.pp k L.pp v))
+      (M.bindings m)
+end

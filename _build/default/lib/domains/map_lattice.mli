@@ -1,0 +1,34 @@
+(** Pointwise map lattice: keys to lattice values, absent keys meaning
+    bottom — the shape of abstract stores and environments.  The map is
+    kept normalized (bottom images are never stored). *)
+
+module Make (K : Lattice.ORDERED) (L : Lattice.LATTICE) : sig
+  type t
+
+  val bottom : t
+  val is_bottom : t -> bool
+
+  val set : K.t -> L.t -> t -> t
+  (** Binding to bottom removes the key. *)
+
+  val find : K.t -> t -> L.t
+  (** Absent keys are bottom. *)
+
+  val mem : K.t -> t -> bool
+  val remove : K.t -> t -> t
+  val bindings : t -> (K.t * L.t) list
+  val fold : (K.t -> L.t -> 'a -> 'a) -> t -> 'a -> 'a
+  val iter : (K.t -> L.t -> unit) -> t -> unit
+  val cardinal : t -> int
+  val keys : t -> K.t list
+  val update : K.t -> (L.t -> L.t) -> t -> t
+  val leq : t -> t -> bool
+  val merge_with : (L.t -> L.t -> L.t) -> t -> t -> t
+  val join : t -> t -> t
+  val equal : t -> t -> bool
+
+  val widen_with : (L.t -> L.t -> L.t) -> t -> t -> t
+  (** Pointwise widening with the element widening. *)
+
+  val pp : Format.formatter -> t -> unit
+end

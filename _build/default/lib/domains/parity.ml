@@ -1,0 +1,79 @@
+(* The parity domain {⊥, Even, Odd, ⊤}: a second finite-height NUMERIC
+   instance, handy for cross-domain tests of the abstract interpreter. *)
+
+type t = Bot | Even | Odd | Top
+
+let bottom = Bot
+let top = Top
+let is_bottom = function Bot -> true | Even | Odd | Top -> false
+let is_top = function Top -> true | Even | Odd | Bot -> false
+let of_int n = if n mod 2 = 0 then Even else Odd
+let equal (a : t) (b : t) = a = b
+
+let leq a b =
+  match (a, b) with
+  | Bot, _ | _, Top -> true
+  | Even, Even | Odd, Odd -> true
+  | (Even | Odd | Top), _ -> false
+
+let join a b =
+  match (a, b) with
+  | Bot, x | x, Bot -> x
+  | Top, _ | _, Top -> Top
+  | Even, Even -> Even
+  | Odd, Odd -> Odd
+  | Even, Odd | Odd, Even -> Top
+
+let meet a b =
+  match (a, b) with
+  | Top, x | x, Top -> x
+  | Bot, _ | _, Bot -> Bot
+  | Even, Even -> Even
+  | Odd, Odd -> Odd
+  | Even, Odd | Odd, Even -> Bot
+
+let widen = join
+
+let lift2 f a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | Top, _ | _, Top -> Top
+  | x, y -> f x y
+
+let add =
+  lift2 (fun a b ->
+      match (a, b) with
+      | Even, Even | Odd, Odd -> Even
+      | _ -> Odd)
+
+let sub = add (* same parity table *)
+
+let mul =
+  lift2 (fun a b ->
+      match (a, b) with Odd, Odd -> Odd | _ -> Even)
+
+(* Integer division does not preserve parity. *)
+let div a b =
+  match (a, b) with Bot, _ | _, Bot -> Bot | _ -> Top
+
+let neg v = v
+let contains v n = leq (of_int n) v
+
+let cmp_eq a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> None
+  | Even, Odd | Odd, Even -> Some false
+  | _ -> None
+
+let cmp_lt _ _ = None
+let cmp_le _ _ = None
+let assume_eq = meet
+let assume_ne a _ = a (* parity cannot exclude a single integer *)
+let assume_lt a _ = a
+let assume_le a _ = a
+let assume_gt a _ = a
+let assume_ge a _ = a
+
+let pp ppf v =
+  Format.pp_print_string ppf
+    (match v with Bot -> "⊥" | Even -> "even" | Odd -> "odd" | Top -> "⊤")

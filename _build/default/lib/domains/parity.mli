@@ -1,0 +1,37 @@
+(** The parity domain [{⊥, Even, Odd, ⊤}]: a second finite-height
+    {!Lattice.NUMERIC} instance, also the right factor of the reduced
+    product {!Int_parity}. *)
+
+type t = Bot | Even | Odd | Top
+
+val bottom : t
+val top : t
+val is_bottom : t -> bool
+val is_top : t -> bool
+val of_int : int -> t
+val equal : t -> t -> bool
+val leq : t -> t -> bool
+val join : t -> t -> t
+val meet : t -> t -> t
+val widen : t -> t -> t
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+val div : t -> t -> t
+(** Integer division does not preserve parity: non-bottom operands give
+    top. *)
+
+val neg : t -> t
+val contains : t -> int -> bool
+val cmp_eq : t -> t -> bool option
+val cmp_lt : t -> t -> bool option
+val cmp_le : t -> t -> bool option
+val assume_eq : t -> t -> t
+val assume_ne : t -> t -> t
+val assume_lt : t -> t -> t
+val assume_le : t -> t -> t
+val assume_gt : t -> t -> t
+val assume_ge : t -> t -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,45 @@
+(* Finite powerset lattice over an ordered carrier, ordered by inclusion.
+   Used for points-to sets, function sets, access sets, and dependence
+   pairs throughout the analyzer. *)
+
+module Make (X : Lattice.ORDERED) = struct
+  module S = Set.Make (struct
+    type t = X.t
+
+    let compare = X.compare
+  end)
+
+  type t = S.t
+
+  let bottom = S.empty
+  let is_bottom = S.is_empty
+  let singleton = S.singleton
+  let of_list = S.of_list
+  let elements = S.elements
+  let mem = S.mem
+  let add = S.add
+  let cardinal = S.cardinal
+  let fold = S.fold
+  let iter = S.iter
+  let exists = S.exists
+  let for_all = S.for_all
+  let filter = S.filter
+  let union = S.union
+  let inter = S.inter
+  let diff = S.diff
+  let subset = S.subset
+  let equal = S.equal
+  let leq = S.subset
+  let join = S.union
+  let meet = S.inter
+  let widen = S.union (* finite carriers in practice; join suffices *)
+
+  let map f s = S.fold (fun x acc -> S.add (f x) acc) s S.empty
+
+  let pp ppf s =
+    Format.fprintf ppf "{@[%a@]}"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+         X.pp)
+      (S.elements s)
+end

@@ -1,0 +1,34 @@
+(** Finite powerset lattice over an ordered carrier, ordered by
+    inclusion — points-to sets, function-value sets, access sets. *)
+
+module Make (X : Lattice.ORDERED) : sig
+  type t
+
+  val bottom : t
+  val is_bottom : t -> bool
+  val singleton : X.t -> t
+  val of_list : X.t list -> t
+  val elements : t -> X.t list
+  val mem : X.t -> t -> bool
+  val add : X.t -> t -> t
+  val cardinal : t -> int
+  val fold : (X.t -> 'a -> 'a) -> t -> 'a -> 'a
+  val iter : (X.t -> unit) -> t -> unit
+  val exists : (X.t -> bool) -> t -> bool
+  val for_all : (X.t -> bool) -> t -> bool
+  val filter : (X.t -> bool) -> t -> t
+  val union : t -> t -> t
+  val inter : t -> t -> t
+  val diff : t -> t -> t
+  val subset : t -> t -> bool
+  val equal : t -> t -> bool
+  val leq : t -> t -> bool
+  val join : t -> t -> t
+  val meet : t -> t -> t
+
+  val widen : t -> t -> t
+  (** Carriers are finite in practice: join. *)
+
+  val map : (X.t -> X.t) -> t -> t
+  val pp : Format.formatter -> t -> unit
+end

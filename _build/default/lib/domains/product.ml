@@ -1,0 +1,21 @@
+(* Product lattices (componentwise order).  The abstract value of the
+   analyzer is a quadruple; building it from binary products keeps the
+   lattice laws compositional and testable. *)
+
+module Pair (A : Lattice.LATTICE) (B : Lattice.LATTICE) = struct
+  type t = A.t * B.t
+
+  let bottom = (A.bottom, B.bottom)
+  let is_bottom (a, b) = A.is_bottom a && B.is_bottom b
+  let leq (a1, b1) (a2, b2) = A.leq a1 a2 && B.leq b1 b2
+  let join (a1, b1) (a2, b2) = (A.join a1 a2, B.join b1 b2)
+  let equal (a1, b1) (a2, b2) = A.equal a1 a2 && B.equal b1 b2
+
+  let pp ppf (a, b) = Format.fprintf ppf "(%a, %a)" A.pp a B.pp b
+end
+
+module PairW (A : Lattice.WIDENING) (B : Lattice.WIDENING) = struct
+  include Pair (A) (B)
+
+  let widen (a1, b1) (a2, b2) = (A.widen a1 a2, B.widen b1 b2)
+end

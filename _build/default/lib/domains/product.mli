@@ -1,0 +1,25 @@
+(** Product lattices with the componentwise order. *)
+
+module Pair (A : Lattice.LATTICE) (B : Lattice.LATTICE) : sig
+  type t = A.t * B.t
+
+  val bottom : t
+  val is_bottom : t -> bool
+  val leq : t -> t -> bool
+  val join : t -> t -> t
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end
+
+(** As {!Pair}, with componentwise widening. *)
+module PairW (A : Lattice.WIDENING) (B : Lattice.WIDENING) : sig
+  type t = A.t * B.t
+
+  val bottom : t
+  val is_bottom : t -> bool
+  val leq : t -> t -> bool
+  val join : t -> t -> t
+  val equal : t -> t -> bool
+  val widen : t -> t -> t
+  val pp : Format.formatter -> t -> unit
+end

@@ -1,0 +1,122 @@
+(* The sign domain: the powerset of {-, 0, +} ordered by inclusion.
+   Encoded as a record of three flags; bottom = no flag, top = all flags. *)
+
+type t = { neg : bool; zero : bool; pos : bool }
+
+let bottom = { neg = false; zero = false; pos = false }
+let top = { neg = true; zero = true; pos = true }
+let is_bottom v = v = bottom
+let is_top v = v = top
+let of_int n = { neg = n < 0; zero = n = 0; pos = n > 0 }
+let equal (a : t) (b : t) = a = b
+
+let leq a b =
+  ((not a.neg) || b.neg) && ((not a.zero) || b.zero) && ((not a.pos) || b.pos)
+
+let join a b =
+  { neg = a.neg || b.neg; zero = a.zero || b.zero; pos = a.pos || b.pos }
+
+let meet a b =
+  { neg = a.neg && b.neg; zero = a.zero && b.zero; pos = a.pos && b.pos }
+
+let widen = join
+
+(* Abstract transfer: join of per-sign-pair results. *)
+let lift2 table a b =
+  let signs_of v =
+    (if v.neg then [ -1 ] else []) @ (if v.zero then [ 0 ] else [])
+    @ if v.pos then [ 1 ] else []
+  in
+  List.fold_left
+    (fun acc sa ->
+      List.fold_left (fun acc sb -> join acc (table sa sb)) acc (signs_of b))
+    bottom (signs_of a)
+
+let add =
+  lift2 (fun a b ->
+      match (a, b) with
+      | 0, 0 -> of_int 0
+      | (1, 0 | 0, 1 | 1, 1) -> of_int 1
+      | (-1, 0 | 0, -1 | -1, -1) -> of_int (-1)
+      | _ -> top)
+
+let neg v = { neg = v.pos; zero = v.zero; pos = v.neg }
+let sub a b = add a (neg b)
+
+let mul =
+  lift2 (fun a b ->
+      match a * b with 0 -> of_int 0 | p when p > 0 -> of_int 1 | _ -> of_int (-1))
+
+let div =
+  lift2 (fun a b ->
+      if b = 0 then bottom (* concrete division by zero halts *)
+      else if a = 0 then of_int 0
+      else if a * b > 0 then join (of_int 0) (of_int 1)
+      else join (of_int 0) (of_int (-1)))
+
+let contains v n = leq (of_int n) v
+
+(* Decision procedures: answer [Some _] only when the comparison holds (or
+   fails) for every pair of concretizations.  Within one sign class the
+   domain cannot separate values, so decisions only arise across classes. *)
+let cmp_eq a b =
+  if is_bottom a || is_bottom b then None
+  else if is_bottom (meet a b) then Some false
+  else if equal a (of_int 0) && equal b (of_int 0) then Some true
+  else None
+
+let subset_neg v = not (v.zero || v.pos) (* v ⊆ {-} *)
+let subset_nonpos v = not v.pos (* v ⊆ {-,0} *)
+let subset_pos v = not (v.neg || v.zero) (* v ⊆ {+} *)
+let subset_nonneg v = not v.neg (* v ⊆ {0,+} *)
+
+let cmp_lt a b =
+  if is_bottom a || is_bottom b then None
+  else if (subset_neg a && subset_nonneg b) || (subset_nonpos a && subset_pos b)
+  then Some true
+  else if subset_nonneg a && subset_nonpos b then Some false
+  else None
+
+let cmp_le a b =
+  if is_bottom a || is_bottom b then None
+  else if subset_nonpos a && subset_nonneg b then Some true
+  else if (subset_pos a && subset_nonpos b) || (subset_nonneg a && subset_neg b)
+  then Some false
+  else None
+
+(* Refinements: keep the signs of [a] compatible with the relation holding
+   for at least one concretization of [b]. *)
+let assume_eq = meet
+let assume_ne a b = if equal b (of_int 0) then { a with zero = false } else a
+
+let assume_lt a b =
+  if is_bottom b then bottom
+  else if b.pos then a (* some y can be arbitrarily large *)
+  else if b.zero then meet a { neg = true; zero = false; pos = false }
+  else (* b ⊆ {-} *) meet a { neg = true; zero = false; pos = false }
+
+let assume_le a b =
+  if is_bottom b then bottom
+  else if b.pos then a
+  else if b.zero then meet a { neg = true; zero = true; pos = false }
+  else meet a { neg = true; zero = false; pos = false }
+
+let assume_gt a b =
+  if is_bottom b then bottom
+  else if b.neg then a (* some y can be arbitrarily small *)
+  else meet a { neg = false; zero = false; pos = true }
+
+let assume_ge a b =
+  if is_bottom b then bottom
+  else if b.neg then a
+  else if b.zero then meet a { neg = false; zero = true; pos = true }
+  else meet a { neg = false; zero = false; pos = true }
+
+let pp ppf v =
+  if is_bottom v then Format.pp_print_string ppf "⊥"
+  else if is_top v then Format.pp_print_string ppf "⊤"
+  else
+    Format.fprintf ppf "{%s%s%s}"
+      (if v.neg then "-" else "")
+      (if v.zero then "0" else "")
+      (if v.pos then "+" else "")

@@ -1,0 +1,42 @@
+(** The sign domain: the powerset of [{-, 0, +}] ordered by inclusion.
+    Satisfies {!Lattice.NUMERIC}. *)
+
+type t = { neg : bool; zero : bool; pos : bool }
+
+val bottom : t
+val top : t
+val is_bottom : t -> bool
+val is_top : t -> bool
+val of_int : int -> t
+val equal : t -> t -> bool
+val leq : t -> t -> bool
+val join : t -> t -> t
+val meet : t -> t -> t
+val widen : t -> t -> t
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val mul : t -> t -> t
+
+val div : t -> t -> t
+(** Division by zero halts the concrete program: the zero divisor
+    contributes bottom. *)
+
+val contains : t -> int -> bool
+
+(** Decisions only arise across sign classes (the domain cannot separate
+    two values of the same sign). *)
+
+val cmp_eq : t -> t -> bool option
+val cmp_lt : t -> t -> bool option
+val cmp_le : t -> t -> bool option
+
+val assume_eq : t -> t -> t
+val assume_ne : t -> t -> t
+val assume_lt : t -> t -> t
+val assume_le : t -> t -> t
+val assume_gt : t -> t -> t
+val assume_ge : t -> t -> t
+
+val pp : Format.formatter -> t -> unit

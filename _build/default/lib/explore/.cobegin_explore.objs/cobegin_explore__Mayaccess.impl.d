@@ -1,0 +1,1 @@
+lib/explore/mayaccess.ml: Access Ast Cobegin_lang Cobegin_semantics Env Format List Proc Step Store Value

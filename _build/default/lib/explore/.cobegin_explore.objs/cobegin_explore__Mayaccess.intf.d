@@ -1,0 +1,1 @@
+lib/explore/mayaccess.mli: Cobegin_lang Cobegin_semantics Format Proc Step Store Value

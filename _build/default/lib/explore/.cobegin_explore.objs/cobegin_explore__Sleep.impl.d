@@ -1,0 +1,1 @@
+lib/explore/sleep.ml: Cobegin_semantics Config List Mayaccess Option Proc Queue Set Space Step Stubborn Value

@@ -1,0 +1,1 @@
+lib/explore/sleep.mli: Cobegin_semantics Space Step

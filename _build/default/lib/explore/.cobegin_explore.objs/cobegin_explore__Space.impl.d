@@ -1,0 +1,1 @@
+lib/explore/space.ml: Cobegin_semantics Config Format Hashtbl List Queue Step Store

@@ -1,0 +1,1 @@
+lib/explore/space.mli: Cobegin_semantics Config Format Proc Step Value

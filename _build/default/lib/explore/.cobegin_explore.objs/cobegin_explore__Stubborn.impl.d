@@ -1,0 +1,1 @@
+lib/explore/stubborn.ml: Array Cobegin_semantics Config Hashtbl Int List Mayaccess Option Proc Queue Space Step Value

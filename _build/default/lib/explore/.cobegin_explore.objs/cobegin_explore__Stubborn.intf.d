@@ -1,0 +1,1 @@
+lib/explore/stubborn.mli: Cobegin_semantics Config Mayaccess Proc Space Step

@@ -1,0 +1,1 @@
+lib/explore/trace.ml: Cobegin_semantics Config Format List Proc Queue Space Step Value

@@ -1,0 +1,1 @@
+lib/explore/trace.mli: Cobegin_semantics Config Format Step Store Value

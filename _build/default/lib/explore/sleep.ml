@@ -1,0 +1,149 @@
+(* Sleep-set reduction (Godefroid), the classic complement to
+   persistent/stubborn sets from the same partial-order-reduction line
+   the paper builds on (section 2.2 / related work).
+
+   Where stubborn sets cut the *branching* at a configuration, sleep sets
+   cut *revisits through commuting permutations*: after exploring the
+   transition of process p at configuration c, the sibling exploration of
+   q's transition carries p in its sleep set as long as p's action
+   commutes with everything executed since — firing a sleeping process
+   would only rediscover a permutation of an explored interleaving.
+
+   We implement the standard combination: at each configuration take the
+   persistent set from [Stubborn.choose_expansion], then prune it with
+   the inherited sleep set; the successor's sleep set keeps the earlier
+   siblings whose footprints are independent of the fired action.
+
+   Sleep sets preserve deadlocks and final configurations like persistent
+   sets do; together they typically reduce *transitions* well below the
+   stubborn-only count (the harness's E3/E7 tables report both). *)
+
+open Cobegin_semantics
+module LS = Value.LocSet
+
+(* Independence of two concrete footprints: no location conflicts. *)
+let independent (f1 : Step.footprint) (f2 : Step.footprint) =
+  LS.is_empty (LS.inter f1.Step.fwrites (LS.union f2.Step.freads f2.Step.fwrites))
+  && LS.is_empty (LS.inter f2.Step.fwrites f1.Step.freads)
+
+type stats = {
+  mutable pruned_by_sleep : int; (* transitions skipped thanks to sleep *)
+  mutable explored_transitions : int;
+}
+
+let new_stats () = { pruned_by_sleep = 0; explored_transitions = 0 }
+
+(* Exploration with persistent sets + sleep sets.  The visited table maps
+   a configuration to the sleep set (pids) it was first reached with; a
+   revisit with a *smaller* sleep set must be re-expanded (standard sleep
+   set algorithm), which we approximate by re-expanding when the recorded
+   set is not a subset of the new one. *)
+let explore ?(max_configs = 1_000_000) ?stats ctx : Space.result =
+  let mctx = Mayaccess.make_ctx ctx.Step.prog in
+  let module PidSet = Set.Make (struct
+    type t = Value.pid
+
+    let compare = Value.compare_pid
+  end) in
+  let visited : PidSet.t Space.ConfigTbl.t = Space.ConfigTbl.create 1024 in
+  let queue = Queue.create () in
+  let finals = ref [] and deadlocks = ref [] and errors = ref [] in
+  let transitions = ref 0 and max_frontier = ref 0 in
+  let accesses = ref [] and allocs = ref [] in
+  let c0 = Step.init ctx in
+  Space.ConfigTbl.add visited c0 PidSet.empty;
+  Queue.add (c0, PidSet.empty) queue;
+  while not (Queue.is_empty queue) do
+    max_frontier := max !max_frontier (Queue.length queue);
+    let c, sleep = Queue.pop queue in
+    if Config.is_error c then errors := c :: !errors
+    else if Config.all_terminated c then finals := c :: !finals
+    else begin
+      match Step.enabled_processes ctx c with
+      | [] -> deadlocks := c :: !deadlocks
+      | _ ->
+          let chosen = Stubborn.choose_expansion mctx ctx c in
+          let awake =
+            List.filter
+              (fun p -> not (PidSet.mem p.Proc.pid sleep))
+              chosen
+          in
+          Option.iter
+            (fun s ->
+              s.pruned_by_sleep <-
+                s.pruned_by_sleep + (List.length chosen - List.length awake))
+            stats;
+          (* if everything chosen is asleep the state is fully covered by
+             earlier permutations: nothing to do *)
+          let footprints =
+            List.map (fun p -> (p.Proc.pid, Step.action_footprint ctx c p)) awake
+          in
+          let rec expand earlier = function
+            | [] -> ()
+            | p :: rest ->
+                incr transitions;
+                Option.iter
+                  (fun s ->
+                    s.explored_transitions <- s.explored_transitions + 1)
+                  stats;
+                let c', evs = Step.fire ctx c p in
+                accesses := evs.Step.accesses :: !accesses;
+                allocs := evs.Step.allocs :: !allocs;
+                let fp_p = List.assoc p.Proc.pid footprints in
+                (* successor sleeps: inherited sleepers still independent
+                   of p's action, plus earlier awake siblings independent
+                   of p's action *)
+                let keep_sleeping pid =
+                  match Config.find_proc pid c with
+                  | None -> false
+                  | Some q ->
+                      independent fp_p (Step.action_footprint ctx c q)
+                in
+                let sleep' =
+                  PidSet.union
+                    (PidSet.filter keep_sleeping sleep)
+                    (PidSet.of_list
+                       (List.filter_map
+                          (fun q ->
+                            let fq = List.assoc q.Proc.pid footprints in
+                            if independent fp_p fq then Some q.Proc.pid
+                            else None)
+                          earlier))
+                in
+                (match Space.ConfigTbl.find_opt visited c' with
+                | None ->
+                    if Space.ConfigTbl.length visited >= max_configs then
+                      raise (Space.Budget_exceeded max_configs);
+                    Space.ConfigTbl.add visited c' sleep';
+                    Queue.add (c', sleep') queue
+                | Some recorded ->
+                    (* revisit with strictly fewer sleepers: re-expand *)
+                    if not (PidSet.subset recorded sleep') then begin
+                      let merged = PidSet.inter recorded sleep' in
+                      Space.ConfigTbl.add visited c' merged;
+                      Queue.add (c', merged) queue
+                    end);
+                expand (p :: earlier) rest
+          in
+          expand [] awake
+    end
+  done;
+  {
+    Space.stats =
+      {
+        Space.configurations = Space.ConfigTbl.length visited;
+        transitions = !transitions;
+        max_frontier = !max_frontier;
+        finals = List.length !finals;
+        deadlocks = List.length !deadlocks;
+        errors = List.length !errors;
+      };
+    final_configs = !finals;
+    deadlock_configs = !deadlocks;
+    error_configs = !errors;
+    log =
+      {
+        Step.accesses = List.concat (List.rev !accesses);
+        Step.allocs = List.concat (List.rev !allocs);
+      };
+  }

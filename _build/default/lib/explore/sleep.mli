@@ -1,0 +1,24 @@
+(** Sleep-set reduction (Godefroid), combined with the persistent sets of
+    {!Stubborn}: after exploring process p's transition at a
+    configuration, the sibling branches carry p in their sleep sets while
+    p's action stays independent of everything fired since — firing a
+    sleeping process would only rediscover a commuted permutation.
+
+    Preserves final configurations and deadlocks like persistent sets;
+    typically cuts {e transitions} well below the stubborn-only count. *)
+
+open Cobegin_semantics
+
+type stats = {
+  mutable pruned_by_sleep : int;
+      (** transitions skipped because the process slept *)
+  mutable explored_transitions : int;
+}
+
+val new_stats : unit -> stats
+
+val independent : Step.footprint -> Step.footprint -> bool
+(** No read/write conflict between the two concrete footprints. *)
+
+val explore : ?max_configs:int -> ?stats:stats -> Step.ctx -> Space.result
+(** Persistent-set + sleep-set exploration. *)

@@ -1,0 +1,115 @@
+(* The state-space generation engine (paper section 2).
+
+   Breadth-first generation of the configuration graph under a pluggable
+   *expansion strategy*: the full strategy fires every enabled process at
+   every configuration; the stubborn strategy (Stubborn) fires only a
+   persistent subset.  The engine accumulates:
+
+     - counts (configurations, transitions, frontier width),
+     - terminal configurations: final (all processes done), deadlocks,
+       error configurations,
+     - the merged instrumentation log (accesses + allocations), which is
+       the input of the section-5 analyses.  *)
+
+open Cobegin_semantics
+
+type stats = {
+  configurations : int;
+  transitions : int;
+  max_frontier : int;
+  finals : int;
+  deadlocks : int;
+  errors : int;
+}
+
+type result = {
+  stats : stats;
+  final_configs : Config.t list;
+  deadlock_configs : Config.t list;
+  error_configs : Config.t list;
+  log : Step.events;
+}
+
+exception Budget_exceeded of int
+
+(* Visited sets are keyed by the canonical representation, computed once
+   per configuration — [Config.repr] is pure data, so polymorphic hashing
+   and equality apply. *)
+module ConfigTbl = struct
+  type 'a t = (Config.repr, 'a) Hashtbl.t
+
+  let create n : 'a t = Hashtbl.create n
+  let mem tbl c = Hashtbl.mem tbl (Config.repr c)
+  let add tbl c v = Hashtbl.replace tbl (Config.repr c) v
+  let length = Hashtbl.length
+  let find_opt tbl c = Hashtbl.find_opt tbl (Config.repr c)
+end
+
+(* [expand c] returns the processes to fire at [c]; it must return a
+   subset of the enabled processes, and must be non-empty whenever some
+   process is enabled. *)
+let explore ?(max_configs = 1_000_000) ctx ~expand : result =
+  let visited = ConfigTbl.create 1024 in
+  let queue = Queue.create () in
+  let finals = ref [] and deadlocks = ref [] and errors = ref [] in
+  let transitions = ref 0 and max_frontier = ref 0 in
+  let accesses = ref [] and allocs = ref [] in
+  let c0 = Step.init ctx in
+  ConfigTbl.add visited c0 ();
+  Queue.add c0 queue;
+  while not (Queue.is_empty queue) do
+    max_frontier := max !max_frontier (Queue.length queue);
+    let c = Queue.pop queue in
+    if Config.is_error c then errors := c :: !errors
+    else if Config.all_terminated c then finals := c :: !finals
+    else
+      match Step.enabled_processes ctx c with
+      | [] -> deadlocks := c :: !deadlocks
+      | _ ->
+          List.iter
+            (fun p ->
+              incr transitions;
+              let c', evs = Step.fire ctx c p in
+              accesses := evs.Step.accesses :: !accesses;
+              allocs := evs.Step.allocs :: !allocs;
+              if not (ConfigTbl.mem visited c') then begin
+                if ConfigTbl.length visited >= max_configs then
+                  raise (Budget_exceeded max_configs);
+                ConfigTbl.add visited c' ();
+                Queue.add c' queue
+              end)
+            (expand c)
+  done;
+  {
+    stats =
+      {
+        configurations = ConfigTbl.length visited;
+        transitions = !transitions;
+        max_frontier = !max_frontier;
+        finals = List.length !finals;
+        deadlocks = List.length !deadlocks;
+        errors = List.length !errors;
+      };
+    final_configs = !finals;
+    deadlock_configs = !deadlocks;
+    error_configs = !errors;
+    log =
+      {
+        Step.accesses = List.concat (List.rev !accesses);
+        Step.allocs = List.concat (List.rev !allocs);
+      };
+  }
+
+(* Ordinary (full interleaving) generation. *)
+let full ?max_configs ctx =
+  explore ?max_configs ctx ~expand:(fun c -> Step.enabled_processes ctx c)
+
+(* Canonical multiset of final stores, for strategy comparisons. *)
+let final_store_reprs (r : result) =
+  List.sort_uniq compare
+    (List.map (fun c -> Store.repr c.Config.store) r.final_configs)
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "configurations=%d transitions=%d finals=%d deadlocks=%d errors=%d"
+    s.configurations s.transitions s.finals s.deadlocks s.errors

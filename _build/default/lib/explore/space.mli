@@ -1,0 +1,62 @@
+(** State-space generation (paper section 2).
+
+    Breadth-first construction of the configuration graph of a program
+    under a pluggable {e expansion strategy}: [full] fires every enabled
+    process at every configuration; {!Stubborn} and {!Sleep} plug reduced
+    strategies into {!explore}.  The engine accumulates configuration and
+    transition counts, the terminal configurations (final, deadlocked,
+    erroneous) and the merged instrumentation log consumed by the
+    analyses of Cobegin_analysis. *)
+
+open Cobegin_semantics
+
+type stats = {
+  configurations : int;  (** distinct configurations visited *)
+  transitions : int;  (** transitions fired *)
+  max_frontier : int;  (** peak size of the BFS queue *)
+  finals : int;  (** configurations with every process terminated *)
+  deadlocks : int;  (** non-final configurations with nothing enabled *)
+  errors : int;  (** error configurations (runtime failures) *)
+}
+
+type result = {
+  stats : stats;
+  final_configs : Config.t list;
+  deadlock_configs : Config.t list;
+  error_configs : Config.t list;
+  log : Step.events;  (** merged instrumentation of every transition *)
+}
+
+exception Budget_exceeded of int
+(** Raised when the visited set reaches [max_configs]. *)
+
+(** Visited sets keyed by the canonical configuration representation
+    (computed once per configuration). *)
+module ConfigTbl : sig
+  type 'a t
+
+  val create : int -> 'a t
+  val mem : 'a t -> Config.t -> bool
+  val add : 'a t -> Config.t -> 'a -> unit
+  val length : 'a t -> int
+  val find_opt : 'a t -> Config.t -> 'a option
+end
+
+val explore :
+  ?max_configs:int ->
+  Step.ctx ->
+  expand:(Config.t -> Proc.t list) ->
+  result
+(** [explore ctx ~expand] generates the graph, firing at each
+    configuration exactly the processes [expand] returns.  [expand] must
+    return a subset of the enabled processes, non-empty whenever any
+    process is enabled.  Default budget: one million configurations. *)
+
+val full : ?max_configs:int -> Step.ctx -> result
+(** Ordinary (full interleaving) generation. *)
+
+val final_store_reprs : result -> (Value.loc * Value.t) list list
+(** Canonical sorted list of the distinct final stores — the
+    "result-configurations" used to compare strategies. *)
+
+val pp_stats : Format.formatter -> stats -> unit

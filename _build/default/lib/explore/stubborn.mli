@@ -1,0 +1,39 @@
+(** Stubborn-set (persistent-set) reduction for programs: the paper's
+    Algorithm 1 generalized.
+
+    At each configuration a graph is built over all live processes: an
+    edge joins i and j when i's next-action footprint conflicts with the
+    may-access of j's whole continuation or vice versa.  Any connected
+    component closed under join-enabling (a waiting parent pulls its live
+    children in) and containing an enabled process is a persistent set;
+    the one firing the fewest enabled processes is expanded.
+
+    Guarantees: all final configurations and deadlocks of the full graph
+    are found.  Error configurations reachable only through ignored
+    interleavings of diverging processes may be folded; use {!Space.full}
+    for exhaustive error search. *)
+
+open Cobegin_semantics
+
+type reduction_stats = {
+  mutable singleton_expansions : int;
+      (** steps where a single process sufficed *)
+  mutable component_expansions : int;
+      (** steps firing a proper subset of the enabled processes *)
+  mutable full_expansions : int;  (** steps that degenerated to full *)
+}
+
+val new_stats : unit -> reduction_stats
+
+val choose_expansion :
+  ?stats:reduction_stats ->
+  Mayaccess.ctx ->
+  Step.ctx ->
+  Config.t ->
+  Proc.t list
+(** The persistent set fired at one configuration: a non-empty subset of
+    the enabled processes whenever any is enabled. *)
+
+val explore :
+  ?max_configs:int -> ?stats:reduction_stats -> Step.ctx -> Space.result
+(** Stubborn-set exploration of a program. *)

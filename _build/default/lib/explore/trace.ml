@@ -1,0 +1,79 @@
+(* Witness traces: breadth-first search for a configuration satisfying a
+   predicate, keeping parent links so the schedule (sequence of pids) that
+   reaches it can be reported.  Used by the race reporter and by tests
+   that need a concrete interleaving exhibiting an outcome. *)
+
+open Cobegin_semantics
+
+type witness = {
+  schedule : Value.pid list; (* pids fired, in order *)
+  target : Config.t;
+  explored : int;
+}
+
+module ConfigTbl = Space.ConfigTbl
+
+let search ?(max_configs = 200_000) ctx ~(pred : Config.t -> bool) :
+    witness option =
+  let visited = ConfigTbl.create 1024 in
+  let queue = Queue.create () in
+  (* parent map: configuration -> (parent, pid fired) *)
+  let parents : (Config.t * Value.pid) ConfigTbl.t = ConfigTbl.create 1024 in
+  let c0 = Step.init ctx in
+  let rebuild c =
+    let rec go c acc =
+      match ConfigTbl.find_opt parents c with
+      | None -> acc
+      | Some (parent, pid) -> go parent (pid :: acc)
+    in
+    go c []
+  in
+  let result = ref None in
+  ConfigTbl.add visited c0 ();
+  Queue.add c0 queue;
+  (try
+     while not (Queue.is_empty queue) do
+       let c = Queue.pop queue in
+       if pred c then begin
+         result :=
+           Some
+             {
+               schedule = rebuild c;
+               target = c;
+               explored = ConfigTbl.length visited;
+             };
+         raise Exit
+       end;
+       if not (Config.is_error c) then
+         List.iter
+           (fun p ->
+             let c', _ = Step.fire ctx c p in
+             if
+               (not (ConfigTbl.mem visited c'))
+               && ConfigTbl.length visited < max_configs
+             then begin
+               ConfigTbl.add visited c' ();
+               ConfigTbl.add parents c' (c, p.Proc.pid);
+               Queue.add c' queue
+             end)
+           (Step.enabled_processes ctx c)
+     done
+   with Exit -> ());
+  !result
+
+(* Convenience: a schedule reaching an error configuration. *)
+let error_witness ?max_configs ctx =
+  search ?max_configs ctx ~pred:Config.is_error
+
+(* A schedule reaching a final configuration whose store satisfies [pred]. *)
+let final_witness ?max_configs ctx ~pred =
+  search ?max_configs ctx ~pred:(fun c ->
+      Config.all_terminated c && pred c.Config.store)
+
+let pp_witness ppf w =
+  Format.fprintf ppf "@[<v>schedule (%d steps, %d configs explored):@ %a@]"
+    (List.length w.schedule) w.explored
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " → ")
+       Value.pp_pid)
+    w.schedule

@@ -1,0 +1,25 @@
+(** Witness traces: BFS for a configuration satisfying a predicate,
+    returning the schedule (sequence of pids) that reaches it.  Replay a
+    witness with {!Cobegin_semantics.Replay}. *)
+
+open Cobegin_semantics
+
+type witness = {
+  schedule : Value.pid list;  (** pids fired, in order, from the start *)
+  target : Config.t;  (** the configuration reached *)
+  explored : int;  (** configurations visited by the search *)
+}
+
+val search :
+  ?max_configs:int -> Step.ctx -> pred:(Config.t -> bool) -> witness option
+(** Shortest schedule (in steps) to a configuration satisfying [pred];
+    [None] if none exists within the budget. *)
+
+val error_witness : ?max_configs:int -> Step.ctx -> witness option
+(** A schedule reaching an error configuration. *)
+
+val final_witness :
+  ?max_configs:int -> Step.ctx -> pred:(Store.t -> bool) -> witness option
+(** A schedule to a final configuration whose store satisfies [pred]. *)
+
+val pp_witness : Format.formatter -> witness -> unit

@@ -1,0 +1,1 @@
+lib/lang/access.ml: Ast Format Hashtbl List Option String

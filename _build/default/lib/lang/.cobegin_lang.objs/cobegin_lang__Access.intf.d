@@ -1,0 +1,1 @@
+lib/lang/access.mli: Ast Format StringSet

@@ -1,0 +1,1 @@
+lib/lang/check.ml: Ast Format Hashtbl List Option

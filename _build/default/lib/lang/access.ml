@@ -1,0 +1,170 @@
+(* Syntactic may-access summaries.
+
+   The stubborn-set engine needs, for every process, an over-approximation
+   of everything the *rest* of that process's code might read or write
+   (paper, Algorithm 1: the next actions' read/write sets are compared
+   against other processes).  Summaries are in terms of:
+
+     - variable *names* (the semantics resolves them against the process
+       environment to locations; names that resolve to nothing denote
+       future, hence fresh, locations and cannot conflict);
+     - a memory token: "may read through a pointer" / "may write through a
+       pointer or free".  Heap cells and address-taken variables are
+       covered by the token.
+
+   Procedure bodies touch only their own (fresh) locals plus memory via
+   pointers, so a procedure's externally visible summary is just its two
+   memory flags, closed transitively over the call graph. *)
+
+open Ast
+module SS = Ast.StringSet
+
+type summary = {
+  rvars : SS.t;
+  wvars : SS.t;
+  mem_read : bool;
+  mem_write : bool;
+}
+
+let empty = { rvars = SS.empty; wvars = SS.empty; mem_read = false; mem_write = false }
+
+let union a b =
+  {
+    rvars = SS.union a.rvars b.rvars;
+    wvars = SS.union a.wvars b.wvars;
+    mem_read = a.mem_read || b.mem_read;
+    mem_write = a.mem_write || b.mem_write;
+  }
+
+let reads_of_expr e =
+  {
+    empty with
+    rvars = SS.of_list (expr_vars e);
+    mem_read = expr_derefs e;
+  }
+
+let writes_of_lvalue = function
+  | Lvar x -> { empty with wvars = SS.singleton x }
+  | Lderef e -> union (reads_of_expr e) { empty with mem_write = true }
+
+(* Externally visible effects of procedures: memory flags only. *)
+type proc_effects = { eff_mem_read : bool; eff_mem_write : bool }
+
+let no_effects = { eff_mem_read = false; eff_mem_write = false }
+
+let union_effects a b =
+  {
+    eff_mem_read = a.eff_mem_read || b.eff_mem_read;
+    eff_mem_write = a.eff_mem_write || b.eff_mem_write;
+  }
+
+(* One pass of a procedure body given current effect estimates of all
+   procedures; [any] is the join of all procedures' effects (for indirect
+   calls). *)
+let rec stmt_effects lookup ~any (s : stmt) : proc_effects =
+  let of_expr e = { eff_mem_read = expr_derefs e; eff_mem_write = false } in
+  let of_lvalue = function
+    | Lvar _ -> no_effects
+    | Lderef e -> union_effects (of_expr e) { no_effects with eff_mem_write = true }
+  in
+  match s.kind with
+  | Sskip | Sreturn None | Sacquire _ | Srelease _ -> no_effects
+  | Sdecl (_, e) | Sawait e | Sassert e | Sreturn (Some e) -> of_expr e
+  | Sfree e -> union_effects (of_expr e) { no_effects with eff_mem_write = true }
+  | Sassign (lv, e) | Smalloc (lv, e) -> union_effects (of_lvalue lv) (of_expr e)
+  | Scall (lv, callee, args) ->
+      let base =
+        List.fold_left
+          (fun acc e -> union_effects acc (of_expr e))
+          (match lv with Some l -> of_lvalue l | None -> no_effects)
+          args
+      in
+      let callee_eff =
+        match callee with
+        | Evar f -> ( match lookup f with Some e -> e | None -> any)
+        | _ -> union_effects (of_expr callee) any
+      in
+      union_effects base callee_eff
+  | Sblock ss | Scobegin ss | Satomic ss ->
+      List.fold_left
+        (fun acc s' -> union_effects acc (stmt_effects lookup ~any s'))
+        no_effects ss
+  | Sif (c, s1, s2) ->
+      union_effects (of_expr c)
+        (union_effects (stmt_effects lookup ~any s1) (stmt_effects lookup ~any s2))
+  | Swhile (c, b) -> union_effects (of_expr c) (stmt_effects lookup ~any b)
+
+(* Fixpoint of procedure memory effects over the call graph. *)
+let proc_effects_of_program (prog : program) : (string -> proc_effects) =
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun p -> Hashtbl.replace tbl p.pname no_effects) prog.procs;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let any =
+      Hashtbl.fold (fun _ e acc -> union_effects e acc) tbl no_effects
+    in
+    List.iter
+      (fun p ->
+        let old_e = Hashtbl.find tbl p.pname in
+        let new_e =
+          union_effects old_e
+            (stmt_effects (Hashtbl.find_opt tbl) ~any p.body)
+        in
+        if new_e <> old_e then begin
+          Hashtbl.replace tbl p.pname new_e;
+          changed := true
+        end)
+      prog.procs
+  done;
+  fun name ->
+    match Hashtbl.find_opt tbl name with Some e -> e | None -> no_effects
+
+(* May-access summary of a whole statement (used for continuations): all
+   variable names mentioned plus callee memory effects.  [effects] is the
+   per-procedure effect oracle; [any] its join over all procedures. *)
+let rec stmt_summary ~effects ~any (s : stmt) : summary =
+  match s.kind with
+  | Sskip | Sreturn None -> empty
+  | Sdecl (x, e) ->
+      (* the declaration writes a fresh location, but the name may shadow
+         an outer binding; treating it as a write to the outer name is a
+         sound over-approximation *)
+      union (reads_of_expr e) { empty with wvars = SS.singleton x }
+  | Sassign (lv, e) | Smalloc (lv, e) ->
+      union (writes_of_lvalue lv) (reads_of_expr e)
+  | Sfree e -> union (reads_of_expr e) { empty with mem_write = true }
+  | Sreturn (Some e) | Sassert e | Sawait e -> reads_of_expr e
+  | Sacquire x ->
+      { empty with rvars = SS.singleton x; wvars = SS.singleton x }
+  | Srelease x -> { empty with wvars = SS.singleton x }
+  | Scall (lv, callee, args) ->
+      let base =
+        List.fold_left
+          (fun acc e -> union acc (reads_of_expr e))
+          (match lv with Some l -> writes_of_lvalue l | None -> empty)
+          args
+      in
+      let callee_sum =
+        match callee with
+        | Evar f when Option.is_some (effects f) ->
+            let e = Option.get (effects f) in
+            { empty with mem_read = e.eff_mem_read; mem_write = e.eff_mem_write }
+        | e ->
+            union (reads_of_expr e)
+              { empty with mem_read = any.eff_mem_read; mem_write = any.eff_mem_write }
+      in
+      union base callee_sum
+  | Sblock ss | Scobegin ss | Satomic ss ->
+      List.fold_left (fun acc s' -> union acc (stmt_summary ~effects ~any s')) empty ss
+  | Sif (c, s1, s2) ->
+      union (reads_of_expr c)
+        (union (stmt_summary ~effects ~any s1) (stmt_summary ~effects ~any s2))
+  | Swhile (c, b) -> union (reads_of_expr c) (stmt_summary ~effects ~any b)
+
+let pp_summary ppf s =
+  Format.fprintf ppf "reads={%s}%s writes={%s}%s"
+    (String.concat "," (SS.elements s.rvars))
+    (if s.mem_read then "+mem" else "")
+    (String.concat "," (SS.elements s.wvars))
+    (if s.mem_write then "+mem" else "")

@@ -1,0 +1,39 @@
+(** Syntactic may-access summaries, in terms of variable {e names} plus a
+    memory token ("may read / write through a pointer").  The stubborn
+    reduction resolves names against process environments to locations;
+    procedure calls contribute their transitive memory effects (a callee
+    touches only its own fresh locals and memory through pointers, so
+    its externally visible summary is just two flags). *)
+
+open Ast
+
+type summary = {
+  rvars : StringSet.t;  (** names possibly read *)
+  wvars : StringSet.t;  (** names possibly written *)
+  mem_read : bool;
+  mem_write : bool;
+}
+
+val empty : summary
+val union : summary -> summary -> summary
+val reads_of_expr : expr -> summary
+val writes_of_lvalue : lvalue -> summary
+
+(** Externally visible effects of a procedure: memory flags only. *)
+type proc_effects = { eff_mem_read : bool; eff_mem_write : bool }
+
+val no_effects : proc_effects
+val union_effects : proc_effects -> proc_effects -> proc_effects
+
+val proc_effects_of_program : program -> string -> proc_effects
+(** Fixpoint over the call graph; unknown names map to no effects. *)
+
+val stmt_summary :
+  effects:(string -> proc_effects option) ->
+  any:proc_effects ->
+  stmt ->
+  summary
+(** Whole-statement summary; [effects] resolves direct callees and [any]
+    (the join over all procedures) covers indirect calls. *)
+
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,190 @@
+(* Abstract syntax of the analyzed language (the [CH92] language, C-style):
+   procedures, pointers, dynamic allocation, first-class function values
+   (procedure names are values and can be called indirectly), and nested
+   cobegin parallelism.  Synchronization primitives: [await] (atomic
+   conditional wait) and [lock]/[unlock] (atomic test-and-set on an integer
+   variable), with which busy-waiting and mutual exclusion are expressible.
+
+   Every statement carries a unique label; labels name allocation sites,
+   call sites and cobegin instances in procedure strings, dependences and
+   reports. *)
+
+type label = int
+
+type unop = Not | Neg
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | And
+  | Or
+
+type expr =
+  | Eint of int
+  | Ebool of bool
+  | Evar of string (* variable, or procedure name used as a value *)
+  | Eunop of unop * expr
+  | Ebinop of binop * expr * expr
+  | Ederef of expr (* *e *)
+  | Eaddr of string (* &x *)
+
+type lvalue = Lvar of string | Lderef of expr
+
+(* Calls appear only at statement level, so one statement is one atomic
+   action of the interleaving semantics (plus call/return bookkeeping). *)
+type stmt = { label : label; kind : kind }
+
+and kind =
+  | Sskip
+  | Sdecl of string * expr (* var x = e; introduces a binding *)
+  | Sassign of lvalue * expr
+  | Smalloc of lvalue * expr (* lv = malloc(e); e = number of cells *)
+  | Sfree of expr
+  | Scall of lvalue option * expr * expr list (* [lv =] callee(args) *)
+  | Sreturn of expr option
+  | Sblock of stmt list
+  | Sif of expr * stmt * stmt
+  | Swhile of expr * stmt
+  | Scobegin of stmt list (* cobegin b1 .. bn coend *)
+  | Satomic of stmt list (* atomic run of simple statements *)
+  | Sawait of expr (* blocks until the condition holds *)
+  | Sacquire of string (* lock(x): await x=0 then x:=1, atomically *)
+  | Srelease of string (* unlock(x): x:=0 *)
+  | Sassert of expr
+
+type proc = { pname : string; params : string list; body : stmt }
+type program = { procs : proc list }
+
+let find_proc prog name = List.find_opt (fun p -> p.pname = name) prog.procs
+let has_proc prog name = Option.is_some (find_proc prog name)
+
+let entry_proc prog =
+  match find_proc prog "main" with
+  | Some p -> p
+  | None -> (
+      match prog.procs with
+      | p :: _ -> p
+      | [] -> invalid_arg "Ast.entry_proc: empty program")
+
+(* Fold over all statements of a statement tree, prefix order. *)
+let rec fold_stmt f acc (s : stmt) =
+  let acc = f acc s in
+  match s.kind with
+  | Sskip | Sdecl _ | Sassign _ | Smalloc _ | Sfree _ | Scall _ | Sreturn _
+  | Sawait _ | Sacquire _ | Srelease _ | Sassert _ ->
+      acc
+  | Sblock ss | Scobegin ss | Satomic ss -> List.fold_left (fold_stmt f) acc ss
+  | Sif (_, s1, s2) -> fold_stmt f (fold_stmt f acc s1) s2
+  | Swhile (_, s1) -> fold_stmt f acc s1
+
+let fold_program f acc prog =
+  List.fold_left (fun acc p -> fold_stmt f acc p.body) acc prog.procs
+
+(* All statement labels of a program. *)
+let labels prog = fold_program (fun acc s -> s.label :: acc) [] prog
+
+let stmt_at prog label =
+  fold_program (fun acc s -> if s.label = label then Some s else acc) None prog
+
+(* Variables read by an expression (syntactic; dereferences excluded). *)
+let rec expr_vars = function
+  | Eint _ | Ebool _ -> []
+  | Evar x -> [ x ]
+  | Eaddr _ -> [] (* taking an address reads nothing *)
+  | Eunop (_, e) -> expr_vars e
+  | Ebinop (_, e1, e2) -> expr_vars e1 @ expr_vars e2
+  | Ederef e -> expr_vars e
+
+(* Does the expression dereference memory? *)
+let rec expr_derefs = function
+  | Eint _ | Ebool _ | Evar _ | Eaddr _ -> false
+  | Eunop (_, e) -> expr_derefs e
+  | Ebinop (_, e1, e2) -> expr_derefs e1 || expr_derefs e2
+  | Ederef _ -> true
+
+(* Variables whose address is taken anywhere in an expression/statement. *)
+let rec expr_addr_taken = function
+  | Eint _ | Ebool _ | Evar _ -> []
+  | Eaddr x -> [ x ]
+  | Eunop (_, e) -> expr_addr_taken e
+  | Ebinop (_, e1, e2) -> expr_addr_taken e1 @ expr_addr_taken e2
+  | Ederef e -> expr_addr_taken e
+
+module StringSet = Set.Make (String)
+
+let addr_taken_of_program prog =
+  let of_expr e = StringSet.of_list (expr_addr_taken e) in
+  let of_lvalue = function
+    | Lvar _ -> StringSet.empty
+    | Lderef e -> of_expr e
+  in
+  fold_program
+    (fun acc s ->
+      let add e = StringSet.union acc (of_expr e) in
+      match s.kind with
+      | Sskip | Sreturn None | Sacquire _ | Srelease _ -> acc
+      | Sdecl (_, e) | Sawait e | Sassert e | Sreturn (Some e) | Sfree e ->
+          add e
+      | Sassign (lv, e) | Smalloc (lv, e) ->
+          StringSet.union (add e) (of_lvalue lv)
+      | Scall (lv, callee, args) ->
+          let acc =
+            match lv with
+            | Some l -> StringSet.union acc (of_lvalue l)
+            | None -> acc
+          in
+          List.fold_left
+            (fun acc e -> StringSet.union acc (of_expr e))
+            (StringSet.union acc (of_expr callee))
+            args
+      | Sblock _ | Scobegin _ | Satomic _ | Sif _ | Swhile _ -> acc)
+    StringSet.empty prog
+
+(* Smart constructors used by generators and transforms; the parser
+   allocates its own labels. *)
+let counter = ref 0
+
+let fresh_label () =
+  incr counter;
+  !counter
+
+let mk kind = { label = fresh_label (); kind }
+let skip () = mk Sskip
+let block ss = mk (Sblock ss)
+let assign lv e = mk (Sassign (lv, e))
+let decl x e = mk (Sdecl (x, e))
+let cobegin ss = mk (Scobegin ss)
+let ite c a b = mk (Sif (c, a, b))
+let while_ c b = mk (Swhile (c, b))
+
+(* Renumber all labels of a program to be unique and dense (used after
+   transforms that duplicate statements, e.g. inlining). *)
+let relabel prog =
+  let next = ref 0 in
+  let fresh () =
+    incr next;
+    !next
+  in
+  let rec go s =
+    let kind =
+      match s.kind with
+      | ( Sskip | Sdecl _ | Sassign _ | Smalloc _ | Sfree _ | Scall _
+        | Sreturn _ | Sawait _ | Sacquire _ | Srelease _ | Sassert _ ) as k ->
+          k
+      | Sblock ss -> Sblock (List.map go ss)
+      | Scobegin ss -> Scobegin (List.map go ss)
+      | Satomic ss -> Satomic (List.map go ss)
+      | Sif (c, a, b) -> Sif (c, go a, go b)
+      | Swhile (c, b) -> Swhile (c, go b)
+    in
+    { label = fresh (); kind }
+  in
+  { procs = List.map (fun p -> { p with body = go p.body }) prog.procs }

@@ -1,0 +1,106 @@
+(** Abstract syntax of the analyzed language: procedures, pointers,
+    dynamic allocation, first-class procedure values, and nested cobegin
+    parallelism, plus [await] and test-and-set [lock]/[unlock].
+
+    Every statement carries a unique label; labels name allocation
+    sites, call sites and cobegin instances in procedure strings,
+    dependences and reports.  Calls appear only at statement level, so
+    one statement is one atomic action of the interleaving semantics. *)
+
+type label = int
+
+type unop = Not | Neg
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | And
+  | Or
+
+type expr =
+  | Eint of int
+  | Ebool of bool
+  | Evar of string  (** variable, or procedure name used as a value *)
+  | Eunop of unop * expr
+  | Ebinop of binop * expr * expr
+  | Ederef of expr  (** [*e] *)
+  | Eaddr of string  (** [&x] *)
+
+type lvalue = Lvar of string | Lderef of expr
+
+type stmt = { label : label; kind : kind }
+
+and kind =
+  | Sskip
+  | Sdecl of string * expr  (** [var x = e;] — introduces a binding *)
+  | Sassign of lvalue * expr
+  | Smalloc of lvalue * expr  (** [lv = malloc(e);] — e cells *)
+  | Sfree of expr
+  | Scall of lvalue option * expr * expr list  (** [[lv =] callee(args);] *)
+  | Sreturn of expr option
+  | Sblock of stmt list
+  | Sif of expr * stmt * stmt
+  | Swhile of expr * stmt
+  | Scobegin of stmt list  (** [cobegin b1 .. bn coend] *)
+  | Satomic of stmt list  (** one-action run of simple statements *)
+  | Sawait of expr  (** blocks until the condition holds *)
+  | Sacquire of string  (** [lock(x);] — await x=0 then x:=1, atomically *)
+  | Srelease of string  (** [unlock(x);] — x:=0 *)
+  | Sassert of expr
+
+type proc = { pname : string; params : string list; body : stmt }
+type program = { procs : proc list }
+
+val find_proc : program -> string -> proc option
+val has_proc : program -> string -> bool
+
+val entry_proc : program -> proc
+(** The procedure named [main], or the first one.
+    @raise Invalid_argument on empty programs. *)
+
+val fold_stmt : ('a -> stmt -> 'a) -> 'a -> stmt -> 'a
+(** Prefix-order fold over a statement tree. *)
+
+val fold_program : ('a -> stmt -> 'a) -> 'a -> program -> 'a
+val labels : program -> label list
+val stmt_at : program -> label -> stmt option
+
+val expr_vars : expr -> string list
+(** Variables read (syntactic; dereference targets excluded). *)
+
+val expr_derefs : expr -> bool
+(** Does the expression read through a pointer? *)
+
+val expr_addr_taken : expr -> string list
+
+module StringSet : Set.S with type elt = string
+
+val addr_taken_of_program : program -> StringSet.t
+(** Names whose address is taken anywhere. *)
+
+(** {1 Construction} *)
+
+val fresh_label : unit -> label
+(** Process-wide counter, used by generators and transforms; the parser
+    numbers its own statements densely from 1. *)
+
+val mk : kind -> stmt
+val skip : unit -> stmt
+val block : stmt list -> stmt
+val assign : lvalue -> expr -> stmt
+val decl : string -> expr -> stmt
+val cobegin : stmt list -> stmt
+val ite : expr -> stmt -> stmt -> stmt
+val while_ : expr -> stmt -> stmt
+
+val relabel : program -> program
+(** Renumber every label densely and uniquely (after transforms that
+    duplicate statements). *)

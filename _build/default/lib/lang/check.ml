@@ -1,0 +1,172 @@
+(* Static well-formedness checks, run before any analysis:
+     - duplicate procedure names, duplicate parameters;
+     - every variable is declared before use (procedure names act as
+       function values when not shadowed);
+     - direct calls to known procedures have the right arity;
+     - lock/unlock/await targets are in scope;
+     - statement labels are unique (parser and [Ast.relabel] guarantee it;
+       generators might not).
+   Checks are collected, not fail-fast. *)
+
+open Ast
+module SS = Ast.StringSet
+
+type diagnostic = { dlabel : label option; message : string }
+
+let pp_diagnostic ppf d =
+  match d.dlabel with
+  | Some l -> Format.fprintf ppf "[stmt %d] %s" l d.message
+  | None -> Format.fprintf ppf "%s" d.message
+
+type result = { errors : diagnostic list }
+
+let ok r = r.errors = []
+
+let check (prog : program) : result =
+  let errors = ref [] in
+  let err ?label fmt =
+    Format.kasprintf
+      (fun message -> errors := { dlabel = label; message } :: !errors)
+      fmt
+  in
+  if prog.procs = [] then err "program has no procedures";
+  (* duplicate procedures *)
+  let seen =
+    List.fold_left
+      (fun seen p ->
+        if SS.mem p.pname seen then
+          err "duplicate procedure name %s" p.pname;
+        SS.add p.pname seen)
+      SS.empty prog.procs
+  in
+  ignore seen;
+  let proc_names = SS.of_list (List.map (fun p -> p.pname) prog.procs) in
+  let arity =
+    List.fold_left
+      (fun m p -> (p.pname, List.length p.params) :: m)
+      [] prog.procs
+  in
+  (* label uniqueness *)
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun p ->
+      ignore
+        (fold_stmt
+           (fun () s ->
+             if Hashtbl.mem tbl s.label then
+               err ~label:s.label "duplicate statement label %d" s.label
+             else Hashtbl.add tbl s.label ())
+           () p.body))
+    prog.procs;
+  (* scoping *)
+  let rec check_expr ~label scope e =
+    match e with
+    | Eint _ | Ebool _ -> ()
+    | Evar x ->
+        if not (SS.mem x scope || SS.mem x proc_names) then
+          err ~label "use of undeclared variable %s" x
+    | Eaddr x ->
+        if not (SS.mem x scope) then
+          err ~label "address of undeclared variable %s" x
+    | Eunop (_, e) -> check_expr ~label scope e
+    | Ebinop (_, e1, e2) ->
+        check_expr ~label scope e1;
+        check_expr ~label scope e2
+    | Ederef e -> check_expr ~label scope e
+  in
+  let check_lvalue ~label scope = function
+    | Lvar x ->
+        if not (SS.mem x scope) then
+          err ~label "assignment to undeclared variable %s" x
+    | Lderef e -> check_expr ~label scope e
+  in
+  (* Returns the scope extended with declarations of this statement (a
+     declaration scopes over the remainder of its enclosing block). *)
+  let rec check_stmt scope (s : stmt) : SS.t =
+    let label = s.label in
+    match s.kind with
+    | Sskip -> scope
+    | Sdecl (x, e) ->
+        check_expr ~label scope e;
+        SS.add x scope
+    | Sassign (lv, e) ->
+        check_lvalue ~label scope lv;
+        check_expr ~label scope e;
+        scope
+    | Smalloc (lv, e) ->
+        check_lvalue ~label scope lv;
+        check_expr ~label scope e;
+        scope
+    | Sfree e ->
+        check_expr ~label scope e;
+        scope
+    | Scall (lv, callee, args) ->
+        Option.iter (check_lvalue ~label scope) lv;
+        (match callee with
+        | Evar f when (not (SS.mem f scope)) && SS.mem f proc_names -> (
+            match List.assoc_opt f arity with
+            | Some n when n <> List.length args ->
+                err ~label "procedure %s expects %d argument(s), got %d" f n
+                  (List.length args)
+            | _ -> ())
+        | _ -> check_expr ~label scope callee);
+        List.iter (check_expr ~label scope) args;
+        scope
+    | Sreturn None -> scope
+    | Sreturn (Some e) ->
+        check_expr ~label scope e;
+        scope
+    | Sblock ss ->
+        ignore (List.fold_left check_stmt scope ss);
+        scope
+    | Sif (c, s1, s2) ->
+        check_expr ~label scope c;
+        ignore (check_stmt scope s1);
+        ignore (check_stmt scope s2);
+        scope
+    | Swhile (c, b) ->
+        check_expr ~label scope c;
+        ignore (check_stmt scope b);
+        scope
+    | Scobegin bs ->
+        if bs = [] then err ~label "cobegin with no branches";
+        List.iter (fun b -> ignore (check_stmt scope b)) bs;
+        scope
+    | Satomic ss ->
+        List.iter
+          (fun (s' : stmt) ->
+            match s'.kind with
+            | Sskip | Sdecl _ | Sassign _ | Sassert _ -> ()
+            | _ ->
+                err ~label:s'.label
+                  "atomic blocks may contain only simple statements")
+          ss;
+        ignore (List.fold_left check_stmt scope ss);
+        scope
+    | Sawait e ->
+        check_expr ~label scope e;
+        scope
+    | Sacquire x | Srelease x ->
+        if not (SS.mem x scope) then
+          err ~label "lock target %s is not in scope" x;
+        scope
+    | Sassert e ->
+        check_expr ~label scope e;
+        scope
+  in
+  List.iter
+    (fun p ->
+      let dup =
+        List.length p.params <> SS.cardinal (SS.of_list p.params)
+      in
+      if dup then err "procedure %s has duplicate parameters" p.pname;
+      ignore (check_stmt (SS.of_list p.params) p.body))
+    prog.procs;
+  { errors = List.rev !errors }
+
+exception Ill_formed of diagnostic list
+
+(* Raise on errors; used by the pipelines in [Cobegin_core]. *)
+let check_exn prog =
+  let r = check prog in
+  if not (ok r) then raise (Ill_formed r.errors)

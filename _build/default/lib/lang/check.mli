@@ -1,0 +1,19 @@
+(** Static well-formedness checks, run before any analysis: declaration
+    before use (procedure names double as function values when not
+    shadowed), arity of direct calls, duplicate procedures/parameters,
+    lock targets in scope, label uniqueness, atomic-block shape.
+    Diagnostics are collected, not fail-fast. *)
+
+type diagnostic = { dlabel : Ast.label option; message : string }
+
+val pp_diagnostic : Format.formatter -> diagnostic -> unit
+
+type result = { errors : diagnostic list }
+
+val ok : result -> bool
+val check : Ast.program -> result
+
+exception Ill_formed of diagnostic list
+
+val check_exn : Ast.program -> unit
+(** @raise Ill_formed when any diagnostic is produced. *)

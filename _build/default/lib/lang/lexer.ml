@@ -1,0 +1,108 @@
+(* Hand-written lexer.  Comments: // to end of line and (nesting) /* */. *)
+
+type token =
+  | INT of int
+  | IDENT of string
+  | KW of string (* keywords *)
+  | PUNCT of string (* operators and punctuation *)
+  | EOF
+
+type pos = { line : int; col : int }
+
+type lexed = { tok : token; pos : pos }
+
+exception Error of string * pos
+
+let keywords =
+  [
+    "proc"; "var"; "if"; "else"; "while"; "cobegin"; "coend"; "atomic";
+    "await"; "lock"; "unlock"; "assert"; "skip"; "return"; "malloc"; "free";
+    "true"; "false";
+  ]
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize (src : string) : lexed list =
+  let n = String.length src in
+  let line = ref 1 and bol = ref 0 in
+  let pos i = { line = !line; col = i - !bol + 1 } in
+  let rec skip_ws i =
+    if i >= n then i
+    else
+      match src.[i] with
+      | ' ' | '\t' | '\r' -> skip_ws (i + 1)
+      | '\n' ->
+          incr line;
+          bol := i + 1;
+          skip_ws (i + 1)
+      | '/' when i + 1 < n && src.[i + 1] = '/' ->
+          let rec eol i = if i < n && src.[i] <> '\n' then eol (i + 1) else i in
+          skip_ws (eol i)
+      | '/' when i + 1 < n && src.[i + 1] = '*' ->
+          let rec close i depth =
+            if i + 1 >= n then raise (Error ("unterminated comment", pos i))
+            else if src.[i] = '*' && src.[i + 1] = '/' then
+              if depth = 1 then i + 2 else close (i + 2) (depth - 1)
+            else if src.[i] = '/' && src.[i + 1] = '*' then close (i + 2) (depth + 1)
+            else begin
+              if src.[i] = '\n' then begin
+                incr line;
+                bol := i + 1
+              end;
+              close (i + 1) depth
+            end
+          in
+          skip_ws (close (i + 2) 1)
+      | _ -> i
+  in
+  let rec lex acc i =
+    let i = skip_ws i in
+    if i >= n then List.rev ({ tok = EOF; pos = pos i } :: acc)
+    else
+      let p = pos i in
+      let c = src.[i] in
+      if is_digit c then begin
+        let j = ref i in
+        while !j < n && is_digit src.[!j] do
+          incr j
+        done;
+        let v = int_of_string (String.sub src i (!j - i)) in
+        lex ({ tok = INT v; pos = p } :: acc) !j
+      end
+      else if is_ident_start c then begin
+        let j = ref i in
+        while !j < n && is_ident_char src.[!j] do
+          incr j
+        done;
+        let s = String.sub src i (!j - i) in
+        let tok = if List.mem s keywords then KW s else IDENT s in
+        lex ({ tok; pos = p } :: acc) !j
+      end
+      else
+        let two =
+          if i + 1 < n then Some (String.sub src i 2) else None
+        in
+        match two with
+        | Some (("==" | "!=" | "<=" | ">=" | "&&" | "||") as op) ->
+            lex ({ tok = PUNCT op; pos = p } :: acc) (i + 2)
+        | _ -> (
+            match c with
+            | '(' | ')' | '{' | '}' | ';' | ',' | '=' | '<' | '>' | '+' | '-'
+            | '*' | '/' | '!' | '&' ->
+                lex ({ tok = PUNCT (String.make 1 c); pos = p } :: acc) (i + 1)
+            | _ ->
+                raise
+                  (Error (Printf.sprintf "unexpected character %C" c, p)))
+  in
+  lex [] 0
+
+let pp_token ppf = function
+  | INT n -> Format.fprintf ppf "%d" n
+  | IDENT s -> Format.fprintf ppf "identifier %s" s
+  | KW s -> Format.fprintf ppf "keyword %s" s
+  | PUNCT s -> Format.fprintf ppf "'%s'" s
+  | EOF -> Format.pp_print_string ppf "end of input"

@@ -1,0 +1,22 @@
+(** Hand-written lexer.  Comments: [//] to end of line and nesting
+    [/*] ... [*/]. *)
+
+type token =
+  | INT of int
+  | IDENT of string
+  | KW of string  (** language keyword *)
+  | PUNCT of string  (** operator or punctuation *)
+  | EOF
+
+type pos = { line : int; col : int }
+type lexed = { tok : token; pos : pos }
+
+exception Error of string * pos
+
+val keywords : string list
+
+val tokenize : string -> lexed list
+(** The token stream, ending with [EOF].
+    @raise Error on unterminated comments or unexpected characters. *)
+
+val pp_token : Format.formatter -> token -> unit

@@ -1,0 +1,141 @@
+(* Pretty-printer producing concrete syntax that reparses to the same AST
+   (modulo labels); the round-trip is a qcheck property. *)
+
+open Ast
+
+let unop_str = function Not -> "!" | Neg -> "-"
+
+let binop_str = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Eq -> "=="
+  | Ne -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | And -> "&&"
+  | Or -> "||"
+
+(* Precedence levels mirroring the parser (higher binds tighter). *)
+let binop_prec = function
+  | Or -> 1
+  | And -> 2
+  | Eq | Ne | Lt | Le | Gt | Ge -> 3
+  | Add | Sub -> 4
+  | Mul | Div -> 5
+
+let rec pp_expr_prec prec ppf e =
+  match e with
+  | Eint n -> if n < 0 then Format.fprintf ppf "(%d)" n else Format.pp_print_int ppf n
+  | Ebool b -> Format.pp_print_bool ppf b
+  | Evar x -> Format.pp_print_string ppf x
+  | Eaddr x -> Format.fprintf ppf "&%s" x
+  | Eunop (op, e) -> Format.fprintf ppf "%s%a" (unop_str op) (pp_expr_prec 6) e
+  | Ederef e -> Format.fprintf ppf "*%a" (pp_expr_prec 6) e
+  | Ebinop (op, e1, e2) ->
+      (* Match the parser's associativity: + - * / are left-associative,
+         && and || are right-associative, comparisons do not chain.  The
+         operand on the non-associating side is printed at one level
+         tighter so it gets parenthesized when it is a same-level binop. *)
+      let p = binop_prec op in
+      let lp, rp =
+        match op with
+        | Add | Sub | Mul | Div -> (p, p + 1)
+        | And | Or -> (p + 1, p)
+        | Eq | Ne | Lt | Le | Gt | Ge -> (p + 1, p + 1)
+      in
+      let body ppf () =
+        Format.fprintf ppf "%a %s %a" (pp_expr_prec lp) e1 (binop_str op)
+          (pp_expr_prec rp) e2
+      in
+      if p < prec then Format.fprintf ppf "(%a)" body ()
+      else body ppf ()
+
+let pp_expr ppf e = pp_expr_prec 0 ppf e
+
+let pp_lvalue ppf = function
+  | Lvar x -> Format.pp_print_string ppf x
+  | Lderef e -> Format.fprintf ppf "*%a" (pp_expr_prec 6) e
+
+let rec pp_stmt ppf (s : stmt) =
+  match s.kind with
+  | Sskip -> Format.fprintf ppf "skip;"
+  | Sdecl (x, e) -> Format.fprintf ppf "var %s = %a;" x pp_expr e
+  | Sassign (lv, e) -> Format.fprintf ppf "%a = %a;" pp_lvalue lv pp_expr e
+  | Smalloc (lv, e) ->
+      Format.fprintf ppf "%a = malloc(%a);" pp_lvalue lv pp_expr e
+  | Sfree e -> Format.fprintf ppf "free(%a);" pp_expr e
+  | Scall (lv, callee, args) ->
+      let pp_callee ppf = function
+        | Evar f -> Format.pp_print_string ppf f
+        | e -> Format.fprintf ppf "(%a)" pp_expr e
+      in
+      let pp_args =
+        Format.pp_print_list
+          ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+          pp_expr
+      in
+      (match lv with
+      | None -> Format.fprintf ppf "%a(@[%a@]);" pp_callee callee pp_args args
+      | Some lv ->
+          Format.fprintf ppf "%a = %a(@[%a@]);" pp_lvalue lv pp_callee callee
+            pp_args args)
+  | Sreturn None -> Format.fprintf ppf "return;"
+  | Sreturn (Some e) -> Format.fprintf ppf "return %a;" pp_expr e
+  | Sblock ss -> pp_block ppf ss
+  | Sif (c, t, e) -> (
+      match e.kind with
+      | Sskip ->
+          Format.fprintf ppf "@[<v 2>if (%a) %a@]" pp_expr c pp_stmt_as_block t
+      | _ ->
+          Format.fprintf ppf "@[<v>if (%a) %a else %a@]" pp_expr c
+            pp_stmt_as_block t pp_stmt_as_block e)
+  | Swhile (c, b) ->
+      Format.fprintf ppf "@[<v>while (%a) %a@]" pp_expr c pp_stmt_as_block b
+  | Scobegin bs ->
+      Format.fprintf ppf "@[<v>cobegin@;<1 2>%a@ coend;@]"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf "@;<1 2>")
+           pp_stmt_as_block)
+        bs
+  | Satomic ss ->
+      Format.fprintf ppf "@[<v>atomic %a@]" pp_block ss
+  | Sawait e -> Format.fprintf ppf "await(%a);" pp_expr e
+  | Sacquire x -> Format.fprintf ppf "lock(%s);" x
+  | Srelease x -> Format.fprintf ppf "unlock(%s);" x
+  | Sassert e -> Format.fprintf ppf "assert(%a);" pp_expr e
+
+and pp_block ppf ss =
+  match ss with
+  | [] -> Format.pp_print_string ppf "{ }"
+  | _ ->
+      Format.fprintf ppf "@[<v>{@;<1 2>@[<v>%a@]@ }@]"
+        (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_stmt)
+        ss
+
+and pp_stmt_as_block ppf s =
+  match s.kind with
+  | Sblock ss -> pp_block ppf ss
+  | _ -> pp_block ppf [ s ]
+
+let pp_proc ppf (p : proc) =
+  let body = match p.body.kind with Sblock ss -> ss | _ -> [ p.body ] in
+  Format.fprintf ppf "@[<v>proc %s(%a) %a@]" p.pname
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+       Format.pp_print_string)
+    p.params pp_block body
+
+let pp_program ppf (prog : program) =
+  Format.fprintf ppf "@[<v>%a@]@."
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf "@ @ ")
+       pp_proc)
+    prog.procs
+
+let program_to_string prog = Format.asprintf "%a" pp_program prog
+let stmt_to_string s = Format.asprintf "%a" pp_stmt s
+let expr_to_string e = Format.asprintf "%a" pp_expr e

@@ -1,0 +1,23 @@
+(** Pretty-printer producing concrete syntax that reparses to the same
+    AST modulo labels (a qcheck property of the test suite).  Printing
+    respects the parser's precedence and associativity, inserting
+    parentheses exactly where reparsing would otherwise differ. *)
+
+open Ast
+
+val unop_str : unop -> string
+val binop_str : binop -> string
+
+val pp_expr : Format.formatter -> expr -> unit
+val pp_lvalue : Format.formatter -> lvalue -> unit
+val pp_stmt : Format.formatter -> stmt -> unit
+val pp_proc : Format.formatter -> proc -> unit
+val pp_program : Format.formatter -> program -> unit
+
+val program_to_string : program -> string
+val stmt_to_string : stmt -> string
+(** Label-free structural fingerprint of a statement — also used by the
+    clan folding of the abstract machine to identify alpha-identical
+    code points. *)
+
+val expr_to_string : expr -> string

@@ -1,0 +1,1 @@
+lib/models/figures.ml: Check Cobegin_lang List Parser Printf String

@@ -1,0 +1,1 @@
+lib/models/generator.ml: Ast Check Cobegin_lang List Parser Printf String

@@ -1,0 +1,1 @@
+lib/models/generator.mli: Ast Cobegin_lang

@@ -1,0 +1,1 @@
+lib/models/philosophers.ml: Array Cobegin_petri List Net Printf String

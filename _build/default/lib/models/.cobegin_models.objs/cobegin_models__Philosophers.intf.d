@@ -1,0 +1,1 @@
+lib/models/philosophers.mli: Cobegin_petri

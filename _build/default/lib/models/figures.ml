@@ -1,0 +1,246 @@
+(* The paper's worked examples, as programs of our language.  Each value
+   is the source text (kept textual so the examples double as parser
+   fixtures); [parse] produces the checked program. *)
+
+open Cobegin_lang
+
+let parse src =
+  let prog = Parser.parse_string src in
+  Check.check_exn prog;
+  prog
+
+(* Figure 2 / Example 1 (from [SS88]): two program segments sharing a and
+   b.  Under sequential consistency the final (x, y) can be (1,0), (1,1),
+   (0,1) — but never (0,0): at least one thread sees the other's write. *)
+let fig2 =
+  {|
+proc main() {
+  var a = 0;
+  var b = 0;
+  var x = 0;
+  var y = 0;
+  cobegin
+    { a = 1; x = b; }
+    { b = 1; y = a; }
+  coend;
+}
+|}
+
+(* Figure 3 / section 6.1: the branches race on one variable, so the
+   concrete result-configurations differ only in the store — the
+   "dangling links" that configuration abstraction folds into one
+   abstract configuration. *)
+let fig3 =
+  {|
+proc main() {
+  var u = 0;
+  cobegin
+    { u = 1; }
+    { u = 2; }
+  coend;
+  var v = u;
+}
+|}
+
+(* Figure 5 / section 2.2: local computation prefixes with a single
+   shared access each — the locality that stubborn sets exploit. *)
+let fig5 =
+  {|
+proc main() {
+  var s = 0;
+  cobegin
+    { var a1 = 1; var a2 = a1 + 1; var a3 = a2 * 2; s = s + a3; }
+    { var b1 = 2; var b2 = b1 + 3; var b3 = b2 * 2; s = s + b3; }
+  coend;
+}
+|}
+
+(* Example 8: pointers and dynamic allocation inside cobegin (C-style:
+   x, y are pointers to integers).  The paper's analysis finds the
+   dependences through the heap and decides b1 (the cell *y) must be
+   visible to both threads while b2 (the cell *x) can be local. *)
+let example8 =
+  {|
+proc main() {
+  var x = 0;
+  var y = 0;
+  cobegin
+    {
+      y = malloc(1);
+      *y = 10;
+    }
+    {
+      x = malloc(1);
+      await(y != 0);
+      *x = *y;
+    }
+  coend;
+}
+|}
+
+(* Figure 8 / Example 15: the [SS88] fragment with assignments replaced
+   by procedure calls; only (s1,s4) and (s2,s3) carry dependences. *)
+let fig8 =
+  {|
+proc f1(p) { *p = 1; }
+proc f2(p) { var t = *p; t = t + 1; }
+proc f3(p) { *p = 2; }
+proc f4(p) { var t = *p; t = t * 2; }
+proc main() {
+  var a = malloc(1);
+  var b = malloc(1);
+  cobegin
+    { f1(a); f2(b); }
+    { f3(b); f4(a); }
+  coend;
+}
+|}
+
+(* The busy-waiting fragment of the paper's introduction: hoisting the
+   load of [flag] out of the loop (a legal sequential optimization) would
+   break it; the analysis must see the cross-thread flow dependence. *)
+let busywait =
+  {|
+proc main() {
+  var flag = 0;
+  var data = 0;
+  var seen = 0;
+  cobegin
+    { data = 42; flag = 1; }
+    { await(flag == 1); seen = data; }
+  coend;
+  assert(seen == 42);
+}
+|}
+
+(* Mutual exclusion with test-and-set locks: the shared counter is
+   race-free; dropping the locks (below) makes the race detector fire. *)
+let mutex =
+  {|
+proc main() {
+  var l = 0;
+  var count = 0;
+  cobegin
+    { lock(l); count = count + 1; unlock(l); }
+    { lock(l); count = count + 1; unlock(l); }
+  coend;
+  assert(count == 2);
+}
+|}
+
+let mutex_racy =
+  {|
+proc main() {
+  var count = 0;
+  cobegin
+    { var t = count; count = t + 1; }
+    { var t = count; count = t + 1; }
+  coend;
+}
+|}
+
+(* k identical branches calling the same worker: McDowell's clan
+   workload (section 6.2). *)
+let clan_workload k =
+  let branches =
+    List.init k (fun _ -> "{ work(1); }") |> String.concat " "
+  in
+  Printf.sprintf
+    {|
+proc work(p) {
+  var t = p + 1;
+  t = t * 2;
+}
+proc main() {
+  cobegin %s coend;
+}
+|}
+    branches
+
+(* Fork-join tree via recursion: "several instances of concurrent
+   activities of a given cobegin may be created due to procedure calls or
+   loops" (paper section 6.2).  Depth n spawns 2^n leaf updates of the
+   shared counter under a lock. *)
+let forktree depth =
+  Printf.sprintf
+    {|
+proc tree(n, c) {
+  if (n <= 0) {
+    atomic { *c = *c + 1; }
+  } else {
+    cobegin
+      { tree(n - 1, c); }
+      { tree(n - 1, c); }
+    coend;
+  }
+}
+proc main() {
+  var count = malloc(1);
+  tree(%d, count);
+  var total = *count;
+  assert(total == %d);
+}
+|}
+    depth (1 lsl depth)
+
+(* A producer/consumer chain through a one-cell buffer with flag
+   synchronization. *)
+let producer_consumer n =
+  Printf.sprintf
+    {|
+proc main() {
+  var buf = 0;
+  var full = 0;
+  var got = 0;
+  var i = 0;
+  var j = 0;
+  cobegin
+    {
+      while (i < %d) {
+        await(full == 0);
+        i = i + 1;
+        buf = i;
+        full = 1;
+      }
+    }
+    {
+      while (j < %d) {
+        await(full == 1);
+        got = buf;
+        full = 0;
+        j = j + 1;
+      }
+    }
+  coend;
+  assert(got == %d);
+}
+|}
+    n n n
+
+(* First-class functions: an indirect call through a variable. *)
+let firstclass =
+  {|
+proc double(p) { return p * 2; }
+proc triple(p) { return p * 3; }
+proc main() {
+  var f = double;
+  var r = 0;
+  var which = 1;
+  if (which == 1) { f = triple; }
+  r = (f)(7);
+  assert(r == 21);
+}
+|}
+
+let all_named =
+  [
+    ("fig2", fig2);
+    ("fig3", fig3);
+    ("fig5", fig5);
+    ("example8", example8);
+    ("fig8", fig8);
+    ("busywait", busywait);
+    ("mutex", mutex);
+    ("mutex_racy", mutex_racy);
+    ("firstclass", firstclass);
+  ]

@@ -1,0 +1,49 @@
+(** The paper's worked examples as source texts (they double as parser
+    fixtures), plus parameterized workloads.  [parse] checks as well. *)
+
+val parse : string -> Cobegin_lang.Ast.program
+
+val fig2 : string
+(** Figure 2 / Example 1 ([SS88]): the sequential-consistency outcome
+    set — (x,y) takes three of four values, never (0,0). *)
+
+val fig3 : string
+(** Figure 3 / §6.1: racing writes whose result-configurations differ
+    only in the store — the "dangling links" folding merges. *)
+
+val fig5 : string
+(** Figure 5 / §2.2: local prefixes with one shared access each — the
+    locality stubborn sets exploit. *)
+
+val example8 : string
+(** Example 8: pointers and malloc inside cobegin; b1 shared, b2 local. *)
+
+val fig8 : string
+(** Figure 8 / Example 15: the [SS88] fragment with calls; only (s1,s4)
+    and (s2,s3) depend. *)
+
+val busywait : string
+(** The introduction's busy-waiting fragment a sequential compiler would
+    break. *)
+
+val mutex : string
+(** Lock-protected counter: race-free, assert always holds. *)
+
+val mutex_racy : string
+(** The same counter without locks: lost updates reachable. *)
+
+val clan_workload : int -> string
+(** k identical branches calling one worker (McDowell's clan setting). *)
+
+val forktree : int -> string
+(** Fork-join tree of depth n via recursion: 2^n leaves atomically bump
+    a shared heap counter. *)
+
+val producer_consumer : int -> string
+(** One-cell buffer with flag synchronization, n items. *)
+
+val firstclass : string
+(** Indirect calls through a procedure-valued variable. *)
+
+val all_named : (string * string) list
+(** Name → source, for CLIs and test sweeps. *)

@@ -1,0 +1,144 @@
+(* Random terminating cobegin programs, for property-based testing:
+     - a pool of shared integer variables declared up front,
+     - branch bodies of assignments, atomics, if-statements, paired
+       lock/unlock regions and bounded counting loops,
+     - optional helper procedures (pure arithmetic) called by value.
+   All loops are bounded counters, so every generated program terminates
+   on every interleaving; deadlocks cannot arise because lock regions are
+   well nested and acquired in a fixed order. *)
+
+open Cobegin_lang
+
+type rng = { mutable state : int }
+
+let make_rng seed = { state = (if seed = 0 then 1 else seed) }
+
+(* xorshift: deterministic, dependency-free *)
+let next rng =
+  let x = rng.state in
+  let x = x lxor (x lsl 13) in
+  let x = x lxor (x lsr 7) in
+  let x = x lxor (x lsl 17) in
+  rng.state <- x land max_int;
+  rng.state
+
+let int rng n = if n <= 0 then 0 else next rng mod n
+
+let pick rng l = List.nth l (int rng (List.length l))
+
+type cfg = {
+  num_shared : int; (* shared variables s0..s_{k-1} *)
+  num_branches : int;
+  stmts_per_branch : int;
+  with_locks : bool;
+  with_loops : bool;
+  with_procs : bool;
+}
+
+let default_cfg =
+  {
+    num_shared = 3;
+    num_branches = 2;
+    stmts_per_branch = 4;
+    with_locks = true;
+    with_loops = true;
+    with_procs = true;
+  }
+
+let shared_var cfg rng = Printf.sprintf "s%d" (int rng cfg.num_shared)
+
+let rec expr cfg rng depth : string =
+  if depth = 0 then
+    match int rng 3 with
+    | 0 -> string_of_int (int rng 5)
+    | 1 -> shared_var cfg rng
+    | _ -> string_of_int (int rng 3)
+  else
+    match int rng 4 with
+    | 0 -> Printf.sprintf "%s + %s" (expr cfg rng (depth - 1)) (expr cfg rng (depth - 1))
+    | 1 -> Printf.sprintf "%s * %s" (expr cfg rng (depth - 1)) (expr cfg rng (depth - 1))
+    | 2 -> Printf.sprintf "%s - %s" (expr cfg rng (depth - 1)) (expr cfg rng (depth - 1))
+    | _ -> expr cfg rng 0
+
+let cond cfg rng =
+  let op = pick rng [ "<"; "<="; "=="; "!=" ] in
+  Printf.sprintf "%s %s %d" (shared_var cfg rng) op (int rng 5)
+
+let rec stmt cfg rng ~depth ~local_ix : string list =
+  match int rng (10 + if depth > 0 then 0 else -2) with
+  | 0 | 1 | 2 | 3 ->
+      [ Printf.sprintf "%s = %s;" (shared_var cfg rng) (expr cfg rng 1) ]
+  | 4 ->
+      let v = Printf.sprintf "t%d" !local_ix in
+      incr local_ix;
+      [
+        Printf.sprintf "var %s = %s;" v (expr cfg rng 1);
+        Printf.sprintf "%s = %s + 1;" (shared_var cfg rng) v;
+      ]
+  | 5 when depth > 0 ->
+      let body =
+        List.concat_map
+          (fun _ -> stmt cfg rng ~depth:(depth - 1) ~local_ix)
+          [ (); () ]
+      in
+      [
+        Printf.sprintf "if (%s) {\n%s\n} else {\n%s\n}" (cond cfg rng)
+          (String.concat "\n" body)
+          (String.concat "\n"
+             (stmt cfg rng ~depth:(depth - 1) ~local_ix));
+      ]
+  | 6 when cfg.with_loops && depth > 0 ->
+      let v = Printf.sprintf "t%d" !local_ix in
+      incr local_ix;
+      let body =
+        String.concat "\n" (stmt cfg rng ~depth:(depth - 1) ~local_ix)
+      in
+      [
+        Printf.sprintf
+          "var %s = 0;\nwhile (%s < %d) {\n%s = %s + 1;\n%s\n}" v v
+          (1 + int rng 3) v v body;
+      ]
+  | 7 when cfg.with_locks ->
+      [
+        "lock(mtx);";
+        Printf.sprintf "%s = %s + 1;" (shared_var cfg rng) (shared_var cfg rng);
+        "unlock(mtx);";
+      ]
+  | 8 when cfg.with_procs ->
+      [ Printf.sprintf "%s = inc(%s);" (shared_var cfg rng) (expr cfg rng 0) ]
+  | _ ->
+      [
+        Printf.sprintf "atomic { %s = %s; %s = %s; }" (shared_var cfg rng)
+          (expr cfg rng 0) (shared_var cfg rng) (expr cfg rng 0);
+      ]
+
+let branch cfg rng : string =
+  let local_ix = ref 0 in
+  let stmts =
+    List.concat
+      (List.init cfg.stmts_per_branch (fun _ ->
+           stmt cfg rng ~depth:1 ~local_ix))
+  in
+  "{\n" ^ String.concat "\n" stmts ^ "\n}"
+
+let source ?(cfg = default_cfg) ~seed () : string =
+  let rng = make_rng seed in
+  let decls =
+    List.init cfg.num_shared (fun i -> Printf.sprintf "  var s%d = 0;" i)
+    |> String.concat "\n"
+  in
+  let branches =
+    List.init cfg.num_branches (fun _ -> "    " ^ branch cfg rng)
+    |> String.concat "\n"
+  in
+  let helper =
+    if cfg.with_procs then "proc inc(p) { return p + 1; }\n" else ""
+  in
+  Printf.sprintf "%sproc main() {\n%s\n  var mtx = 0;\n  cobegin\n%s\n  coend;\n}\n"
+    helper decls branches
+
+let program ?cfg ~seed () : Ast.program =
+  let src = source ?cfg ~seed () in
+  let prog = Parser.parse_string src in
+  Check.check_exn prog;
+  prog

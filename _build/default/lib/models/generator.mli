@@ -1,0 +1,24 @@
+(** Random terminating cobegin programs for property-based testing:
+    shared integer variables, branch bodies of assignments, atomics,
+    conditionals, paired lock regions and bounded counting loops, plus an
+    arithmetic helper procedure.  Every generated program terminates on
+    every interleaving and cannot deadlock. *)
+
+open Cobegin_lang
+
+type cfg = {
+  num_shared : int;  (** shared variables s0 .. s_(k-1) *)
+  num_branches : int;
+  stmts_per_branch : int;
+  with_locks : bool;
+  with_loops : bool;
+  with_procs : bool;
+}
+
+val default_cfg : cfg
+
+val source : ?cfg:cfg -> seed:int -> unit -> string
+(** Deterministic in [seed] (xorshift). *)
+
+val program : ?cfg:cfg -> seed:int -> unit -> Ast.program
+(** Parsed and checked. *)

@@ -1,0 +1,87 @@
+(* Dining philosophers, in both substrates:
+
+     - as a place/transition net (the [Val88] formulation behind the
+       paper's "state space reduced from exponential to quadratic in n"
+       claim): think_i --takeL_i--> hasleft_i --takeR_i--> eat_i
+       --put_i--> think_i, forks as shared places;
+
+     - as a program of our language, with forks as test-and-set locks
+       (deadlocks and all), for the program-level engines. *)
+
+open Cobegin_petri
+
+let net n : Net.t =
+  if n < 2 then invalid_arg "Philosophers.net: need at least 2";
+  let b = Net.Builder.create () in
+  let think = Array.init n (fun i -> Net.Builder.add_place b (Printf.sprintf "think%d" i) 1) in
+  let hasl = Array.init n (fun i -> Net.Builder.add_place b (Printf.sprintf "hasL%d" i) 0) in
+  let eat = Array.init n (fun i -> Net.Builder.add_place b (Printf.sprintf "eat%d" i) 0) in
+  let fork = Array.init n (fun i -> Net.Builder.add_place b (Printf.sprintf "fork%d" i) 1) in
+  for i = 0 to n - 1 do
+    let right = (i + 1) mod n in
+    ignore
+      (Net.Builder.add_transition b
+         (Printf.sprintf "takeL%d" i)
+         ~pre:[ (think.(i), 1); (fork.(i), 1) ]
+         ~post:[ (hasl.(i), 1) ]);
+    ignore
+      (Net.Builder.add_transition b
+         (Printf.sprintf "takeR%d" i)
+         ~pre:[ (hasl.(i), 1); (fork.(right), 1) ]
+         ~post:[ (eat.(i), 1) ]);
+    ignore
+      (Net.Builder.add_transition b
+         (Printf.sprintf "put%d" i)
+         ~pre:[ (eat.(i), 1) ]
+         ~post:[ (think.(i), 1); (fork.(i), 1); (fork.(right), 1) ])
+  done;
+  Net.Builder.build b
+
+(* Variant that cannot deadlock: the last philosopher picks the right
+   fork first (asymmetric ordering). *)
+let net_ordered n : Net.t =
+  if n < 2 then invalid_arg "Philosophers.net_ordered: need at least 2";
+  let b = Net.Builder.create () in
+  let think = Array.init n (fun i -> Net.Builder.add_place b (Printf.sprintf "think%d" i) 1) in
+  let has1 = Array.init n (fun i -> Net.Builder.add_place b (Printf.sprintf "has1_%d" i) 0) in
+  let eat = Array.init n (fun i -> Net.Builder.add_place b (Printf.sprintf "eat%d" i) 0) in
+  let fork = Array.init n (fun i -> Net.Builder.add_place b (Printf.sprintf "fork%d" i) 1) in
+  for i = 0 to n - 1 do
+    let right = (i + 1) mod n in
+    let first, second = if i = n - 1 then (right, i) else (i, right) in
+    ignore
+      (Net.Builder.add_transition b
+         (Printf.sprintf "take1_%d" i)
+         ~pre:[ (think.(i), 1); (fork.(first), 1) ]
+         ~post:[ (has1.(i), 1) ]);
+    ignore
+      (Net.Builder.add_transition b
+         (Printf.sprintf "take2_%d" i)
+         ~pre:[ (has1.(i), 1); (fork.(second), 1) ]
+         ~post:[ (eat.(i), 1) ]);
+    ignore
+      (Net.Builder.add_transition b
+         (Printf.sprintf "put%d" i)
+         ~pre:[ (eat.(i), 1) ]
+         ~post:[ (think.(i), 1); (fork.(i), 1); (fork.(right), 1) ])
+  done;
+  Net.Builder.build b
+
+(* The same system as a program: forks are locks shared by adjacent
+   branches; [rounds] meals per philosopher. *)
+let program ?(rounds = 1) n : string =
+  if n < 2 then invalid_arg "Philosophers.program: need at least 2";
+  let decls =
+    List.init n (fun i -> Printf.sprintf "  var fork%d = 0;" i)
+    |> String.concat "\n"
+  in
+  let branch i =
+    let right = (i + 1) mod n in
+    Printf.sprintf
+      "    { var r = 0; while (r < %d) { lock(fork%d); lock(fork%d); r = r + \
+       1; unlock(fork%d); unlock(fork%d); } }"
+      rounds i right right i
+  in
+  let branches = List.init n branch |> String.concat "\n" in
+  Printf.sprintf "proc main() {\n%s\n  cobegin\n%s\n  coend;\n}\n" decls
+    branches

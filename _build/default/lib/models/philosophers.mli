@@ -1,0 +1,18 @@
+(** Dining philosophers in both substrates:
+
+    - as a place/transition net (the [Val88] formulation behind the
+      paper's exponential-to-quadratic claim): think --takeL--> hasLeft
+      --takeR--> eat --put--> think, forks as shared places;
+    - as a cobegin program with forks as test-and-set locks, for the
+      program-level engines. *)
+
+val net : int -> Cobegin_petri.Net.t
+(** Two-step fork pickup; has the circular-wait deadlock.
+    @raise Invalid_argument below 2 philosophers. *)
+
+val net_ordered : int -> Cobegin_petri.Net.t
+(** Asymmetric fork ordering (the last philosopher picks right first):
+    deadlock-free. *)
+
+val program : ?rounds:int -> int -> string
+(** Source text of the lock-based program; [rounds] meals each. *)

@@ -1,0 +1,156 @@
+(* Classic shared-variable synchronization protocols.  These are exactly
+   the class of programs the paper's introduction argues a compiler must
+   not break: their correctness depends on the order of shared accesses
+   under sequential consistency, so any reordering a sequential compiler
+   would perform (and any analysis that ignores interleavings) is unsound
+   for them. *)
+
+(* Peterson's mutual-exclusion algorithm.  The assertion inside the
+   critical section fails iff both threads are inside simultaneously;
+   exploration proves it never does — but only because every interleaving
+   of the flag/turn protocol is considered. *)
+let peterson =
+  {|
+proc main() {
+  var flag0 = 0;
+  var flag1 = 0;
+  var turn = 0;
+  var incrit = 0;
+  cobegin
+    {
+      flag0 = 1;
+      turn = 1;
+      await(flag1 == 0 || turn == 0);
+      incrit = incrit + 1;
+      assert(incrit == 1);
+      incrit = incrit - 1;
+      flag0 = 0;
+    }
+    {
+      flag1 = 1;
+      turn = 0;
+      await(flag0 == 0 || turn == 1);
+      incrit = incrit + 1;
+      assert(incrit == 1);
+      incrit = incrit - 1;
+      flag1 = 0;
+    }
+  coend;
+}
+|}
+
+(* A broken Peterson: the writes to flag and turn are swapped in thread 0
+   — the reordering a sequential optimizer might consider harmless.
+   Exploration finds the mutual-exclusion violation. *)
+let peterson_broken =
+  {|
+proc main() {
+  var flag0 = 0;
+  var flag1 = 0;
+  var turn = 0;
+  var incrit = 0;
+  cobegin
+    {
+      turn = 1;
+      await(flag1 == 0 || turn == 0);
+      flag0 = 1;
+      incrit = incrit + 1;
+      assert(incrit == 1);
+      incrit = incrit - 1;
+      flag0 = 0;
+    }
+    {
+      flag1 = 1;
+      turn = 0;
+      await(flag0 == 0 || turn == 1);
+      incrit = incrit + 1;
+      assert(incrit == 1);
+      incrit = incrit - 1;
+      flag1 = 0;
+    }
+  coend;
+}
+|}
+
+(* A sense-reversing two-thread barrier, crossed [rounds] times: each
+   thread increments the arrival counter under a lock; the last arriver
+   flips the sense.  After each crossing both threads must agree on the
+   round number. *)
+let barrier rounds =
+  Printf.sprintf
+    {|
+proc main() {
+  var l = 0;
+  var arrived = 0;
+  var sense = 0;
+  var r0 = 0;
+  var r1 = 0;
+  cobegin
+    {
+      while (r0 < %d) {
+        lock(l);
+        arrived = arrived + 1;
+        if (arrived == 2) { arrived = 0; sense = 1 - sense; unlock(l); }
+        else { var my = sense; unlock(l); await(sense != my); }
+        r0 = r0 + 1;
+      }
+    }
+    {
+      while (r1 < %d) {
+        lock(l);
+        arrived = arrived + 1;
+        if (arrived == 2) { arrived = 0; sense = 1 - sense; unlock(l); }
+        else { var my = sense; unlock(l); await(sense != my); }
+        r1 = r1 + 1;
+      }
+    }
+  coend;
+  assert(r0 == %d && r1 == %d);
+}
+|}
+    rounds rounds rounds rounds
+
+(* Readers/writers with a single writer lock and a lock-protected reader
+   count: the writer must never observe a torn pair. *)
+let readers_writers =
+  {|
+proc main() {
+  var l = 0;
+  var readers = 0;
+  var a = 0;
+  var b = 0;
+  var bad = 0;
+  cobegin
+    {
+      lock(l);
+      readers = readers + 1;
+      unlock(l);
+      if (a != b) { bad = 1; }
+      lock(l);
+      readers = readers - 1;
+      unlock(l);
+    }
+    {
+      var written = 0;
+      while (written == 0) {
+        lock(l);
+        if (readers == 0) {
+          a = a + 1;
+          b = b + 1;
+          written = 1;
+        }
+        unlock(l);
+      }
+    }
+  coend;
+  assert(bad == 0);
+}
+|}
+
+let all_named =
+  [
+    ("peterson", peterson);
+    ("peterson_broken", peterson_broken);
+    ("barrier2", barrier 2);
+    ("readers_writers", readers_writers);
+  ]

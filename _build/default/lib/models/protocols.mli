@@ -1,0 +1,22 @@
+(** Classic shared-variable synchronization protocols — the programs the
+    paper's introduction says a compiler must analyze rather than break:
+    their correctness depends on the order of shared accesses under
+    sequential consistency. *)
+
+val peterson : string
+(** Peterson's mutual exclusion; the in-critical-section assert never
+    fails. *)
+
+val peterson_broken : string
+(** The same algorithm with thread 0's flag/turn writes reordered — the
+    "harmless" compiler transformation; exploration finds the mutual
+    exclusion violation. *)
+
+val barrier : int -> string
+(** Sense-reversing two-thread barrier, crossed n times. *)
+
+val readers_writers : string
+(** Lock-protected reader registration with a retrying writer; the
+    reader never observes a torn pair. *)
+
+val all_named : (string * string) list

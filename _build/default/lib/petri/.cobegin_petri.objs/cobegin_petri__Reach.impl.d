@@ -1,0 +1,1 @@
+lib/petri/reach.ml: Array Format Hashtbl List Net Queue

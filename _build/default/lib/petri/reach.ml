@@ -1,0 +1,153 @@
+(* Reachability-graph generation for nets: ordinary (full) expansion and
+   stubborn-set expansion.  The stubborn closure follows Valmari's rules
+   for place/transition nets:
+
+     - every *enabled* member t must drag in all transitions sharing an
+       input place with t (they could disable t, or be disabled by it);
+     - every *disabled* member t must drag in all producers of one chosen
+       insufficiently marked input place (its "scapegoat": only they can
+       enable t);
+     - the set must contain an enabled transition (the key transition).
+
+   Firing only the enabled members of a stubborn set at each step preserves
+   all deadlocks and, for our experiments, the set of reachable terminal
+   markings — while visiting far fewer intermediate markings. *)
+
+type stats = {
+  states : int;
+  edges : int;
+  deadlocks : int;
+  max_frontier : int;
+}
+
+type result = {
+  stats : stats;
+  deadlock_markings : Net.marking list;
+}
+
+let pp_stats ppf s =
+  Format.fprintf ppf "states=%d edges=%d deadlocks=%d" s.states s.edges
+    s.deadlocks
+
+module MarkingTbl = Hashtbl.Make (struct
+  type t = Net.marking
+
+  let equal = ( = )
+  let hash (m : Net.marking) = Hashtbl.hash (Array.to_list m)
+end)
+
+(* Generic exploration parameterized by the expansion strategy: [expand m]
+   returns the transitions to fire at marking [m] (all of them enabled). *)
+let explore ?(max_states = 10_000_000) net ~expand =
+  let visited = MarkingTbl.create 1024 in
+  let queue = Queue.create () in
+  let edges = ref 0 in
+  let deadlocks = ref [] in
+  let max_frontier = ref 0 in
+  let m0 = Net.initial_marking net in
+  MarkingTbl.add visited m0 ();
+  Queue.add m0 queue;
+  while not (Queue.is_empty queue) do
+    max_frontier := max !max_frontier (Queue.length queue);
+    let m = Queue.pop queue in
+    if Net.is_deadlock net m then deadlocks := m :: !deadlocks
+    else begin
+      let to_fire = expand m in
+      List.iter
+        (fun t ->
+          incr edges;
+          let m' = Net.fire m t in
+          if not (MarkingTbl.mem visited m') then begin
+            if MarkingTbl.length visited >= max_states then
+              failwith "Reach.explore: state budget exceeded";
+            MarkingTbl.add visited m' ();
+            Queue.add m' queue
+          end)
+        to_fire
+    end
+  done;
+  {
+    stats =
+      {
+        states = MarkingTbl.length visited;
+        edges = !edges;
+        deadlocks = List.length !deadlocks;
+        max_frontier = !max_frontier;
+      };
+    deadlock_markings = !deadlocks;
+  }
+
+let full ?max_states net =
+  explore ?max_states net ~expand:(fun m -> Net.enabled_transitions net m)
+
+(* Stubborn closure from a seed transition.  Returns the tids in the
+   closure.  [scapegoat] picks, for a disabled transition, one input place
+   with too few tokens; we choose the one with the fewest producers to keep
+   the closure small. *)
+let closure net idx (m : Net.marking) ~seed =
+  let in_set = Array.make (Net.num_transitions net) false in
+  let work = Queue.create () in
+  let add tid =
+    if not (in_set.(tid)) then begin
+      in_set.(tid) <- true;
+      Queue.add tid work
+    end
+  in
+  add seed;
+  while not (Queue.is_empty work) do
+    let tid = Queue.pop work in
+    let t = Net.transition net tid in
+    if Net.enabled m t then
+      (* conflicting transitions: share an input place *)
+      List.iter
+        (fun (p, _) -> List.iter add idx.Net.consumers.(p))
+        t.pre
+    else begin
+      (* scapegoat: an insufficiently marked input place w/ fewest producers *)
+      let candidates =
+        List.filter (fun (p, w) -> m.(p) < w) t.pre
+      in
+      match candidates with
+      | [] -> assert false (* t is disabled, so some place lacks tokens *)
+      | _ ->
+          let best, _ =
+            List.fold_left
+              (fun (bp, bn) (p, _) ->
+                let n = List.length idx.Net.producers.(p) in
+                if n < bn then (p, n) else (bp, bn))
+              (-1, max_int) candidates
+          in
+          List.iter add idx.Net.producers.(best)
+    end
+  done;
+  let result = ref [] in
+  Array.iteri (fun tid b -> if b then result := tid :: !result) in_set;
+  !result
+
+(* Pick the stubborn set with the fewest enabled transitions among the
+   closures seeded at each enabled transition. *)
+let stubborn_expand net idx (m : Net.marking) =
+  let enabled = Net.enabled_transitions net m in
+  match enabled with
+  | [] -> []
+  | _ ->
+      let best = ref None in
+      List.iter
+        (fun (t : Net.transition) ->
+          let c = closure net idx m ~seed:t.tid in
+          let fired =
+            List.filter_map
+              (fun tid ->
+                let t' = Net.transition net tid in
+                if Net.enabled m t' then Some t' else None)
+              c
+          in
+          match !best with
+          | Some (_, n) when n <= List.length fired -> ()
+          | _ -> best := Some (fired, List.length fired))
+        enabled;
+      (match !best with Some (fired, _) -> fired | None -> [])
+
+let stubborn ?max_states net =
+  let idx = Net.build_indices net in
+  explore ?max_states net ~expand:(stubborn_expand net idx)

@@ -1,0 +1,42 @@
+(** Reachability-graph generation for place/transition nets: ordinary
+    (full) expansion and stubborn-set expansion with Valmari's closure
+    rules — the construction behind the paper's dining-philosophers
+    scaling claim (section 2.2, citing [Val88]).
+
+    Firing only the enabled members of a stubborn set at each marking
+    preserves every deadlock while visiting far fewer markings. *)
+
+type stats = {
+  states : int;
+  edges : int;
+  deadlocks : int;
+  max_frontier : int;
+}
+
+type result = { stats : stats; deadlock_markings : Net.marking list }
+
+val pp_stats : Format.formatter -> stats -> unit
+
+val explore :
+  ?max_states:int ->
+  Net.t ->
+  expand:(Net.marking -> Net.transition list) ->
+  result
+(** Generic BFS under an expansion strategy; [expand] must return enabled
+    transitions only.
+    @raise Failure when the state budget is exceeded. *)
+
+val full : ?max_states:int -> Net.t -> result
+(** Ordinary reachability. *)
+
+val closure : Net.t -> Net.indices -> Net.marking -> seed:int -> int list
+(** The stubborn closure of a seed transition at a marking: enabled
+    members drag in input-sharing transitions; disabled members drag in
+    the producers of one insufficiently marked input place. *)
+
+val stubborn_expand : Net.t -> Net.indices -> Net.marking -> Net.transition list
+(** The enabled members of the smallest stubborn closure over all enabled
+    seeds. *)
+
+val stubborn : ?max_states:int -> Net.t -> result
+(** Stubborn-set reachability. *)

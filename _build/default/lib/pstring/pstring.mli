@@ -1,0 +1,98 @@
+(** Procedure strings (Harrison [Har89]; paper section 5).
+
+    The instrumented semantics records each process's procedural and
+    concurrency movements — entering/exiting a procedure activation and a
+    cobegin branch.  Because matching enter/exit pairs cancel, a string
+    in reduced form is exactly the stack of currently open activations,
+    root first.  Procedure strings serve as:
+
+    - the {e birthdate} of every object (the string at its allocation),
+    - the coordinate at which every access is logged,
+    - the carrier of the may-happen-in-parallel relation,
+    - the input of the extent (lifetime) computation. *)
+
+(** One open activation.  [inst] is a globally unique instance number
+    distinguishing successive activations of the same procedure or
+    successive executions of the same cobegin; abstraction erases it. *)
+type frame =
+  | Fcall of { proc : string; site : int; inst : int }
+      (** activation of [proc], called from the statement labelled [site] *)
+  | Fbranch of { cob : int; idx : int; inst : int }
+      (** branch [idx] of the cobegin at statement label [cob] *)
+
+type t = frame list
+(** Reduced procedure string: root-first stack of open activations. *)
+
+val empty : t
+(** The string of the root process before any movement. *)
+
+val frames : t -> frame list
+(** The open activations, outermost first. *)
+
+val depth : t -> int
+(** Number of open activations. *)
+
+val frame_equal : frame -> frame -> bool
+(** Frame identity, including instance numbers. *)
+
+val frame_similar : frame -> frame -> bool
+(** Structural frame identity, ignoring instance numbers. *)
+
+val equal : t -> t -> bool
+val similar : t -> t -> bool
+val compare : t -> t -> int
+
+val enter_call : proc:string -> site:int -> inst:int -> t -> t
+(** Record entering an activation of [proc] from call site [site]. *)
+
+val enter_branch : cob:int -> idx:int -> inst:int -> t -> t
+(** Record entering branch [idx] of the cobegin labelled [cob]. *)
+
+val exit_frame : t -> t
+(** Cancel the innermost open activation.
+    @raise Invalid_argument on the empty string. *)
+
+val innermost : t -> frame option
+(** The innermost open activation, if any. *)
+
+val is_prefix : prefix:t -> t -> bool
+(** Is [prefix] an ancestor (or equal) activation path of the string? *)
+
+val common_prefix : t -> t -> t
+(** The deepest activation shared by two strings. *)
+
+val may_happen_in_parallel : t -> t -> bool
+(** May the two recorded points execute concurrently?  True iff the
+    strings first diverge at two branches of the {e same} cobegin
+    instance with different indices.  Exact on instance-carrying
+    (concrete) strings. *)
+
+val may_happen_in_parallel_abstract : t -> t -> bool
+(** The same relation on instance-erased strings: conservative "may". *)
+
+val has_call : proc:string -> t -> bool
+(** Does the string contain an open activation of [proc]? *)
+
+val activations_of : proc:string -> t -> t list
+(** The prefixes ending at each open activation of [proc], outermost
+    first — one per nested activation. *)
+
+val extent_owner : birth:t -> accesses:t list -> t
+(** The deepest activation enclosing the birth and every access of an
+    object (paper section 5.3): the longest common prefix.  The object
+    may be deallocated when that activation exits; [empty] means the
+    object lives until program exit. *)
+
+val erase_instances : t -> t
+(** Abstraction: drop instance numbers. *)
+
+val limit : int -> t -> t
+(** [limit k p] keeps the [k] innermost activations. *)
+
+val abstract : k:int -> t -> t
+(** [erase_instances] composed with [limit k]: the finite abstraction of
+    birthdates used by the abstract machine (paper section 6). *)
+
+val pp_frame : Format.formatter -> frame -> unit
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/semantics/config.ml: Format Hashtbl Int List Map Option Proc Store Value

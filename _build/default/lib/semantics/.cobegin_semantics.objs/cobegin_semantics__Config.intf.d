@@ -1,0 +1,1 @@
+lib/semantics/config.mli: Format Map Proc Store Value

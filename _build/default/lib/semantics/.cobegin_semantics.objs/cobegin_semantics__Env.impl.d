@@ -1,0 +1,1 @@
+lib/semantics/env.ml: Format Map String Value

@@ -1,0 +1,1 @@
+lib/semantics/env.mli: Format Value

@@ -1,0 +1,1 @@
+lib/semantics/exec.ml: Config List Option Proc Random Step Value

@@ -1,0 +1,1 @@
+lib/semantics/exec.mli: Config Proc Step Value

@@ -1,0 +1,1 @@
+lib/semantics/proc.ml: Ast Cobegin_lang Env Format List Pretty Printf Pstring Value

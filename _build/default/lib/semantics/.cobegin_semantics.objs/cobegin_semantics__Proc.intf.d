@@ -1,0 +1,1 @@
+lib/semantics/proc.mli: Ast Cobegin_lang Env Format Pstring Value

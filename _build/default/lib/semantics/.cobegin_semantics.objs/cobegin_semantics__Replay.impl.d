@@ -1,0 +1,1 @@
+lib/semantics/replay.ml: Config Exec Format Option Step Value

@@ -1,0 +1,1 @@
+lib/semantics/replay.mli: Config Exec Format Step Value

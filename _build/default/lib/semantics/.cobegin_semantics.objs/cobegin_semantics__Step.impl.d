@@ -1,0 +1,1 @@
+lib/semantics/step.ml: Ast Cobegin_lang Config Env Format List Proc Pstring Store Value

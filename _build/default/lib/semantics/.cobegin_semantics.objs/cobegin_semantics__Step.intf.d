@@ -1,0 +1,1 @@
+lib/semantics/step.mli: Ast Cobegin_lang Config Env Proc Pstring Store Value

@@ -1,0 +1,1 @@
+lib/semantics/store.ml: Format List Pstring Value

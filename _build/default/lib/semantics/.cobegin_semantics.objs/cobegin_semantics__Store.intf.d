@@ -1,0 +1,1 @@
+lib/semantics/store.mli: Format Pstring Value

@@ -1,0 +1,1 @@
+lib/semantics/value.ml: Bool Format Int List Map Printf Set String

@@ -1,0 +1,1 @@
+lib/semantics/value.mli: Format Map Set

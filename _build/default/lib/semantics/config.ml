@@ -1,0 +1,82 @@
+(* Configurations: the global states of the interleaving semantics
+   (paper section 2): the set of live processes plus the shared store,
+   the allocation counters, and an optional error marker.
+
+   Equality and hashing go through a canonical representation so that the
+   exploration engine folds states reached by different interleavings.
+   Instrumentation metadata (birthdates, heap-ness) is excluded: it is
+   functionally determined by the rest. *)
+
+module PidMap = Map.Make (struct
+  type t = Value.pid
+
+  let compare = Value.compare_pid
+end)
+
+module CounterMap = Map.Make (struct
+  type t = Value.pid * int (* (pid, site) *)
+
+  let compare (p1, s1) (p2, s2) =
+    let c = Value.compare_pid p1 p2 in
+    if c <> 0 then c else Int.compare s1 s2
+  end)
+
+type t = {
+  procs : Proc.t PidMap.t;
+  store : Store.t;
+  counters : int CounterMap.t; (* next sequence number per (pid, site) *)
+  error : string option;
+}
+
+let make ~procs ~store ~counters ~error = { procs; store; counters; error }
+
+let processes c = List.map snd (PidMap.bindings c.procs)
+let find_proc pid c = PidMap.find_opt pid c.procs
+let num_procs c = PidMap.cardinal c.procs
+let is_error c = Option.is_some c.error
+
+(* Terminal: error, or every process has terminated (the root included).
+   A configuration where some process is blocked forever and none can move
+   is a *deadlock*, also terminal but distinguished by the explorer. *)
+let all_terminated c = PidMap.is_empty c.procs
+
+(* Bump the allocation counter for (pid, site); returns seq and the new
+   configuration counters. *)
+let next_seq ~pid ~site c =
+  let key = (pid, site) in
+  let seq = match CounterMap.find_opt key c.counters with Some n -> n | None -> 0 in
+  (seq, { c with counters = CounterMap.add key (seq + 1) c.counters })
+
+let update_proc p c = { c with procs = PidMap.add p.Proc.pid p c.procs }
+let remove_proc pid c = { c with procs = PidMap.remove pid c.procs }
+let add_proc p c = { c with procs = PidMap.add p.Proc.pid p c.procs }
+let with_store store c = { c with store }
+let with_error msg c = { c with error = Some msg }
+
+(* Canonical representation for hashing and equality. *)
+type repr = {
+  r_procs : Proc.repr list;
+  r_store : (Value.loc * Value.t) list;
+  r_counters : ((Value.pid * int) * int) list;
+  r_error : string option;
+}
+
+let repr c =
+  {
+    r_procs = List.map (fun (_, p) -> Proc.repr p) (PidMap.bindings c.procs);
+    r_store = Store.repr c.store;
+    r_counters = CounterMap.bindings c.counters;
+    r_error = c.error;
+  }
+
+let equal a b = repr a = repr b
+let hash c = Hashtbl.hash (repr c)
+
+let pp ppf c =
+  Format.fprintf ppf "@[<v>%a@ store: %a%a@]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut Proc.pp)
+    (processes c) Store.pp c.store
+    (fun ppf -> function
+      | None -> ()
+      | Some e -> Format.fprintf ppf "@ ERROR: %s" e)
+    c.error

@@ -1,0 +1,49 @@
+(** Configurations — the global states of the interleaving semantics
+    (paper section 2): live processes, shared store, allocation counters
+    and an optional error marker.  Equality and hashing go through a
+    canonical representation so that exploration folds states reached by
+    different interleavings. *)
+
+module PidMap : Map.S with type key = Value.pid
+module CounterMap : Map.S with type key = Value.pid * int
+
+type t = {
+  procs : Proc.t PidMap.t;
+  store : Store.t;
+  counters : int CounterMap.t;  (** next sequence number per (pid, site) *)
+  error : string option;  (** a runtime failure: the configuration is terminal *)
+}
+
+val make :
+  procs:Proc.t PidMap.t ->
+  store:Store.t ->
+  counters:int CounterMap.t ->
+  error:string option ->
+  t
+
+val processes : t -> Proc.t list
+(** Live processes, in pid order. *)
+
+val find_proc : Value.pid -> t -> Proc.t option
+val num_procs : t -> int
+val is_error : t -> bool
+
+val all_terminated : t -> bool
+(** Every process has run to completion: a final configuration. *)
+
+val next_seq : pid:Value.pid -> site:int -> t -> int * t
+(** Allocate the next sequence number for (pid, site). *)
+
+val update_proc : Proc.t -> t -> t
+val remove_proc : Value.pid -> t -> t
+val add_proc : Proc.t -> t -> t
+val with_store : Store.t -> t -> t
+val with_error : string -> t -> t
+
+type repr
+(** Canonical representation: pure data with structural equality. *)
+
+val repr : t -> repr
+val equal : t -> t -> bool
+val hash : t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,26 @@
+(* Environments map variable names to locations.  Blocks save and restore
+   environments (see Proc.Ipop), giving lexical block scoping; cobegin
+   branches inherit the spawning environment, which is how concurrent
+   threads come to share variables. *)
+
+module SM = Map.Make (String)
+
+type t = Value.loc SM.t
+
+let empty : t = SM.empty
+let find x (e : t) = SM.find_opt x e
+let bind x loc (e : t) : t = SM.add x loc e
+let bindings (e : t) = SM.bindings e
+let equal (a : t) (b : t) = SM.equal (fun l1 l2 -> Value.compare_loc l1 l2 = 0) a b
+
+(* Locations reachable directly from an environment (its frame of named
+   variables). *)
+let locations (e : t) =
+  SM.fold (fun _ l acc -> Value.LocSet.add l acc) e Value.LocSet.empty
+
+let pp ppf (e : t) =
+  Format.fprintf ppf "{@[%a@]}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+       (fun ppf (x, l) -> Format.fprintf ppf "%s↦%a" x Value.pp_loc l))
+    (SM.bindings e)

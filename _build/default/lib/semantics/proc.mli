@@ -1,0 +1,49 @@
+(** Process states: fork path, current environment, procedure string and
+    a continuation stack of work items. *)
+
+open Cobegin_lang
+
+(** Continuation items.  [Ipop] restores the environment at block exit;
+    [Iret] marks a pending procedure return (destination + caller
+    environment); [Ijoin] waits for the children of a cobegin. *)
+type item =
+  | Istmt of Ast.stmt
+  | Ipop of Env.t
+  | Iret of { dest : Ast.lvalue option; saved_env : Env.t; site : int }
+  | Ijoin of { cob : int; children : Value.pid list }
+
+type t = {
+  pid : Value.pid;
+  env : Env.t;
+  stack : item list;
+  pstr : Pstring.t;
+}
+
+val make : pid:Value.pid -> env:Env.t -> stack:item list -> pstr:Pstring.t -> t
+val item_equal : item -> item -> bool
+val equal : t -> t -> bool
+
+(** Canonical, hashable digest: statements identified by label,
+    environments by sorted bindings. *)
+type item_repr =
+  | Rstmt of int
+  | Rpop of (string * Value.loc) list
+  | Rret of string * (string * Value.loc) list
+  | Rjoin of int * Value.pid list
+
+type repr = {
+  r_pid : Value.pid;
+  r_env : (string * Value.loc) list;
+  r_stack : item_repr list;
+  r_pstr : string;
+}
+
+val item_repr : item -> item_repr
+val repr : t -> repr
+
+val next_stmt : t -> Ast.stmt option
+(** The statement the process executes next, when its top item is one. *)
+
+val is_terminated : t -> bool
+val pp_item : Format.formatter -> item -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,57 @@
+(* Schedule replay: execute a program under an explicit schedule (a list
+   of pids, as produced by Explore.Trace witnesses).  Used to validate
+   that a witness schedule actually reproduces the reported outcome, and
+   by tests as an independent check of the exploration engine. *)
+
+type step_error =
+  | Pid_not_enabled of Value.pid * int (* position in the schedule *)
+  | Pid_not_found of Value.pid * int
+
+type result =
+  | Replayed of Config.t (* configuration after the whole schedule *)
+  | Stuck of step_error * Config.t
+
+let pp_step_error ppf = function
+  | Pid_not_enabled (pid, i) ->
+      Format.fprintf ppf "step %d: process %a is not enabled" i Value.pp_pid
+        pid
+  | Pid_not_found (pid, i) ->
+      Format.fprintf ppf "step %d: process %a does not exist" i Value.pp_pid
+        pid
+
+let replay ctx (schedule : Value.pid list) : result =
+  let rec go c i = function
+    | [] -> Replayed c
+    | pid :: rest -> (
+        if Config.is_error c then Replayed c
+        else
+          match Config.find_proc pid c with
+          | None -> Stuck (Pid_not_found (pid, i), c)
+          | Some p ->
+              if not (Step.enabled_proc ctx c p) then
+                Stuck (Pid_not_enabled (pid, i), c)
+              else
+                let c', _ = Step.fire ctx c p in
+                go c' (i + 1) rest)
+  in
+  go (Step.init ctx) 0 schedule
+
+(* Replay and then run the rest to completion deterministically (leftmost
+   scheduling): the continuation of a witness prefix. *)
+let replay_then_finish ?(max_steps = 10_000) ctx schedule : Exec.outcome =
+  match replay ctx schedule with
+  | Stuck (_, c) -> Exec.Error ("stuck replay", c)
+  | Replayed c ->
+      let rec go c fuel =
+        if Config.is_error c then
+          Exec.Error (Option.get c.Config.error, c)
+        else if Config.all_terminated c then Exec.Terminated c
+        else if fuel = 0 then Exec.Out_of_fuel c
+        else
+          match Step.enabled_processes ctx c with
+          | [] -> Exec.Deadlock c
+          | p :: _ ->
+              let c', _ = Step.fire ctx c p in
+              go c' (fuel - 1)
+      in
+      go c max_steps

@@ -1,0 +1,24 @@
+(** Schedule replay: execute a program under an explicit schedule, as
+    produced by {!Cobegin_explore.Trace} witnesses.  Validates that a
+    witness actually reproduces its reported outcome. *)
+
+type step_error =
+  | Pid_not_enabled of Value.pid * int
+      (** the scheduled process exists but cannot move (position given) *)
+  | Pid_not_found of Value.pid * int
+      (** no live process has the scheduled pid *)
+
+type result =
+  | Replayed of Config.t  (** configuration after the whole schedule *)
+  | Stuck of step_error * Config.t  (** the schedule diverged *)
+
+val pp_step_error : Format.formatter -> step_error -> unit
+
+val replay : Step.ctx -> Value.pid list -> result
+(** Fire the scheduled processes in order from the initial
+    configuration; stops early at an error configuration. *)
+
+val replay_then_finish :
+  ?max_steps:int -> Step.ctx -> Value.pid list -> Exec.outcome
+(** Replay a prefix, then run to completion under deterministic leftmost
+    scheduling. *)

@@ -1,0 +1,783 @@
+(* The small-step interleaving semantics (paper sections 2 and 4).
+
+   One transition = one atomic action of one process: a simple statement,
+   a branch test, a call/return movement, a cobegin spawn, a join, or a
+   whole [atomic] block.  Expressions are pure and are evaluated entirely
+   within the action that contains them ([&&]/[||] are strict).
+
+   Each transition is *instrumented*: it reports the accesses (read/write,
+   location, statement label, procedure string) and allocations it
+   performs — the data from which the side-effect, dependence and lifetime
+   analyses are computed (paper section 5).
+
+   The module also computes the *footprint* of a process's next action
+   without committing it (a dry run), which is what the stubborn-set
+   reduction compares across processes (paper Algorithm 1). *)
+
+open Cobegin_lang
+module LS = Value.LocSet
+
+type ctx = {
+  prog : Ast.program;
+  addr_taken : Ast.StringSet.t; (* variable names whose address is taken *)
+}
+
+let make_ctx prog = { prog; addr_taken = Ast.addr_taken_of_program prog }
+
+(* --- instrumentation events --- *)
+
+type access = {
+  a_label : int; (* statement performing the access *)
+  a_loc : Value.loc;
+  a_kind : [ `Read | `Write ];
+  a_pstr : Pstring.t;
+  a_pid : Value.pid;
+}
+
+type alloc = {
+  al_loc : Value.loc;
+  al_site : int;
+  al_birth : Pstring.t;
+  al_heap : bool;
+}
+
+type events = { accesses : access list; allocs : alloc list }
+
+let no_events = { accesses = []; allocs = [] }
+
+let merge_events a b =
+  { accesses = a.accesses @ b.accesses; allocs = a.allocs @ b.allocs }
+
+(* --- expression evaluation --- *)
+
+exception Runtime_error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Runtime_error s)) fmt
+
+(* Evaluate [e]; accumulate read locations into [reads].  Procedure names
+   not shadowed by a binding evaluate to function values. *)
+let rec eval ctx env store reads e : Value.t =
+  match e with
+  | Ast.Eint n -> Value.Vint n
+  | Ast.Ebool b -> Value.Vbool b
+  | Ast.Evar x -> (
+      match Env.find x env with
+      | Some loc -> (
+          reads := LS.add loc !reads;
+          match Store.find loc store with
+          | Some v -> v
+          | None -> error "variable %s refers to a freed location" x)
+      | None ->
+          if Ast.has_proc ctx.prog x then Value.Vfun x
+          else error "undeclared variable %s" x)
+  | Ast.Eaddr x -> (
+      match Env.find x env with
+      | Some loc -> Value.Vloc loc
+      | None -> error "address of undeclared variable %s" x)
+  | Ast.Ederef e1 -> (
+      match eval ctx env store reads e1 with
+      | Value.Vloc loc -> (
+          reads := LS.add loc !reads;
+          match Store.find loc store with
+          | Some v -> v
+          | None -> error "dereference of a dangling pointer")
+      | v -> error "dereference of a %s value" (Value.type_name v))
+  | Ast.Eunop (op, e1) -> (
+      let v = eval ctx env store reads e1 in
+      match (op, v) with
+      | Ast.Not, Value.Vbool b -> Value.Vbool (not b)
+      | Ast.Neg, Value.Vint n -> Value.Vint (-n)
+      | Ast.Not, v -> error "! applied to a %s value" (Value.type_name v)
+      | Ast.Neg, v -> error "unary - applied to a %s value" (Value.type_name v))
+  | Ast.Ebinop (op, e1, e2) ->
+      let v1 = eval ctx env store reads e1 in
+      let v2 = eval ctx env store reads e2 in
+      eval_binop op v1 v2
+
+and eval_binop op v1 v2 =
+  let open Value in
+  let int_op f =
+    match (v1, v2) with
+    | Vint a, Vint b -> Vint (f a b)
+    | _ -> error "arithmetic on %s and %s" (type_name v1) (type_name v2)
+  in
+  let cmp_op f =
+    match (v1, v2) with
+    | Vint a, Vint b -> Vbool (f a b)
+    | _ -> error "comparison of %s and %s" (type_name v1) (type_name v2)
+  in
+  let bool_op f =
+    match (v1, v2) with
+    | Vbool a, Vbool b -> Vbool (f a b)
+    | _ ->
+        error "boolean operation on %s and %s" (type_name v1) (type_name v2)
+  in
+  match op with
+  | Ast.Add -> (
+      match (v1, v2) with
+      | Vloc l, Vint n | Vint n, Vloc l -> Vloc { l with l_off = l.l_off + n }
+      | _ -> int_op ( + ))
+  | Ast.Sub -> (
+      match (v1, v2) with
+      | Vloc l, Vint n -> Vloc { l with l_off = l.l_off - n }
+      | _ -> int_op ( - ))
+  | Ast.Mul -> int_op ( * )
+  | Ast.Div -> (
+      match (v1, v2) with
+      | Vint _, Vint 0 -> error "division by zero"
+      | _ -> int_op ( / ))
+  | Ast.Eq -> Vbool (equal_value v1 v2)
+  | Ast.Ne -> Vbool (not (equal_value v1 v2))
+  | Ast.Lt -> cmp_op ( < )
+  | Ast.Le -> cmp_op ( <= )
+  | Ast.Gt -> cmp_op ( > )
+  | Ast.Ge -> cmp_op ( >= )
+  | Ast.And -> bool_op ( && )
+  | Ast.Or -> bool_op ( || )
+
+let eval_bool ctx env store reads e =
+  match eval ctx env store reads e with
+  | Value.Vbool b -> b
+  | v -> error "condition evaluated to a %s value" (Value.type_name v)
+
+(* Resolve an lvalue to the location it denotes.  Reads performed while
+   evaluating a [Lderef] expression are accumulated. *)
+let resolve_lvalue ctx env store reads = function
+  | Ast.Lvar x -> (
+      match Env.find x env with
+      | Some loc -> loc
+      | None -> error "assignment to undeclared variable %s" x)
+  | Ast.Lderef e -> (
+      match eval ctx env store reads e with
+      | Value.Vloc loc -> loc
+      | v -> error "assignment through a %s value" (Value.type_name v))
+
+(* --- normalization: unfold administrative items --- *)
+
+let rec normalize_proc (p : Proc.t) : Proc.t option =
+  match p.Proc.stack with
+  | [] -> None (* terminated *)
+  | Proc.Istmt { kind = Ast.Sblock ss; _ } :: rest ->
+      let items = List.map (fun s -> Proc.Istmt s) ss in
+      normalize_proc { p with stack = items @ (Proc.Ipop p.env :: rest) }
+  | Proc.Ipop env :: rest -> normalize_proc { p with env; stack = rest }
+  | (Proc.Istmt _ | Proc.Iret _ | Proc.Ijoin _) :: _ -> Some p
+
+let normalize (c : Config.t) : Config.t =
+  Config.PidMap.fold
+    (fun pid p acc ->
+      match normalize_proc p with
+      | Some p' -> Config.update_proc p' acc
+      | None -> Config.remove_proc pid acc)
+    c.Config.procs c
+
+(* --- initial configuration --- *)
+
+let init ctx : Config.t =
+  let entry = Ast.entry_proc ctx.prog in
+  let p =
+    Proc.make ~pid:Value.root_pid ~env:Env.empty
+      ~stack:[ Proc.Istmt entry.Ast.body ]
+      ~pstr:Pstring.empty
+  in
+  normalize
+    (Config.make
+       ~procs:(Config.PidMap.singleton Value.root_pid p)
+       ~store:Store.empty ~counters:Config.CounterMap.empty ~error:None)
+
+(* --- enabledness --- *)
+
+(* A process whose next action is [await]/[lock] with a false condition is
+   disabled; a join with live children is disabled.  Every other process
+   with a non-empty stack is enabled.  Evaluation failures count as
+   enabled: firing them yields the error configuration. *)
+let enabled_proc ctx (c : Config.t) (p : Proc.t) : bool =
+  match p.Proc.stack with
+  | [] -> false
+  | Proc.Ipop _ :: _ -> assert false (* configurations are normalized *)
+  | Proc.Iret _ :: _ -> true
+  | Proc.Ijoin { children; _ } :: _ ->
+      List.for_all (fun pid -> Config.find_proc pid c = None) children
+  | Proc.Istmt s :: _ -> (
+      match s.Ast.kind with
+      | Ast.Sawait e -> (
+          let reads = ref LS.empty in
+          try eval_bool ctx p.env c.Config.store reads e
+          with Runtime_error _ -> true)
+      | Ast.Sacquire x -> (
+          match Env.find x p.env with
+          | None -> true (* firing reports the error *)
+          | Some loc -> (
+              match Store.find loc c.Config.store with
+              | Some (Value.Vint 0) -> true
+              | Some _ -> false
+              | None -> true))
+      | _ -> true)
+
+let enabled_processes ctx c =
+  if Config.is_error c then []
+  else List.filter (enabled_proc ctx c) (Config.processes c)
+
+(* --- footprints (dry runs) --- *)
+
+type footprint = { freads : LS.t; fwrites : LS.t }
+
+let empty_footprint = { freads = LS.empty; fwrites = LS.empty }
+
+let footprint_conflict f1 f2 =
+  (not (LS.is_empty (LS.inter f1.fwrites (LS.union f2.freads f2.fwrites))))
+  || not (LS.is_empty (LS.inter f2.fwrites f1.freads))
+
+(* Dry-run of evaluating an expression: just the read set; errors give the
+   reads collected so far. *)
+let expr_reads ctx env store e =
+  let reads = ref LS.empty in
+  (try ignore (eval ctx env store reads e) with Runtime_error _ -> ());
+  !reads
+
+let lvalue_footprint ctx env store lv =
+  let reads = ref LS.empty in
+  let write =
+    try Some (resolve_lvalue ctx env store reads lv) with Runtime_error _ -> None
+  in
+  (!reads, write)
+
+(* Footprint of one simple statement, given current env/store (used both
+   for single statements and within atomic blocks). *)
+let simple_stmt_footprint ctx env store (s : Ast.stmt) : footprint =
+  match s.Ast.kind with
+  | Ast.Sskip -> empty_footprint
+  | Ast.Sdecl (_, e) ->
+      { freads = expr_reads ctx env store e; fwrites = LS.empty }
+      (* the declared cell is fresh: invisible to others *)
+  | Ast.Sassign (lv, e) ->
+      let r1, w = lvalue_footprint ctx env store lv in
+      let r2 = expr_reads ctx env store e in
+      {
+        freads = LS.union r1 r2;
+        fwrites = (match w with Some l -> LS.singleton l | None -> LS.empty);
+      }
+  | Ast.Sassert e -> { freads = expr_reads ctx env store e; fwrites = LS.empty }
+  | _ -> invalid_arg "simple_stmt_footprint"
+
+(* Footprint of the next action of a process. *)
+let action_footprint ctx (c : Config.t) (p : Proc.t) : footprint =
+  let store = c.Config.store in
+  let env = p.Proc.env in
+  match p.Proc.stack with
+  | [] -> empty_footprint
+  | Proc.Ipop _ :: _ -> empty_footprint
+  | Proc.Ijoin _ :: _ -> empty_footprint
+  | Proc.Iret { dest; saved_env; _ } :: _ ->
+      (* fall-through return writes the destination with the default *)
+      (match dest with
+      | None -> empty_footprint
+      | Some lv ->
+          let r, w = lvalue_footprint ctx saved_env store lv in
+          {
+            freads = r;
+            fwrites = (match w with Some l -> LS.singleton l | None -> LS.empty);
+          })
+  | Proc.Istmt s :: rest -> (
+      match s.Ast.kind with
+      | Ast.Sskip | Ast.Sdecl _ | Ast.Sassign _ | Ast.Sassert _ ->
+          simple_stmt_footprint ctx env store s
+      | Ast.Smalloc (lv, e) ->
+          let r1, w = lvalue_footprint ctx env store lv in
+          let r2 = expr_reads ctx env store e in
+          {
+            freads = LS.union r1 r2;
+            fwrites = (match w with Some l -> LS.singleton l | None -> LS.empty);
+          }
+      | Ast.Sfree e -> (
+          (* freeing invalidates cells: treat as writes to the block *)
+          let reads = ref LS.empty in
+          match eval ctx env store reads e with
+          | Value.Vloc l -> (
+              match Store.block_cells l store with
+              | Some cells -> { freads = !reads; fwrites = cells }
+              | None -> { freads = !reads; fwrites = LS.empty })
+          | _ | (exception Runtime_error _) ->
+              { freads = !reads; fwrites = LS.empty })
+      | Ast.Scall (_, callee, args) ->
+          let reads =
+            List.fold_left
+              (fun acc e -> LS.union acc (expr_reads ctx env store e))
+              (expr_reads ctx env store callee)
+              args
+          in
+          (* parameters are fresh cells; destination is written at return *)
+          { freads = reads; fwrites = LS.empty }
+      | Ast.Sreturn e_opt -> (
+          let r0 =
+            match e_opt with
+            | Some e -> expr_reads ctx env store e
+            | None -> LS.empty
+          in
+          (* find the pending return to locate the destination *)
+          let rec find = function
+            | Proc.Iret { dest; saved_env; _ } :: _ -> Some (dest, saved_env)
+            | Proc.Ijoin _ :: _ -> None
+            | _ :: tl -> find tl
+            | [] -> None
+          in
+          match find rest with
+          | Some (Some lv, saved_env) ->
+              let r1, w = lvalue_footprint ctx saved_env store lv in
+              {
+                freads = LS.union r0 r1;
+                fwrites =
+                  (match w with Some l -> LS.singleton l | None -> LS.empty);
+              }
+          | _ -> { freads = r0; fwrites = LS.empty })
+      | Ast.Sif (e, _, _) | Ast.Swhile (e, _) | Ast.Sawait e ->
+          { freads = expr_reads ctx env store e; fwrites = LS.empty }
+      | Ast.Sacquire x -> (
+          match Env.find x env with
+          | Some l -> { freads = LS.singleton l; fwrites = LS.singleton l }
+          | None -> empty_footprint)
+      | Ast.Srelease x -> (
+          match Env.find x env with
+          | Some l -> { freads = LS.empty; fwrites = LS.singleton l }
+          | None -> empty_footprint)
+      | Ast.Scobegin _ -> empty_footprint
+      | Ast.Satomic ss ->
+          (* dry-run the block on scratch state *)
+          let rec go env store acc = function
+            | [] -> acc
+            | (s' : Ast.stmt) :: tl -> (
+                let fp = simple_stmt_footprint ctx env store s' in
+                let acc =
+                  {
+                    freads = LS.union acc.freads fp.freads;
+                    fwrites = LS.union acc.fwrites fp.fwrites;
+                  }
+                in
+                (* commit the effect so later footprints see it *)
+                match s'.Ast.kind with
+                | Ast.Sdecl (x, e) -> (
+                    let reads = ref LS.empty in
+                    match eval ctx env store reads e with
+                    | v ->
+                        let loc =
+                          {
+                            Value.l_pid = p.Proc.pid;
+                            l_site = s'.Ast.label;
+                            l_seq = max_int (* scratch: never compared *);
+                            l_off = 0;
+                          }
+                        in
+                        let store =
+                          Store.alloc ~birth:p.Proc.pstr loc v store
+                        in
+                        go (Env.bind x loc env) store acc tl
+                    | exception Runtime_error _ -> acc)
+                | Ast.Sassign (lv, e) -> (
+                    let reads = ref LS.empty in
+                    match
+                      let v = eval ctx env store reads e in
+                      let l = resolve_lvalue ctx env store reads lv in
+                      (v, l)
+                    with
+                    | v, l -> go env (Store.set l v store) acc tl
+                    | exception Runtime_error _ -> acc)
+                | _ -> go env store acc tl)
+          in
+          go env store empty_footprint ss
+      | Ast.Sblock _ -> assert false (* normalized away *))
+
+(* --- firing transitions --- *)
+
+let read_events ~label ~pstr ~pid reads =
+  LS.fold
+    (fun l acc ->
+      { a_label = label; a_loc = l; a_kind = `Read; a_pstr = pstr; a_pid = pid }
+      :: acc)
+    reads []
+
+let write_event ~label ~pstr ~pid l =
+  { a_label = label; a_loc = l; a_kind = `Write; a_pstr = pstr; a_pid = pid }
+
+(* Execute one simple statement (skip/decl/assign/assert) for process [p],
+   threading env, configuration (store + counters) and events.  Raises
+   [Runtime_error]. *)
+let exec_simple ctx (p : Proc.t) (env, c, evs) (s : Ast.stmt) =
+  let label = s.Ast.label in
+  let pstr = p.Proc.pstr and pid = p.Proc.pid in
+  let store = c.Config.store in
+  match s.Ast.kind with
+  | Ast.Sskip -> (env, c, evs)
+  | Ast.Sdecl (x, e) ->
+      let reads = ref LS.empty in
+      let v = eval ctx env store reads e in
+      let seq, c = Config.next_seq ~pid ~site:label c in
+      let loc = { Value.l_pid = pid; l_site = label; l_seq = seq; l_off = 0 } in
+      let exposed = Ast.StringSet.mem x ctx.addr_taken in
+      let store = Store.alloc ~exposed ~birth:pstr loc v store in
+      let evs =
+        {
+          accesses =
+            (write_event ~label ~pstr ~pid loc :: read_events ~label ~pstr ~pid !reads)
+            @ evs.accesses;
+          allocs =
+            { al_loc = loc; al_site = label; al_birth = pstr; al_heap = false }
+            :: evs.allocs;
+        }
+      in
+      (Env.bind x loc env, Config.with_store store c, evs)
+  | Ast.Sassign (lv, e) ->
+      let reads = ref LS.empty in
+      let v = eval ctx env store reads e in
+      let l = resolve_lvalue ctx env store reads lv in
+      if not (Store.mem l store) then error "write to a freed or invalid location";
+      let evs =
+        {
+          evs with
+          accesses =
+            (write_event ~label ~pstr ~pid l :: read_events ~label ~pstr ~pid !reads)
+            @ evs.accesses;
+        }
+      in
+      (env, Config.with_store (Store.set l v store) c, evs)
+  | Ast.Sassert e ->
+      let reads = ref LS.empty in
+      let b = eval_bool ctx env store reads e in
+      if not b then error "assertion failed at statement %d" label;
+      let evs =
+        { evs with accesses = read_events ~label ~pstr ~pid !reads @ evs.accesses }
+      in
+      (env, c, evs)
+  | _ -> invalid_arg "exec_simple"
+
+(* Fire the next action of process [p] in configuration [c].  The caller
+   must have checked [enabled_proc].  Returns the successor configuration
+   (normalized) and the instrumentation events of the action. *)
+let fire ctx (c : Config.t) (p : Proc.t) : Config.t * events =
+  let pid = p.Proc.pid and pstr = p.Proc.pstr in
+  let store = c.Config.store in
+  try
+    match p.Proc.stack with
+    | [] -> invalid_arg "Step.fire: terminated process"
+    | Proc.Ipop _ :: _ -> invalid_arg "Step.fire: unnormalized configuration"
+    | Proc.Ijoin _ :: rest ->
+        (normalize (Config.update_proc { p with stack = rest } c), no_events)
+    | Proc.Iret { dest; saved_env; site } :: rest ->
+        (* fall off the end of a procedure: return the default value.
+           The destination write belongs to the caller, at the call
+           statement. *)
+        let caller_pstr = Pstring.exit_frame pstr in
+        let reads = ref LS.empty in
+        let c, evs =
+          match dest with
+          | None -> (c, no_events)
+          | Some lv ->
+              let l = resolve_lvalue ctx saved_env store reads lv in
+              if not (Store.mem l store) then
+                error "write to a freed or invalid location";
+              ( Config.with_store (Store.set l (Value.Vint 0) store) c,
+                {
+                  accesses =
+                    write_event ~label:site ~pstr:caller_pstr ~pid l
+                    :: read_events ~label:site ~pstr:caller_pstr ~pid !reads;
+                  allocs = [];
+                } )
+        in
+        let p' =
+          {
+            p with
+            env = saved_env;
+            stack = rest;
+            pstr = Pstring.exit_frame pstr;
+          }
+        in
+        (normalize (Config.update_proc p' c), evs)
+    | Proc.Istmt s :: rest -> (
+        let label = s.Ast.label in
+        match s.Ast.kind with
+        | Ast.Sskip | Ast.Sdecl _ | Ast.Sassign _ | Ast.Sassert _ ->
+            let env, c, evs = exec_simple ctx p (p.env, c, no_events) s in
+            (normalize (Config.update_proc { p with env; stack = rest } c), evs)
+        | Ast.Satomic ss ->
+            let env, c, evs =
+              List.fold_left (exec_simple ctx p) (p.env, c, no_events) ss
+            in
+            (normalize (Config.update_proc { p with env; stack = rest } c), evs)
+        | Ast.Smalloc (lv, e) ->
+            let reads = ref LS.empty in
+            let size =
+              match eval ctx p.env store reads e with
+              | Value.Vint n when n >= 0 -> n
+              | Value.Vint n -> error "malloc with negative size %d" n
+              | v -> error "malloc size is a %s value" (Value.type_name v)
+            in
+            let seq, c = Config.next_seq ~pid ~site:label c in
+            let base =
+              { Value.l_pid = pid; l_site = label; l_seq = seq; l_off = 0 }
+            in
+            let store = c.Config.store in
+            let store, allocs =
+              List.fold_left
+                (fun (store, allocs) i ->
+                  let cell = { base with Value.l_off = i } in
+                  ( Store.alloc ~heap:true ~birth:pstr cell (Value.Vint 0) store,
+                    {
+                      al_loc = cell;
+                      al_site = label;
+                      al_birth = pstr;
+                      al_heap = true;
+                    }
+                    :: allocs ))
+                (store, [])
+                (List.init size (fun i -> i))
+            in
+            let store = Store.register_block base size store in
+            let l = resolve_lvalue ctx p.env store reads lv in
+            if not (Store.mem l store) then
+              error "write to a freed or invalid location";
+            let store = Store.set l (Value.Vloc base) store in
+            let evs =
+              {
+                accesses =
+                  write_event ~label ~pstr ~pid l
+                  :: read_events ~label ~pstr ~pid !reads;
+                allocs;
+              }
+            in
+            ( normalize
+                (Config.update_proc { p with stack = rest }
+                   (Config.with_store store c)),
+              evs )
+        | Ast.Sfree e -> (
+            let reads = ref LS.empty in
+            match eval ctx p.env store reads e with
+            | Value.Vloc l when l.Value.l_off = 0 -> (
+                match Store.block_cells l store with
+                | None -> error "free of a non-malloc pointer"
+                | Some cells ->
+                    if
+                      (not (LS.is_empty cells))
+                      && not (Store.mem (LS.min_elt cells) store)
+                    then error "double free";
+                    let store = Store.free cells store in
+                    let evs =
+                      {
+                        accesses =
+                          LS.fold
+                            (fun cell acc ->
+                              write_event ~label ~pstr ~pid cell :: acc)
+                            cells
+                            (read_events ~label ~pstr ~pid !reads);
+                        allocs = [];
+                      }
+                    in
+                    ( normalize
+                        (Config.update_proc { p with stack = rest }
+                           (Config.with_store store c)),
+                      evs ))
+            | Value.Vloc _ -> error "free of an interior pointer"
+            | v -> error "free of a %s value" (Value.type_name v))
+        | Ast.Scall (dest, callee, args) ->
+            let reads = ref LS.empty in
+            let fname =
+              match eval ctx p.env store reads callee with
+              | Value.Vfun f -> f
+              | v -> error "call of a %s value" (Value.type_name v)
+            in
+            let callee_proc =
+              match Ast.find_proc ctx.prog fname with
+              | Some pr -> pr
+              | None -> error "call of unknown procedure %s" fname
+            in
+            if List.length args <> List.length callee_proc.Ast.params then
+              error "procedure %s expects %d argument(s), got %d" fname
+                (List.length callee_proc.Ast.params)
+                (List.length args);
+            let arg_vals = List.map (eval ctx p.env store reads) args in
+            let seq, c = Config.next_seq ~pid ~site:label c in
+            let new_pstr =
+              Pstring.enter_call ~proc:fname ~site:label ~inst:seq pstr
+            in
+            let store = c.Config.store in
+            let store, env', allocs, writes =
+              List.fold_left
+                (fun (store, env', allocs, writes) (i, (x, v)) ->
+                  let cell =
+                    { Value.l_pid = pid; l_site = label; l_seq = seq; l_off = i }
+                  in
+                  let exposed = Ast.StringSet.mem x ctx.addr_taken in
+                  ( Store.alloc ~exposed ~birth:new_pstr cell v store,
+                    Env.bind x cell env',
+                    {
+                      al_loc = cell;
+                      al_site = label;
+                      al_birth = new_pstr;
+                      al_heap = false;
+                    }
+                    :: allocs,
+                    write_event ~label ~pstr:new_pstr ~pid cell :: writes ))
+                (store, Env.empty, [], [])
+                (List.mapi (fun i xv -> (i, xv))
+                   (List.combine callee_proc.Ast.params arg_vals))
+            in
+            let p' =
+              {
+                p with
+                env = env';
+                pstr = new_pstr;
+                stack =
+                  Proc.Istmt callee_proc.Ast.body
+                  :: Proc.Iret { dest; saved_env = p.env; site = label }
+                  :: rest;
+              }
+            in
+            let evs =
+              {
+                accesses = writes @ read_events ~label ~pstr ~pid !reads;
+                allocs;
+              }
+            in
+            ( normalize (Config.update_proc p' (Config.with_store store c)),
+              evs )
+        | Ast.Sreturn e_opt ->
+            let reads = ref LS.empty in
+            let v =
+              match e_opt with
+              | Some e -> eval ctx p.env store reads e
+              | None -> Value.Vint 0
+            in
+            let rec unwind = function
+              | Proc.Iret { dest; saved_env; site } :: tl ->
+                  (dest, saved_env, site, tl)
+              | Proc.Ijoin _ :: _ ->
+                  error "return crosses a cobegin boundary"
+              | Proc.Ipop _ :: tl | Proc.Istmt _ :: tl -> unwind tl
+              | [] -> error "return outside a procedure"
+            in
+            let dest, saved_env, site, tail = unwind rest in
+            (* the destination write belongs to the caller, at the call
+               statement *)
+            let caller_pstr = Pstring.exit_frame pstr in
+            let c, wevs =
+              match dest with
+              | None -> (c, [])
+              | Some lv ->
+                  let dreads = ref LS.empty in
+                  let l = resolve_lvalue ctx saved_env store dreads lv in
+                  if not (Store.mem l store) then
+                    error "write to a freed or invalid location";
+                  ( Config.with_store (Store.set l v store) c,
+                    write_event ~label:site ~pstr:caller_pstr ~pid l
+                    :: read_events ~label:site ~pstr:caller_pstr ~pid !dreads )
+            in
+            let p' =
+              {
+                p with
+                env = saved_env;
+                stack = tail;
+                pstr = Pstring.exit_frame pstr;
+              }
+            in
+            let evs =
+              { accesses = wevs @ read_events ~label ~pstr ~pid !reads; allocs = [] }
+            in
+            (normalize (Config.update_proc p' c), evs)
+        | Ast.Sif (e, s1, s2) ->
+            let reads = ref LS.empty in
+            let b = eval_bool ctx p.env store reads e in
+            let chosen = if b then s1 else s2 in
+            let p' = { p with stack = Proc.Istmt chosen :: rest } in
+            ( normalize (Config.update_proc p' c),
+              { accesses = read_events ~label ~pstr ~pid !reads; allocs = [] } )
+        | Ast.Swhile (e, body) ->
+            let reads = ref LS.empty in
+            let b = eval_bool ctx p.env store reads e in
+            let stack =
+              if b then Proc.Istmt body :: Proc.Istmt s :: rest else rest
+            in
+            ( normalize (Config.update_proc { p with stack } c),
+              { accesses = read_events ~label ~pstr ~pid !reads; allocs = [] } )
+        | Ast.Scobegin bs ->
+            let seq, c = Config.next_seq ~pid ~site:label c in
+            let children =
+              List.mapi
+                (fun i b ->
+                  Proc.make
+                    ~pid:(Value.child_pid pid ~cob:label ~idx:i)
+                    ~env:p.env
+                    ~stack:[ Proc.Istmt b ]
+                    ~pstr:(Pstring.enter_branch ~cob:label ~idx:i ~inst:seq pstr))
+                bs
+            in
+            let parent =
+              {
+                p with
+                stack =
+                  Proc.Ijoin
+                    { cob = label; children = List.map (fun ch -> ch.Proc.pid) children }
+                  :: rest;
+              }
+            in
+            let c = List.fold_left (fun c ch -> Config.add_proc ch c) c children in
+            (normalize (Config.update_proc parent c), no_events)
+        | Ast.Sawait e ->
+            let reads = ref LS.empty in
+            let b = eval_bool ctx p.env store reads e in
+            if not b then invalid_arg "Step.fire: await not enabled";
+            ( normalize (Config.update_proc { p with stack = rest } c),
+              { accesses = read_events ~label ~pstr ~pid !reads; allocs = [] } )
+        | Ast.Sacquire x -> (
+            match Env.find x p.env with
+            | None -> error "lock of undeclared variable %s" x
+            | Some l -> (
+                match Store.find l store with
+                | Some (Value.Vint 0) ->
+                    let store = Store.set l (Value.Vint 1) store in
+                    ( normalize
+                        (Config.update_proc { p with stack = rest }
+                           (Config.with_store store c)),
+                      {
+                        accesses =
+                          [
+                            write_event ~label ~pstr ~pid l;
+                            {
+                              a_label = label;
+                              a_loc = l;
+                              a_kind = `Read;
+                              a_pstr = pstr;
+                              a_pid = pid;
+                            };
+                          ];
+                        allocs = [];
+                      } )
+                | Some _ -> invalid_arg "Step.fire: lock not enabled"
+                | None -> error "lock of a freed location"))
+        | Ast.Srelease x -> (
+            match Env.find x p.env with
+            | None -> error "unlock of undeclared variable %s" x
+            | Some l ->
+                if not (Store.mem l store) then error "unlock of a freed location";
+                let store = Store.set l (Value.Vint 0) store in
+                ( normalize
+                    (Config.update_proc { p with stack = rest }
+                       (Config.with_store store c)),
+                  {
+                    accesses = [ write_event ~label ~pstr ~pid l ];
+                    allocs = [];
+                  } ))
+        | Ast.Sblock _ -> assert false (* normalized away *))
+  with Runtime_error msg -> (Config.with_error msg c, no_events)
+
+(* All successors of a configuration with the firing process and events:
+   the full expansion of the paper's ordinary state-space generation. *)
+let successors ctx (c : Config.t) : (Value.pid * Config.t * events) list =
+  List.map
+    (fun p ->
+      let c', evs = fire ctx c p in
+      (p.Proc.pid, c', evs))
+    (enabled_processes ctx c)
+
+(* Deadlock: not terminated, no error, but nothing can move. *)
+let is_deadlock ctx (c : Config.t) =
+  (not (Config.is_error c))
+  && (not (Config.all_terminated c))
+  && enabled_processes ctx c = []

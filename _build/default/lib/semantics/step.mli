@@ -1,0 +1,97 @@
+(** The small-step interleaving semantics (paper sections 2 and 4).
+
+    One transition is one atomic action of one process: a simple
+    statement, a branch test, a call/return movement, a cobegin spawn, a
+    join, or a whole [atomic] block.  Expressions are pure and evaluated
+    within the action containing them.  Every transition is instrumented
+    with the accesses and allocations it performs — the input of the
+    section-5 analyses. *)
+
+open Cobegin_lang
+
+type ctx = {
+  prog : Ast.program;
+  addr_taken : Ast.StringSet.t;  (** names whose address is taken *)
+}
+
+val make_ctx : Ast.program -> ctx
+
+(** {1 Instrumentation} *)
+
+type access = {
+  a_label : int;  (** statement performing the access; -1 = implicit *)
+  a_loc : Value.loc;
+  a_kind : [ `Read | `Write ];
+  a_pstr : Pstring.t;  (** procedure string at the access *)
+  a_pid : Value.pid;
+}
+
+type alloc = {
+  al_loc : Value.loc;
+  al_site : int;
+  al_birth : Pstring.t;  (** the object's birthdate *)
+  al_heap : bool;
+}
+
+type events = { accesses : access list; allocs : alloc list }
+
+val no_events : events
+val merge_events : events -> events -> events
+
+(** {1 Evaluation} *)
+
+exception Runtime_error of string
+
+val eval :
+  ctx -> Env.t -> Store.t -> Value.LocSet.t ref -> Ast.expr -> Value.t
+(** Evaluate an expression, accumulating the locations read.
+    @raise Runtime_error on type errors, dangling pointers, division by
+    zero, etc. *)
+
+val eval_bool : ctx -> Env.t -> Store.t -> Value.LocSet.t ref -> Ast.expr -> bool
+
+val resolve_lvalue :
+  ctx -> Env.t -> Store.t -> Value.LocSet.t ref -> Ast.lvalue -> Value.loc
+
+(** {1 Configurations} *)
+
+val normalize : Config.t -> Config.t
+(** Unfold administrative items (blocks, environment pops) and drop
+    terminated processes; all configurations handled by [fire] and
+    returned by it are normalized. *)
+
+val init : ctx -> Config.t
+(** Initial configuration: one root process at the entry procedure. *)
+
+val enabled_proc : ctx -> Config.t -> Proc.t -> bool
+(** Disabled: an [await]/[lock] whose condition is false, or a join with
+    live children.  Failing evaluations count as enabled — firing them
+    yields the error configuration. *)
+
+val enabled_processes : ctx -> Config.t -> Proc.t list
+
+(** {1 Footprints (dry runs)} *)
+
+type footprint = { freads : Value.LocSet.t; fwrites : Value.LocSet.t }
+
+val empty_footprint : footprint
+
+val footprint_conflict : footprint -> footprint -> bool
+(** Write/read or write/write overlap. *)
+
+val action_footprint : ctx -> Config.t -> Proc.t -> footprint
+(** The locations the process's next action would read and write,
+    computed without committing — what the stubborn-set reduction
+    compares across processes (Algorithm 1). *)
+
+(** {1 Transitions} *)
+
+val fire : ctx -> Config.t -> Proc.t -> Config.t * events
+(** Fire the next action of an enabled process.  Runtime failures yield
+    an error configuration rather than raising. *)
+
+val successors : ctx -> Config.t -> (Value.pid * Config.t * events) list
+(** Full expansion: one successor per enabled process. *)
+
+val is_deadlock : ctx -> Config.t -> bool
+(** Not terminated, no error, nothing enabled. *)

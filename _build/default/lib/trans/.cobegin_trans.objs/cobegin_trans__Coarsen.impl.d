@@ -1,0 +1,1 @@
+lib/trans/coarsen.ml: Ast Cobegin_lang Critical List

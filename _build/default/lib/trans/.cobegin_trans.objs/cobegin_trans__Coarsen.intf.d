@@ -1,0 +1,1 @@
+lib/trans/coarsen.mli: Ast Cobegin_lang Critical

@@ -1,0 +1,1 @@
+lib/trans/critical.ml: Access Ast Cobegin_lang Format List Option String

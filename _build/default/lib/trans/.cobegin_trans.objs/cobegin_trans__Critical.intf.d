@@ -1,0 +1,1 @@
+lib/trans/critical.mli: Access Ast Cobegin_lang Format

@@ -1,0 +1,1 @@
+lib/trans/inline.ml: Ast Cobegin_lang List Option Printf StringSet

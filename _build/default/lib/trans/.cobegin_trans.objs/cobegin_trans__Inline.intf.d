@@ -1,0 +1,1 @@
+lib/trans/inline.mli: Ast Cobegin_lang

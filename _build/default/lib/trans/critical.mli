@@ -1,0 +1,39 @@
+(** Critical references (paper Definition 4): reads of variables another
+    thread may write, and writes to variables another thread may read or
+    write.  Approximated syntactically: for every cobegin and every pair
+    of branches, the free names accessed by both with a write on at
+    least one side conflict; heap accesses conflict through a single
+    memory token; calls contribute their transitive memory effects. *)
+
+open Cobegin_lang
+
+type conflicts = {
+  names : Ast.StringSet.t;  (** names with a cross-thread conflict *)
+  mem : bool;  (** pointer/heap accesses conflict across threads *)
+}
+
+val no_conflicts : conflicts
+
+val free_summary :
+  effects:(string -> Access.proc_effects option) ->
+  any:Access.proc_effects ->
+  Ast.stmt ->
+  Access.summary
+(** Like {!Access.stmt_summary} but names bound inside the statement are
+    excluded (block scoping): the accesses visible from outside. *)
+
+val summary_conflicts : Access.summary -> Access.summary -> conflicts
+val union_conflicts : conflicts -> conflicts -> conflicts
+
+val of_program : Ast.program -> conflicts
+(** All cross-branch conflicts of the program. *)
+
+val expr_critical : conflicts -> Ast.expr -> int
+(** Number of critical references in an expression. *)
+
+val stmt_critical : conflicts -> Ast.stmt -> int
+(** Critical references of one {e simple} statement (skip, declaration,
+    assignment, assert — the kinds virtual coarsening groups).
+    @raise Invalid_argument on other statement kinds. *)
+
+val pp : Format.formatter -> conflicts -> unit

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Check Cobegin_explore Cobegin_lang Cobegin_models Cobegin_semantics Parser QCheck2 QCheck_alcotest

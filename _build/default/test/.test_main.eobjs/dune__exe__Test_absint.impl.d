@@ -1,0 +1,1 @@
+test/test_absint.ml: Alog Analyzer Cobegin_absint Cobegin_domains Cobegin_explore Cobegin_models Cobegin_semantics Helpers List Machine

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Cobegin_absint Cobegin_analysis Cobegin_explore Cobegin_models Cobegin_semantics Depend Event Helpers Lifetime List Pstring Race Side_effect

@@ -1,0 +1,1 @@
+test/test_domains.ml: Bool3 Cobegin_domains Const Fixpoint Format Galois Gen Helpers Int Int_parity Interval Lattice List Map_lattice Parity Powerset QCheck2 Sign

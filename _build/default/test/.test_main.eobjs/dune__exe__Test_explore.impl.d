@@ -1,0 +1,1 @@
+test/test_explore.ml: Alcotest Cobegin_explore Cobegin_models Cobegin_semantics Cobegin_trans Helpers List Printf Sleep Space Stubborn Trace

@@ -1,0 +1,1 @@
+test/test_footprint.ml: Alcotest Cobegin_explore Cobegin_lang Cobegin_models Cobegin_semantics Config Exec Helpers List Mayaccess Proc Replay Step Store Value

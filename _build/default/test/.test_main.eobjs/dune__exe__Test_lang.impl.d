@@ -1,0 +1,1 @@
+test/test_lang.ml: Access Alcotest Ast Check Cobegin_lang Cobegin_models Format Helpers Lexer List Parser Pretty String

@@ -1,0 +1,1 @@
+test/test_petri.ml: Alcotest Array Cobegin_models Cobegin_petri Helpers List Net Printf QCheck2 Reach

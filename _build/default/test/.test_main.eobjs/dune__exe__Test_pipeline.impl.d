@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Cobegin_absint Cobegin_analysis Cobegin_core Cobegin_explore Cobegin_lang Cobegin_models Format Helpers List Pipeline String

@@ -1,0 +1,1 @@
+test/test_pstring.ml: Helpers List Printf Pstring QCheck2

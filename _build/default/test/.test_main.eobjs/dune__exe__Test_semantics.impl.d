@@ -1,0 +1,1 @@
+test/test_semantics.ml: Alcotest Cobegin_explore Cobegin_models Cobegin_semantics Config Exec Helpers List QCheck2 Step Store String Value

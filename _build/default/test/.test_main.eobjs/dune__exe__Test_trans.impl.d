@@ -1,0 +1,1 @@
+test/test_trans.ml: Alcotest Ast Coarsen Cobegin_explore Cobegin_lang Cobegin_models Cobegin_semantics Cobegin_trans Critical Helpers Inline List

@@ -1,0 +1,41 @@
+(* Shared helpers for the test suites. *)
+
+open Cobegin_lang
+
+let parse src =
+  let prog = Parser.parse_string src in
+  Check.check_exn prog;
+  prog
+
+let ctx_of src = Cobegin_semantics.Step.make_ctx (parse src)
+
+let explore_full ?max_configs src =
+  Cobegin_explore.Space.full ?max_configs (ctx_of src)
+
+let explore_stubborn ?max_configs src =
+  Cobegin_explore.Stubborn.explore ?max_configs (ctx_of src)
+
+(* qcheck case registered under alcotest. *)
+let qtest ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count ~name gen prop)
+
+(* Generator of small random ints. *)
+let small_int = QCheck2.Gen.int_range (-20) 20
+
+(* Random seed for program generation. *)
+let seed_gen = QCheck2.Gen.int_range 1 1_000_000
+
+(* Small random terminating cobegin programs. *)
+let random_program ?(cfg = Cobegin_models.Generator.default_cfg) seed =
+  Cobegin_models.Generator.program ~cfg ~seed ()
+
+(* Sorted outcome multiset of an exploration: final stores canonically. *)
+let final_reprs (r : Cobegin_explore.Space.result) =
+  Cobegin_explore.Space.final_store_reprs r
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let case name f = Alcotest.test_case name `Quick f

@@ -1,0 +1,198 @@
+(* The section-5 analyses: side effects, dependences, lifetimes, races. *)
+
+open Cobegin_analysis
+open Helpers
+
+let concrete_log src =
+  let r = explore_full src in
+  Event.of_concrete r.Cobegin_explore.Space.log
+
+let abstract_log src =
+  let s = Cobegin_absint.Analyzer.analyze (parse src) in
+  Event.of_abstract s.Cobegin_absint.Analyzer.log
+
+let report_for log prog name =
+  Side_effect.of_proc log ~proc:name |> fun r ->
+  ignore prog;
+  r
+
+let side_effect_tests =
+  [
+    case "writer through pointer argument has a write side effect" (fun () ->
+        let src = Cobegin_models.Figures.fig8 in
+        let log = concrete_log src in
+        let prog = parse src in
+        let f1 = report_for log prog "f1" in
+        check_bool "f1 writes" true
+          (not (Side_effect.EffectSet.is_empty f1.Side_effect.writes));
+        let f2 = report_for log prog "f2" in
+        check_bool "f2 reads only" true
+          (Side_effect.EffectSet.is_empty f2.Side_effect.writes
+          && not (Side_effect.EffectSet.is_empty f2.Side_effect.reads)));
+    case "procedure touching only its locals is pure" (fun () ->
+        let src =
+          "proc pure(n) { var t = n + 1; t = t * 2; return t; } proc main() \
+           { var x = pure(3); }"
+        in
+        let log = concrete_log src in
+        let r = Side_effect.of_proc log ~proc:"pure" in
+        check_bool "pure" true (Side_effect.is_pure r));
+    case "heap allocation local to the callee is not a side effect"
+      (fun () ->
+        let src =
+          "proc scratch() { var p = malloc(1); *p = 5; var t = *p; free(p); \
+           return t; } proc main() { var x = scratch(); }"
+        in
+        let log = concrete_log src in
+        let r = Side_effect.of_proc log ~proc:"scratch" in
+        check_bool "pure despite malloc" true (Side_effect.is_pure r));
+    case "callee writing caller memory is impure" (fun () ->
+        let src =
+          "proc w(p) { *p = 1; } proc main() { var a = malloc(1); w(a); }"
+        in
+        let log = concrete_log src in
+        let r = Side_effect.of_proc log ~proc:"w" in
+        check_bool "impure" false (Side_effect.is_pure r));
+    case "abstract log agrees on fig8 purity classification" (fun () ->
+        let src = Cobegin_models.Figures.fig8 in
+        let log = abstract_log src in
+        let writers =
+          List.filter
+            (fun p ->
+              not
+                (Side_effect.EffectSet.is_empty
+                   (Side_effect.of_proc log ~proc:p).Side_effect.writes))
+            [ "f1"; "f2"; "f3"; "f4" ]
+        in
+        check_bool "f1 f3 write" true
+          (List.mem "f1" writers && List.mem "f3" writers);
+        check_bool "f2 f4 do not write" true
+          ((not (List.mem "f2" writers)) && not (List.mem "f4" writers)));
+  ]
+
+let depend_tests =
+  [
+    case "fig2 carries the cross-thread dependences" (fun () ->
+        let log = concrete_log Cobegin_models.Figures.fig2 in
+        let deps = Depend.parallel_deps log in
+        check_bool "some parallel deps" true (not (Depend.DepSet.is_empty deps));
+        (* a (label 1) is written by branch 0 and read by branch 1 *)
+        check_bool "a's W-R dependence found" true
+          (Depend.DepSet.exists
+             (fun d -> d.Depend.kind = Depend.Write_read)
+             deps));
+    case "independent branches have no parallel dependences" (fun () ->
+        let log =
+          concrete_log
+            "proc main() { var x = 0; var y = 0; cobegin { x = 1; } { y = 2; \
+             } coend; }"
+        in
+        check_bool "none" true
+          (Depend.DepSet.is_empty (Depend.parallel_deps log)));
+    case "example8 finds the heap flow dependence" (fun () ->
+        let log = concrete_log Cobegin_models.Figures.example8 in
+        let deps = Depend.parallel_deps log in
+        check_bool "heap dependence" true
+          (Depend.DepSet.exists
+             (fun d ->
+               match d.Depend.obj with
+               | Event.Concrete l ->
+                   Cobegin_semantics.Value.(l.l_site) > 0
+                   && d.Depend.kind = Depend.Write_read
+               | Event.Abstract _ -> false)
+             deps));
+    case "sequential accesses are not parallel dependences" (fun () ->
+        let log =
+          concrete_log "proc main() { var x = 0; x = 1; x = x + 1; }"
+        in
+        check_bool "no parallel" true
+          (Depend.DepSet.is_empty (Depend.parallel_deps log));
+        check_bool "but sequential deps exist" true
+          (not (Depend.DepSet.is_empty (Depend.of_log log))));
+    case "abstract dependences over-approximate concrete ones" (fun () ->
+        let src = Cobegin_models.Figures.fig2 in
+        let dc = Depend.parallel_deps (concrete_log src) in
+        let da = Depend.parallel_deps (abstract_log src) in
+        (* compare at (label, label) granularity *)
+        let pairs s =
+          Depend.DepSet.elements s
+          |> List.map (fun d -> (d.Depend.label1, d.Depend.label2))
+          |> List.sort_uniq compare
+        in
+        check_bool "coverage" true
+          (List.for_all (fun p -> List.mem p (pairs da)) (pairs dc)));
+  ]
+
+let lifetime_tests =
+  [
+    case "example8 lifetimes: one shared heap cell, one branch-local"
+      (fun () ->
+        let log = concrete_log Cobegin_models.Figures.example8 in
+        let infos = Lifetime.of_log log in
+        let heap = List.filter (fun i -> i.Lifetime.heap) infos in
+        check_int "two heap objects" 2 (List.length heap);
+        let shared =
+          List.filter (fun i -> i.Lifetime.placement = Lifetime.Shared) heap
+        in
+        check_int "one shared" 1 (List.length shared));
+    case "locals of a call die at the call" (fun () ->
+        let src =
+          "proc f() { var t = 1; t = t + 1; return t; } proc main() { var x \
+           = f(); }"
+        in
+        let log = concrete_log src in
+        let infos = Lifetime.of_log log in
+        let dead_in_f =
+          Lifetime.deallocatable_at_exit_of infos ~proc:"f"
+        in
+        check_bool "t dies in f" true (List.length dead_in_f >= 1));
+    case "escaping heap cell outlives its creator" (fun () ->
+        let src =
+          "proc mk() { var p = malloc(1); *p = 7; return p; } proc main() { \
+           var q = mk(); var x = *q; }"
+        in
+        let log = concrete_log src in
+        let infos = Lifetime.of_log log in
+        let heap = List.filter (fun i -> i.Lifetime.heap) infos in
+        check_int "one heap object" 1 (List.length heap);
+        let cell = List.hd heap in
+        (* owner must be main (depth 0), not mk *)
+        check_int "escapes to main" 0 (Pstring.depth cell.Lifetime.owner));
+    case "program-lifetime objects are reported" (fun () ->
+        let log = concrete_log Cobegin_models.Figures.fig2 in
+        let infos = Lifetime.of_log log in
+        check_bool "all top-level vars live to the end" true
+          (List.length (Lifetime.program_lifetime infos) >= 4));
+  ]
+
+let race_tests =
+  [
+    case "racy counter has anomalies" (fun () ->
+        let races = Race.find (ctx_of Cobegin_models.Figures.mutex_racy) in
+        check_bool "found" true (not (Race.RaceSet.is_empty races)));
+    case "lock-protected counter has none" (fun () ->
+        let races = Race.find (ctx_of Cobegin_models.Figures.mutex) in
+        check_bool "clean" true (Race.RaceSet.is_empty races));
+    case "await-synchronized handoff has none" (fun () ->
+        let races = Race.find (ctx_of Cobegin_models.Figures.busywait) in
+        check_bool "clean" true (Race.RaceSet.is_empty races));
+    case "write-write race is classified" (fun () ->
+        let races =
+          Race.find
+            (ctx_of
+               "proc main() { var x = 0; cobegin { x = 1; } { x = 2; } \
+                coend; }")
+        in
+        check_bool "W/W" true
+          (Race.RaceSet.exists (fun r -> r.Race.write_write) races));
+    case "disjoint variables do not race" (fun () ->
+        let races =
+          Race.find
+            (ctx_of
+               "proc main() { var x = 0; var y = 0; cobegin { x = 1; } { y \
+                = 2; } coend; }")
+        in
+        check_bool "clean" true (Race.RaceSet.is_empty races));
+  ]
+
+let suite = side_effect_tests @ depend_tests @ lifetime_tests @ race_tests

@@ -1,0 +1,388 @@
+(* Lattice laws and soundness of the abstract domains, mostly as qcheck
+   properties driven through the Galois connections. *)
+
+open Cobegin_domains
+open Helpers
+
+(* Generic lattice-law battery over a lattice with a value generator. *)
+module Laws (L : Lattice.LATTICE) = struct
+  let laws ~name gen =
+    let open QCheck2 in
+    [
+      qtest (name ^ ": join commutative") (Gen.pair gen gen) (fun (a, b) ->
+          L.equal (L.join a b) (L.join b a));
+      qtest (name ^ ": join associative")
+        (Gen.triple gen gen gen)
+        (fun (a, b, c) ->
+          L.equal (L.join a (L.join b c)) (L.join (L.join a b) c));
+      qtest (name ^ ": join idempotent") gen (fun a -> L.equal (L.join a a) a);
+      qtest (name ^ ": bottom neutral") gen (fun a ->
+          L.equal (L.join L.bottom a) a);
+      qtest (name ^ ": leq reflexive") gen (fun a -> L.leq a a);
+      qtest (name ^ ": leq vs join")
+        (Gen.pair gen gen)
+        (fun (a, b) -> L.leq a (L.join a b) && L.leq b (L.join a b));
+      qtest (name ^ ": leq antisymmetric-ish")
+        (Gen.pair gen gen)
+        (fun (a, b) -> if L.leq a b && L.leq b a then L.equal a b else true);
+    ]
+end
+
+(* --- generators for each domain --- *)
+
+let interval_gen =
+  let open QCheck2.Gen in
+  let bound =
+    oneof
+      [
+        return Interval.NegInf;
+        return Interval.PosInf;
+        map (fun n -> Interval.Fin n) small_int;
+      ]
+  in
+  map2 (fun lo hi -> Interval.of_bounds lo hi) bound bound
+
+let sign_gen =
+  let open QCheck2.Gen in
+  map3
+    (fun neg zero pos -> { Sign.neg; zero; pos })
+    bool bool bool
+
+let parity_gen =
+  QCheck2.Gen.oneofl [ Parity.Bot; Parity.Even; Parity.Odd; Parity.Top ]
+
+let const_gen =
+  let open QCheck2.Gen in
+  oneof
+    [
+      return Const.bottom;
+      return Const.top;
+      map Const.of_int small_int;
+    ]
+
+let bool3_gen =
+  QCheck2.Gen.oneofl [ Bool3.Bot; Bool3.True; Bool3.False; Bool3.Either ]
+
+let int_parity_gen =
+  QCheck2.Gen.map2 Int_parity.make interval_gen parity_gen
+
+module Interval_laws = Laws (Interval)
+module Sign_laws = Laws (Sign)
+module Parity_laws = Laws (Parity)
+module Const_laws = Laws (Const)
+module Bool3_laws = Laws (Bool3)
+module Int_parity_laws = Laws (Int_parity)
+
+(* --- soundness via Galois connections --- *)
+
+let op_sound ?(no_zero_rhs = false) name conn abstract_op concrete_op =
+  let open QCheck2 in
+  qtest
+    (name ^ " sound")
+    Gen.(pair (list_size (1 -- 4) small_int) (list_size (1 -- 4) small_int))
+    (fun (xs, ys) ->
+      (* exclude division by zero samples *)
+      if no_zero_rhs && List.mem 0 ys then true
+      else Galois.operator_sound_on conn ~abstract_op ~concrete_op xs ys)
+
+let interval_soundness =
+  [
+    op_sound "interval add" Galois.interval Interval.add ( + );
+    op_sound "interval sub" Galois.interval Interval.sub ( - );
+    op_sound "interval mul" Galois.interval Interval.mul ( * );
+    op_sound ~no_zero_rhs:true "interval div" Galois.interval Interval.div ( / );
+    qtest "interval alpha sound"
+      QCheck2.Gen.(list_size (1 -- 6) small_int)
+      (fun xs -> Galois.sound_on_sample Galois.interval xs);
+  ]
+
+let sign_soundness =
+  [
+    op_sound "sign add" Galois.sign Sign.add ( + );
+    op_sound "sign sub" Galois.sign Sign.sub ( - );
+    op_sound "sign mul" Galois.sign Sign.mul ( * );
+    qtest "sign alpha sound"
+      QCheck2.Gen.(list_size (1 -- 6) small_int)
+      (fun xs -> Galois.sound_on_sample Galois.sign xs);
+  ]
+
+let parity_soundness =
+  [
+    op_sound "parity add" Galois.parity Parity.add ( + );
+    op_sound "parity mul" Galois.parity Parity.mul ( * );
+    qtest "parity alpha sound"
+      QCheck2.Gen.(list_size (1 -- 6) small_int)
+      (fun xs -> Galois.sound_on_sample Galois.parity xs);
+  ]
+
+let const_soundness =
+  [
+    op_sound "const add" Galois.const Const.add ( + );
+    op_sound "const mul" Galois.const Const.mul ( * );
+  ]
+
+let int_parity_soundness =
+  [
+    op_sound "interval×parity add" Galois.int_parity Int_parity.add ( + );
+    op_sound "interval×parity sub" Galois.int_parity Int_parity.sub ( - );
+    op_sound "interval×parity mul" Galois.int_parity Int_parity.mul ( * );
+    qtest "interval×parity alpha sound"
+      QCheck2.Gen.(list_size (1 -- 6) small_int)
+      (fun xs -> Galois.sound_on_sample Galois.int_parity xs);
+    case "reduction tightens bounds to the parity" (fun () ->
+        let v = Int_parity.make (Interval.range 1 5) Parity.Even in
+        check_bool "lower bound 2" true (Int_parity.contains v 2);
+        check_bool "1 excluded" false (Int_parity.contains v 1);
+        check_bool "5 excluded" false (Int_parity.contains v 5));
+    case "contradictory components reduce to bottom" (fun () ->
+        let v = Int_parity.make (Interval.range 3 3) Parity.Even in
+        check_bool "bottom" true (Int_parity.is_bottom v));
+    qtest "reduction preserves concretization"
+      QCheck2.Gen.(pair int_parity_gen small_int)
+      (fun (v, n) ->
+        (* reduce is applied by make/join; membership must match the
+           intersection of the component concretizations *)
+        Int_parity.contains v n
+        = (Interval.contains v.Int_parity.itv n
+          && Parity.contains v.Int_parity.par n));
+  ]
+
+(* --- comparison decisions must agree with the concrete comparisons --- *)
+
+let cmp_sound name alpha cmp concrete =
+  let open QCheck2 in
+  qtest name
+    Gen.(pair (list_size (1 -- 4) small_int) (list_size (1 -- 4) small_int))
+    (fun (xs, ys) ->
+      match cmp (alpha xs) (alpha ys) with
+      | None -> true
+      | Some r ->
+          List.for_all (fun x -> List.for_all (fun y -> concrete x y = r) ys) xs)
+
+let cmp_tests =
+  let ai xs = Galois.interval.Galois.alpha xs in
+  let asg xs = Galois.sign.Galois.alpha xs in
+  [
+    cmp_sound "interval cmp_lt decides correctly" ai Interval.cmp_lt ( < );
+    cmp_sound "interval cmp_le decides correctly" ai Interval.cmp_le ( <= );
+    cmp_sound "interval cmp_eq decides correctly" ai Interval.cmp_eq ( = );
+    cmp_sound "sign cmp_lt decides correctly" asg Sign.cmp_lt ( < );
+    cmp_sound "sign cmp_le decides correctly" asg Sign.cmp_le ( <= );
+    cmp_sound "sign cmp_eq decides correctly" asg Sign.cmp_eq ( = );
+  ]
+
+(* --- branch refinements keep every value satisfying the relation --- *)
+
+let assume_sound name alpha refine_op concrete gamma_mem =
+  let open QCheck2 in
+  qtest name
+    Gen.(pair (list_size (1 -- 4) small_int) (list_size (1 -- 4) small_int))
+    (fun (xs, ys) ->
+      let refined = refine_op (alpha xs) (alpha ys) in
+      List.for_all
+        (fun x ->
+          if List.exists (fun y -> concrete x y) ys then gamma_mem refined x
+          else true)
+        xs)
+
+let assume_tests =
+  let ai xs = Galois.interval.Galois.alpha xs in
+  let asg xs = Galois.sign.Galois.alpha xs in
+  [
+    assume_sound "interval assume_lt sound" ai Interval.assume_lt ( < )
+      Interval.contains;
+    assume_sound "interval assume_le sound" ai Interval.assume_le ( <= )
+      Interval.contains;
+    assume_sound "interval assume_gt sound" ai Interval.assume_gt ( > )
+      Interval.contains;
+    assume_sound "interval assume_ge sound" ai Interval.assume_ge ( >= )
+      Interval.contains;
+    assume_sound "interval assume_eq sound" ai Interval.assume_eq ( = )
+      Interval.contains;
+    assume_sound "interval assume_ne sound" ai Interval.assume_ne ( <> )
+      Interval.contains;
+    assume_sound "sign assume_lt sound" asg Sign.assume_lt ( < ) Sign.contains;
+    assume_sound "sign assume_gt sound" asg Sign.assume_gt ( > ) Sign.contains;
+    assume_sound "sign assume_le sound" asg Sign.assume_le ( <= ) Sign.contains;
+    assume_sound "sign assume_ge sound" asg Sign.assume_ge ( >= ) Sign.contains;
+  ]
+
+(* --- widening: increasing chains stabilize --- *)
+
+let widening_tests =
+  [
+    qtest "interval widening stabilizes"
+      QCheck2.Gen.(list_size (1 -- 30) (pair small_int small_int))
+      (fun steps ->
+        let v = ref Interval.bottom in
+        let stable = ref 0 in
+        List.iter
+          (fun (a, b) ->
+            let next =
+              Interval.join !v (Interval.range (min a b) (max a b))
+            in
+            let w = Interval.widen !v next in
+            if Interval.equal w !v then incr stable;
+            v := w)
+          steps;
+        (* after widening, chains of length > 4 must have stabilized *)
+        List.length steps < 5 || !stable > 0);
+    case "widen jumps unstable upper bound to +oo" (fun () ->
+        let w = Interval.widen (Interval.range 0 1) (Interval.range 0 2) in
+        check_bool "unbounded above" true
+          Interval.(equal w (of_bounds (Fin 0) PosInf)));
+    case "widen keeps stable bounds" (fun () ->
+        let w = Interval.widen (Interval.range 0 5) (Interval.range 2 5) in
+        check_bool "same" true Interval.(equal w (range 0 5)));
+  ]
+
+(* --- interval unit tests --- *)
+
+let interval_units =
+  [
+    case "interval meet empty" (fun () ->
+        check_bool "disjoint" true
+          (Interval.is_bottom
+             (Interval.meet (Interval.range 0 1) (Interval.range 3 4))));
+    case "interval singleton" (fun () ->
+        check_bool "yes" true (Interval.singleton (Interval.range 3 3) = Some 3);
+        check_bool "no" true (Interval.singleton (Interval.range 3 4) = None));
+    case "interval narrow refines infinity" (fun () ->
+        let widened = Interval.of_bounds (Interval.Fin 0) Interval.PosInf in
+        let n = Interval.narrow widened (Interval.range 0 10) in
+        check_bool "narrowed" true Interval.(equal n (range 0 10)));
+    case "division by possibly-zero divisor is top" (fun () ->
+        let d = Interval.div (Interval.range 1 1) (Interval.range (-1) 1) in
+        check_bool "top" true (Interval.is_top d));
+    case "pointer-free arithmetic" (fun () ->
+        check_bool "add" true
+          Interval.(equal (add (range 1 2) (range 3 4)) (range 4 6));
+        check_bool "neg" true Interval.(equal (neg (range 1 2)) (range (-2) (-1)));
+        check_bool "mul" true
+          Interval.(equal (mul (range (-1) 2) (range 3 3)) (range (-3) 6)));
+  ]
+
+(* --- powerset / map / product --- *)
+
+module IntSet = Powerset.Make (struct
+  type t = int
+
+  let compare = Int.compare
+  let equal = Int.equal
+  let pp = Format.pp_print_int
+end)
+
+module IntMap = Map_lattice.Make
+    (struct
+      type t = int
+
+      let compare = Int.compare
+      let equal = Int.equal
+      let pp = Format.pp_print_int
+    end)
+    (Interval)
+
+let structure_tests =
+  [
+    qtest "powerset laws"
+      QCheck2.Gen.(pair (list small_int) (list small_int))
+      (fun (a, b) ->
+        let sa = IntSet.of_list a and sb = IntSet.of_list b in
+        IntSet.equal (IntSet.join sa sb) (IntSet.join sb sa)
+        && IntSet.leq sa (IntSet.join sa sb));
+    qtest "map lattice pointwise"
+      QCheck2.Gen.(list (pair (int_range 0 5) (pair small_int small_int)))
+      (fun kvs ->
+        let m =
+          List.fold_left
+            (fun m (k, (a, b)) ->
+              IntMap.update k
+                (fun v -> Interval.join v (Interval.range (min a b) (max a b)))
+                m)
+            IntMap.bottom kvs
+        in
+        IntMap.leq m (IntMap.join m m) && IntMap.equal (IntMap.join m m) m);
+    case "map lattice normalizes bottom" (fun () ->
+        let m = IntMap.set 3 Interval.bottom IntMap.bottom in
+        check_bool "empty" true (IntMap.is_bottom m));
+    case "bool3 truth tables" (fun () ->
+        check_bool "and" true (Bool3.and_ Bool3.True Bool3.Either = Bool3.Either);
+        check_bool "and false" true
+          (Bool3.and_ Bool3.False Bool3.Either = Bool3.False);
+        check_bool "or true" true (Bool3.or_ Bool3.True Bool3.Either = Bool3.True);
+        check_bool "not" true (Bool3.not_ Bool3.Either = Bool3.Either));
+  ]
+
+(* --- generic fixpoint solver --- *)
+
+let fixpoint_tests =
+  [
+    case "fixpoint solves a small dataflow problem" (fun () ->
+        (* nodes 0..3 in a diamond: 0 -> 1,2 -> 3; transfer adds ranges *)
+        let module P = struct
+          module L = Interval
+
+          type node = int
+
+          let compare_node = Int.compare
+          let nodes = [ 0; 1; 2; 3 ]
+          let init n = if n = 0 then Interval.range 0 0 else Interval.bottom
+
+          let transfer ~lookup n =
+            match n with
+            | 0 -> Interval.range 0 0
+            | 1 -> Interval.add (lookup 0) (Interval.range 1 1)
+            | 2 -> Interval.add (lookup 0) (Interval.range 2 2)
+            | 3 -> Interval.join (lookup 1) (lookup 2)
+            | _ -> Interval.bottom
+
+          let dependents = function
+            | 0 -> [ 1; 2 ]
+            | 1 | 2 -> [ 3 ]
+            | _ -> []
+
+          let widening_delay = 10
+          let widen = Interval.widen
+        end in
+        let module S = Fixpoint.Make (P) in
+        let sol = S.solve () in
+        check_bool "node 3 is [1,2]" true
+          Interval.(equal (S.lookup sol 3) (range 1 2)));
+    case "fixpoint widens a loop" (fun () ->
+        (* single node increasing forever: widening must terminate *)
+        let module P = struct
+          module L = Interval
+
+          type node = int
+
+          let compare_node = Int.compare
+          let nodes = [ 0 ]
+          let init _ = Interval.range 0 0
+
+          let transfer ~lookup n =
+            Interval.join (Interval.range 0 0)
+              (Interval.add (lookup n) (Interval.range 1 1))
+
+          let dependents _ = [ 0 ]
+          let widening_delay = 3
+          let widen = Interval.widen
+        end in
+        let module S = Fixpoint.Make (P) in
+        let sol = S.solve () in
+        check_bool "unbounded above" true
+          (match S.lookup sol 0 with
+          | Interval.Range (Interval.Fin 0, Interval.PosInf) -> true
+          | _ -> false));
+  ]
+
+let suite =
+  Interval_laws.laws ~name:"interval" interval_gen
+  @ Sign_laws.laws ~name:"sign" sign_gen
+  @ Parity_laws.laws ~name:"parity" parity_gen
+  @ Const_laws.laws ~name:"const" const_gen
+  @ Bool3_laws.laws ~name:"bool3" bool3_gen
+  @ Int_parity_laws.laws ~name:"interval×parity" int_parity_gen
+  @ interval_soundness @ sign_soundness @ parity_soundness @ const_soundness
+  @ int_parity_soundness
+  @ cmp_tests @ assume_tests @ widening_tests @ interval_units
+  @ structure_tests @ fixpoint_tests

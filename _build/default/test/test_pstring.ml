@@ -1,0 +1,140 @@
+(* Procedure-string algebra (paper section 5). *)
+
+open Helpers
+
+let p0 = Pstring.empty
+let enter_f p = Pstring.enter_call ~proc:"f" ~site:1 ~inst:0 p
+let enter_g p = Pstring.enter_call ~proc:"g" ~site:2 ~inst:0 p
+let fork l i p = Pstring.enter_branch ~cob:l ~idx:i ~inst:0 p
+
+(* Random procedure strings as movement sequences (always well nested). *)
+let pstring_gen =
+  let open QCheck2.Gen in
+  let moves =
+    list_size (0 -- 12)
+      (oneof
+         [
+           map (fun i -> `Call i) (int_range 0 3);
+           map2 (fun l i -> `Fork (l, i)) (int_range 0 2) (int_range 0 2);
+           return `Exit;
+         ])
+  in
+  map
+    (fun ms ->
+      List.fold_left
+        (fun p m ->
+          match m with
+          | `Call i ->
+              Pstring.enter_call
+                ~proc:(Printf.sprintf "p%d" i)
+                ~site:i ~inst:0 p
+          | `Fork (l, i) -> Pstring.enter_branch ~cob:l ~idx:i ~inst:0 p
+          | `Exit -> if Pstring.depth p = 0 then p else Pstring.exit_frame p)
+        Pstring.empty ms)
+    moves
+
+let unit_tests =
+  [
+    case "enter/exit cancel" (fun () ->
+        let p = enter_f p0 in
+        check_bool "back to empty" true
+          (Pstring.equal p0 (Pstring.exit_frame p)));
+    case "depth counts open activations" (fun () ->
+        check_int "depth" 2 (Pstring.depth (enter_g (enter_f p0))));
+    case "common prefix" (fun () ->
+        let a = enter_g (enter_f p0) in
+        let b = enter_f p0 in
+        check_bool "prefix is f" true
+          (Pstring.equal (Pstring.common_prefix a b) b));
+    case "MHP: different branches of one cobegin" (fun () ->
+        let a = fork 7 0 (enter_f p0) in
+        let b = fork 7 1 (enter_f p0) in
+        check_bool "parallel" true (Pstring.may_happen_in_parallel a b));
+    case "MHP: same branch is not parallel with itself" (fun () ->
+        let a = fork 7 0 (enter_f p0) in
+        check_bool "not parallel" false (Pstring.may_happen_in_parallel a a));
+    case "MHP: ancestor not parallel with descendant" (fun () ->
+        let parent = enter_f p0 in
+        let child = fork 7 0 parent in
+        check_bool "ordered" false
+          (Pstring.may_happen_in_parallel parent child));
+    case "MHP: different cobegin instances are ordered" (fun () ->
+        let a = Pstring.enter_branch ~cob:7 ~idx:0 ~inst:0 p0 in
+        let b = Pstring.enter_branch ~cob:7 ~idx:1 ~inst:1 p0 in
+        check_bool "sequential respawn" false
+          (Pstring.may_happen_in_parallel a b));
+    case "MHP abstract conflates instances" (fun () ->
+        let a = Pstring.enter_branch ~cob:7 ~idx:0 ~inst:0 p0 in
+        let b = Pstring.enter_branch ~cob:7 ~idx:1 ~inst:1 p0 in
+        check_bool "may (conservatively)" true
+          (Pstring.may_happen_in_parallel_abstract a b));
+    case "MHP: deeper work inside branches stays parallel" (fun () ->
+        let a = enter_g (fork 7 0 p0) in
+        let b = enter_f (fork 7 1 p0) in
+        check_bool "parallel" true (Pstring.may_happen_in_parallel a b));
+    case "activations_of finds nested activations" (fun () ->
+        let p = enter_f (enter_g (enter_f p0)) in
+        check_int "two f frames" 2
+          (List.length (Pstring.activations_of ~proc:"f" p)));
+    case "extent owner of local usage" (fun () ->
+        let birth = enter_f p0 in
+        let owner = Pstring.extent_owner ~birth ~accesses:[ birth; enter_g birth ] in
+        check_bool "owned by f" true (Pstring.equal owner birth));
+    case "extent owner escapes to caller" (fun () ->
+        let birth = enter_f p0 in
+        let owner = Pstring.extent_owner ~birth ~accesses:[ p0 ] in
+        check_int "program level" 0 (Pstring.depth owner));
+    case "k-limit keeps innermost frames" (fun () ->
+        let p = enter_f (enter_g (enter_f p0)) in
+        let l = Pstring.limit 2 p in
+        check_int "length 2" 2 (Pstring.depth l);
+        check_bool "suffix" true
+          (Pstring.equal l (enter_f (enter_g p0))));
+    case "abstract erases instances" (fun () ->
+        let p = Pstring.enter_call ~proc:"f" ~site:1 ~inst:42 p0 in
+        check_bool "similar to inst 0" true
+          (Pstring.similar (Pstring.abstract ~k:8 p) (enter_f p0)));
+    case "to_string is stable" (fun () ->
+        check_string "rendering" "f@1·cob7.0"
+          (Pstring.to_string (fork 7 0 (enter_f p0))));
+  ]
+
+let properties =
+  [
+    qtest "MHP is symmetric"
+      QCheck2.Gen.(pair pstring_gen pstring_gen)
+      (fun (a, b) ->
+        Pstring.may_happen_in_parallel a b
+        = Pstring.may_happen_in_parallel b a);
+    qtest "MHP is irreflexive" pstring_gen (fun p ->
+        not (Pstring.may_happen_in_parallel p p));
+    qtest "common_prefix is a prefix of both"
+      QCheck2.Gen.(pair pstring_gen pstring_gen)
+      (fun (a, b) ->
+        let c = Pstring.common_prefix a b in
+        Pstring.is_prefix ~prefix:c a && Pstring.is_prefix ~prefix:c b);
+    qtest "common_prefix commutes"
+      QCheck2.Gen.(pair pstring_gen pstring_gen)
+      (fun (a, b) ->
+        Pstring.equal (Pstring.common_prefix a b) (Pstring.common_prefix b a));
+    qtest "extent owner is a prefix of the birth"
+      QCheck2.Gen.(pair pstring_gen (list_size (0 -- 4) pstring_gen))
+      (fun (birth, accesses) ->
+        Pstring.is_prefix
+          ~prefix:(Pstring.extent_owner ~birth ~accesses)
+          birth);
+    qtest "abstract MHP over-approximates concrete MHP"
+      QCheck2.Gen.(pair pstring_gen pstring_gen)
+      (fun (a, b) ->
+        (not (Pstring.may_happen_in_parallel a b))
+        || Pstring.may_happen_in_parallel_abstract
+             (Pstring.erase_instances a)
+             (Pstring.erase_instances b));
+    qtest "limit bounds depth" pstring_gen (fun p ->
+        Pstring.depth (Pstring.limit 3 p) <= 3);
+    qtest "compare is a total order compatible with equal"
+      QCheck2.Gen.(pair pstring_gen pstring_gen)
+      (fun (a, b) -> Pstring.compare a b = 0 = Pstring.equal a b);
+  ]
+
+let suite = unit_tests @ properties
