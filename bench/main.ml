@@ -344,6 +344,42 @@ let e11 () =
         full.Space.stats.Space.deadlocks)
     [ 2; 3 ]
 
+(* --- E12: budgeted exploration — graceful degradation, JSON rows ---
+
+   Machine-readable output: one JSON object per (workload, budget) with
+   the partial statistics and the completion status string from
+   [Budget.status_to_string], so downstream scripts can tell a complete
+   measurement from a truncated one. *)
+
+let e12 () =
+  section "E12" "Budgeted exploration: partial results as JSON";
+  let json_row ~workload ~budget (r : Space.result) =
+    row
+      "{\"workload\": \"%s\", \"max_configs\": %s, \"configurations\": %d, \
+       \"transitions\": %d, \"finals\": %d, \"status\": \"%s\"}@."
+      workload budget r.Space.stats.Space.configurations
+      r.Space.stats.Space.transitions r.Space.stats.Space.finals
+      (Budget.status_to_string r.Space.status)
+  in
+  List.iter
+    (fun (name, src) ->
+      let ctx () = Step.make_ctx (parse src) in
+      json_row ~workload:name ~budget:"null" (Space.full (ctx ()));
+      List.iter
+        (fun k ->
+          json_row ~workload:name ~budget:(string_of_int k)
+            (Space.full ~max_configs:k (ctx ())))
+        [ 10; 100; 1000 ])
+    [ ("fig5", Figures.fig5); ("peterson", Protocols.peterson) ];
+  (* the net substrate degrades the same way *)
+  let net = Philosophers.net 8 in
+  let r = Reach.full ~max_states:5_000 net in
+  row
+    "{\"workload\": \"philosophers-8\", \"max_states\": 5000, \"states\": \
+     %d, \"edges\": %d, \"status\": \"%s\"}@."
+    r.Reach.stats.Reach.states r.Reach.stats.Reach.edges
+    (Budget.status_to_string r.Reach.status)
+
 (* --- Bechamel timings: one per experiment family --- *)
 
 let bechamel () =
@@ -415,6 +451,7 @@ let experiments =
   [
     ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
+    ("E12", e12);
     ("TIMING", bechamel);
   ]
 

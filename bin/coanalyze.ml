@@ -7,10 +7,16 @@
      parallel  Shasha–Snir style parallelization report
      examples  print a named built-in example program
 
+   Exit codes (analyze / explore / races / parallel):
+     0  analysis ran to completion
+     1  usage, parse or static errors
+     2  a resource budget fired — the printed results are partial
+     3  an analysis stage crashed (structured diagnostic printed)
+
    Examples:
      coanalyze analyze prog.cob --engine stubborn --coarsen
      coanalyze analyze prog.cob --engine abstract --domain signs --folding clan
-     coanalyze explore prog.cob
+     coanalyze explore prog.cob --max-configs 1000 --timeout 5
      coanalyze examples fig8 | coanalyze parallel /dev/stdin *)
 
 open Cmdliner
@@ -22,12 +28,32 @@ let read_program path =
   | Cobegin_lang.Parser.Error (msg, pos) ->
       Error
         (Format.asprintf "%a" Cobegin_lang.Parser.pp_error (msg, pos))
+  | Cobegin_lang.Lexer.Error (msg, pos) ->
+      (* load_file folds lexer errors into Parser.Error; this arm covers
+         any that escape a different path *)
+      Error
+        (Format.asprintf "%a" Cobegin_lang.Parser.pp_error
+           ("lexical error: " ^ msg, pos))
   | Cobegin_lang.Check.Ill_formed diags ->
       Error
         (Format.asprintf "@[<v>%a@]"
            (Format.pp_print_list Cobegin_lang.Check.pp_diagnostic)
            diags)
   | Sys_error e -> Error e
+
+(* The truncation banner and the exit-code convention shared by every
+   analysis subcommand. *)
+let report_status status =
+  match status with
+  | Budget.Complete -> ()
+  | Budget.Truncated reason ->
+      Format.eprintf "TRUNCATED (%s) — results below are partial@."
+        (Budget.reason_to_string reason)
+
+let exit_code ?(stage_failures = []) status =
+  if stage_failures <> [] then 3
+  else if Budget.is_complete status then 0
+  else 2
 
 let file_arg =
   Arg.(
@@ -102,7 +128,37 @@ let max_configs_arg =
     & info [ "max-configs" ] ~docv:"N"
         ~doc:"Exploration budget (configurations).")
 
-let mk_options engine domain folding coarsen inline races max_configs =
+let max_transitions_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-transitions" ] ~docv:"N"
+        ~doc:"Exploration budget (fired transitions).")
+
+let timeout_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "timeout" ] ~docv:"SECS"
+        ~doc:
+          "Wall-clock deadline for the whole run, in seconds.  On expiry \
+           the partial results are printed and the exit code is 2.")
+
+let max_heap_mb_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-heap-mb" ] ~docv:"MB"
+        ~doc:
+          "Truncate the run when the OCaml major heap exceeds this many \
+           megabytes.")
+
+let heap_words_of_mb mb =
+  (* OCaml heap words: 8 bytes each on 64-bit *)
+  mb * 1024 * 1024 / (Sys.word_size / 8)
+
+let mk_options engine domain folding coarsen inline races max_configs
+    max_transitions timeout_s max_heap_mb =
   let engine =
     match engine with
     | Pipeline.Abstract _ -> Pipeline.Abstract (domain, folding)
@@ -113,20 +169,17 @@ let mk_options engine domain folding coarsen inline races max_configs =
     coarsen;
     inline;
     max_configs;
+    max_transitions;
+    timeout_s;
+    max_heap_words = Option.map heap_words_of_mb max_heap_mb;
     find_races = races;
   }
 
 let options_term =
   Term.(
     const mk_options $ engine_arg $ domain_arg $ folding_arg $ coarsen_arg
-    $ inline_arg $ races_arg $ max_configs_arg)
-
-let handle_budget f =
-  try f () with
-  | Cobegin_explore.Space.Budget_exceeded n ->
-      Error (Printf.sprintf "state budget exceeded (%d configurations)" n)
-  | Machine.Budget_exceeded n ->
-      Error (Printf.sprintf "abstract state budget exceeded (%d)" n)
+    $ inline_arg $ races_arg $ max_configs_arg $ max_transitions_arg
+    $ timeout_arg $ max_heap_mb_arg)
 
 let analyze_cmd =
   let run file options =
@@ -134,85 +187,97 @@ let analyze_cmd =
     | Error e ->
         Format.eprintf "%s@." e;
         1
-    | Ok prog -> (
-        match
-          handle_budget (fun () ->
-              Ok (Pipeline.analyze ~options prog))
-        with
-        | Error e ->
-            Format.eprintf "%s@." e;
-            1
-        | Ok report ->
-            Format.printf "%a@." Pipeline.pp_report report;
-            0)
+    | Ok prog ->
+        let report = Pipeline.analyze ~options prog in
+        Format.printf "%a@." Pipeline.pp_report report;
+        List.iter
+          (fun f ->
+            Format.eprintf "%a@." Pipeline.pp_stage_failure f)
+          report.Pipeline.stage_failures;
+        report_status report.Pipeline.status;
+        exit_code ~stage_failures:report.Pipeline.stage_failures
+          report.Pipeline.status
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Run the full analysis pipeline on a program.")
     Term.(const run $ file_arg $ options_term)
 
 let explore_cmd =
-  let run file coarsen max_configs =
+  let run file coarsen max_configs max_transitions timeout_s max_heap_mb =
     match read_program file with
     | Error e ->
         Format.eprintf "%s@." e;
         1
-    | Ok prog -> (
-        match
-          handle_budget (fun () ->
-              let prog =
-                if coarsen then Cobegin_trans.Coarsen.program prog else prog
-              in
-              let ctx = Cobegin_semantics.Step.make_ctx prog in
-              let full =
-                Cobegin_explore.Space.full ~max_configs ctx
-              in
-              let stats = Cobegin_explore.Stubborn.new_stats () in
-              let stub =
-                Cobegin_explore.Stubborn.explore ~max_configs ~stats ctx
-              in
-              Format.printf "full:     %a@." Cobegin_explore.Space.pp_stats
-                full.Cobegin_explore.Space.stats;
-              Format.printf "stubborn: %a@." Cobegin_explore.Space.pp_stats
-                stub.Cobegin_explore.Space.stats;
-              let slp = Cobegin_explore.Sleep.explore ~max_configs ctx in
-              Format.printf "sleep:    %a@." Cobegin_explore.Space.pp_stats
-                slp.Cobegin_explore.Space.stats;
-              Format.printf
-                "stubborn expansions: singleton=%d component=%d full=%d@."
-                stats.Cobegin_explore.Stubborn.singleton_expansions
-                stats.component_expansions stats.full_expansions;
-              Format.printf "final stores agree: %b@."
-                (Cobegin_explore.Space.final_store_reprs full
-                = Cobegin_explore.Space.final_store_reprs stub);
-              Ok ())
-        with
-        | Error e ->
-            Format.eprintf "%s@." e;
-            1
-        | Ok () -> 0)
+    | Ok prog ->
+        let prog =
+          if coarsen then Cobegin_trans.Coarsen.program prog else prog
+        in
+        let ctx = Cobegin_semantics.Step.make_ctx prog in
+        (* a fresh budget per engine run so the counters start at zero *)
+        let budget () =
+          Budget.create ~max_configs ?max_transitions ?timeout_s
+            ?max_heap_words:(Option.map heap_words_of_mb max_heap_mb)
+            ()
+        in
+        let full = Cobegin_explore.Space.full ~budget:(budget ()) ctx in
+        let stats = Cobegin_explore.Stubborn.new_stats () in
+        let stub =
+          Cobegin_explore.Stubborn.explore ~budget:(budget ()) ~stats ctx
+        in
+        Format.printf "full:     %a@." Cobegin_explore.Space.pp_stats
+          full.Cobegin_explore.Space.stats;
+        Format.printf "stubborn: %a@." Cobegin_explore.Space.pp_stats
+          stub.Cobegin_explore.Space.stats;
+        let slp = Cobegin_explore.Sleep.explore ~budget:(budget ()) ctx in
+        Format.printf "sleep:    %a@." Cobegin_explore.Space.pp_stats
+          slp.Cobegin_explore.Space.stats;
+        Format.printf
+          "stubborn expansions: singleton=%d component=%d full=%d@."
+          stats.Cobegin_explore.Stubborn.singleton_expansions
+          stats.component_expansions stats.full_expansions;
+        let status =
+          Budget.combine full.Cobegin_explore.Space.status
+            (Budget.combine stub.Cobegin_explore.Space.status
+               slp.Cobegin_explore.Space.status)
+        in
+        if Budget.is_complete status then
+          Format.printf "final stores agree: %b@."
+            (Cobegin_explore.Space.final_store_reprs full
+            = Cobegin_explore.Space.final_store_reprs stub);
+        report_status status;
+        exit_code status
   in
   Cmd.v
     (Cmd.info "explore"
        ~doc:"Compare full and stubborn-set state-space generation.")
-    Term.(const run $ file_arg $ coarsen_arg $ max_configs_arg)
+    Term.(
+      const run $ file_arg $ coarsen_arg $ max_configs_arg
+      $ max_transitions_arg $ timeout_arg $ max_heap_mb_arg)
 
 let races_cmd =
-  let run file max_configs =
+  let run file max_configs max_transitions timeout_s max_heap_mb =
     match read_program file with
     | Error e ->
         Format.eprintf "%s@." e;
         1
     | Ok prog ->
         let ctx = Cobegin_semantics.Step.make_ctx prog in
-        let races =
-          Cobegin_analysis.Race.find ~max_configs ctx
+        let budget =
+          Budget.create ~max_configs ?max_transitions ?timeout_s
+            ?max_heap_words:(Option.map heap_words_of_mb max_heap_mb)
+            ()
         in
-        Format.printf "%a@." Cobegin_analysis.Race.pp races;
-        if Cobegin_analysis.Race.RaceSet.is_empty races then 0 else 2
+        let result = Cobegin_analysis.Race.find ~budget ctx in
+        Format.printf "%a@." Cobegin_analysis.Race.pp
+          result.Cobegin_analysis.Race.races;
+        report_status result.Cobegin_analysis.Race.status;
+        exit_code result.Cobegin_analysis.Race.status
   in
   Cmd.v
     (Cmd.info "races" ~doc:"Detect access anomalies by co-enabledness.")
-    Term.(const run $ file_arg $ max_configs_arg)
+    Term.(
+      const run $ file_arg $ max_configs_arg $ max_transitions_arg
+      $ timeout_arg $ max_heap_mb_arg)
 
 let parallel_cmd =
   let run file options =
@@ -220,18 +285,17 @@ let parallel_cmd =
     | Error e ->
         Format.eprintf "%s@." e;
         1
-    | Ok prog -> (
-        match
-          handle_budget (fun () ->
-              let report = Pipeline.analyze ~options prog in
-              Ok (Pipeline.parallelization report))
-        with
-        | Error e ->
-            Format.eprintf "%s@." e;
-            1
-        | Ok par ->
-            Format.printf "%a@." Cobegin_apps.Parallelize.pp_report par;
-            0)
+    | Ok prog ->
+        let report = Pipeline.analyze ~options prog in
+        let par = Pipeline.parallelization report in
+        Format.printf "%a@." Cobegin_apps.Parallelize.pp_report par;
+        List.iter
+          (fun f ->
+            Format.eprintf "%a@." Pipeline.pp_stage_failure f)
+          report.Pipeline.stage_failures;
+        report_status report.Pipeline.status;
+        exit_code ~stage_failures:report.Pipeline.stage_failures
+          report.Pipeline.status
   in
   Cmd.v
     (Cmd.info "parallel"

@@ -15,6 +15,10 @@ let read_program path =
   try Ok (Cobegin_core.Pipeline.load_file path) with
   | Cobegin_lang.Parser.Error (msg, pos) ->
       Error (Format.asprintf "%a" Cobegin_lang.Parser.pp_error (msg, pos))
+  | Cobegin_lang.Lexer.Error (msg, pos) ->
+      Error
+        (Format.asprintf "%a" Cobegin_lang.Parser.pp_error
+           ("lexical error: " ^ msg, pos))
   | Cobegin_lang.Check.Ill_formed diags ->
       Error
         (Format.asprintf "@[<v>%a@]"

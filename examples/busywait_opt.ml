@@ -29,11 +29,11 @@ let () =
 
   (* 3. the await-synchronized accesses to data are never co-enabled... *)
   let ctx = Cobegin_semantics.Step.make_ctx prog in
-  let races = Race.find ctx in
+  let races = (Race.find ctx).Race.races in
   Format.printf "races (synchronized version): %a@.@." Race.pp races;
 
   (* ...but the racy counter version shows anomalies *)
   let racy = Pipeline.load_source Figures.mutex_racy in
-  let races' = Race.find (Cobegin_semantics.Step.make_ctx racy) in
+  let races' = (Race.find (Cobegin_semantics.Step.make_ctx racy)).Race.races in
   Format.printf "races (unsynchronized counter): %a@." Race.pp races';
   assert (not (Race.RaceSet.is_empty races'))

@@ -38,19 +38,25 @@ type summary = {
   widenings : int;
   finals : int;
   errors : int;
+  status : Budget.status;
   log : Alog.t;
 }
 
 let pp_summary ppf s =
   Format.fprintf ppf
-    "[%a/%a] abstract configurations=%d revisits=%d widenings=%d finals=%d errors=%d"
+    "[%a/%a] abstract configurations=%d revisits=%d widenings=%d finals=%d errors=%d%a"
     pp_domain s.domain Machine.pp_folding s.folding s.abstract_configs
     s.revisits s.widenings s.finals s.errors
+    (fun ppf -> function
+      | Budget.Complete -> ()
+      | st -> Format.fprintf ppf " %a" Budget.pp_status st)
+    s.status
 
 let analyze ?(domain = Intervals) ?(folding = Machine.Control) ?widen_after
-    ?max_configs ?(k_pstring = 8) ?(max_call_depth = 64)
-    (prog : Cobegin_lang.Ast.program) : summary =
-  let pack ~abstract_configs ~revisits ~widenings ~finals ~errors ~log =
+    ?max_configs ?budget ?max_iterations ?(k_pstring = 8)
+    ?(max_call_depth = 64) (prog : Cobegin_lang.Ast.program) : summary =
+  let pack ~abstract_configs ~revisits ~widenings ~finals ~errors ~status
+      ~log =
     {
       domain;
       folding;
@@ -59,6 +65,7 @@ let analyze ?(domain = Intervals) ?(folding = Machine.Control) ?widen_after
       widenings;
       finals;
       errors;
+      status;
       log;
     }
   in
@@ -66,35 +73,55 @@ let analyze ?(domain = Intervals) ?(folding = Machine.Control) ?widen_after
   | Intervals ->
       let module M = Interval_machine in
       let ctx = M.make_ctx ~params:{ M.k_pstring; max_call_depth } prog in
-      let r = M.explore ~folding ?widen_after ?max_configs ctx in
+      let r =
+        M.explore ~folding ?widen_after ?max_configs ?budget ?max_iterations
+          ctx
+      in
       pack ~abstract_configs:r.M.stats.M.abstract_configs
         ~revisits:r.M.stats.M.revisits ~widenings:r.M.stats.M.widenings
-        ~finals:r.M.stats.M.finals ~errors:r.M.stats.M.errors ~log:r.M.log
+        ~finals:r.M.stats.M.finals ~errors:r.M.stats.M.errors
+        ~status:r.M.status ~log:r.M.log
   | Constants ->
       let module M = Const_machine in
       let ctx = M.make_ctx ~params:{ M.k_pstring; max_call_depth } prog in
-      let r = M.explore ~folding ?widen_after ?max_configs ctx in
+      let r =
+        M.explore ~folding ?widen_after ?max_configs ?budget ?max_iterations
+          ctx
+      in
       pack ~abstract_configs:r.M.stats.M.abstract_configs
         ~revisits:r.M.stats.M.revisits ~widenings:r.M.stats.M.widenings
-        ~finals:r.M.stats.M.finals ~errors:r.M.stats.M.errors ~log:r.M.log
+        ~finals:r.M.stats.M.finals ~errors:r.M.stats.M.errors
+        ~status:r.M.status ~log:r.M.log
   | Signs ->
       let module M = Sign_machine in
       let ctx = M.make_ctx ~params:{ M.k_pstring; max_call_depth } prog in
-      let r = M.explore ~folding ?widen_after ?max_configs ctx in
+      let r =
+        M.explore ~folding ?widen_after ?max_configs ?budget ?max_iterations
+          ctx
+      in
       pack ~abstract_configs:r.M.stats.M.abstract_configs
         ~revisits:r.M.stats.M.revisits ~widenings:r.M.stats.M.widenings
-        ~finals:r.M.stats.M.finals ~errors:r.M.stats.M.errors ~log:r.M.log
+        ~finals:r.M.stats.M.finals ~errors:r.M.stats.M.errors
+        ~status:r.M.status ~log:r.M.log
   | Parities ->
       let module M = Parity_machine in
       let ctx = M.make_ctx ~params:{ M.k_pstring; max_call_depth } prog in
-      let r = M.explore ~folding ?widen_after ?max_configs ctx in
+      let r =
+        M.explore ~folding ?widen_after ?max_configs ?budget ?max_iterations
+          ctx
+      in
       pack ~abstract_configs:r.M.stats.M.abstract_configs
         ~revisits:r.M.stats.M.revisits ~widenings:r.M.stats.M.widenings
-        ~finals:r.M.stats.M.finals ~errors:r.M.stats.M.errors ~log:r.M.log
+        ~finals:r.M.stats.M.finals ~errors:r.M.stats.M.errors
+        ~status:r.M.status ~log:r.M.log
   | Interval_parity ->
       let module M = Int_parity_machine in
       let ctx = M.make_ctx ~params:{ M.k_pstring; max_call_depth } prog in
-      let r = M.explore ~folding ?widen_after ?max_configs ctx in
+      let r =
+        M.explore ~folding ?widen_after ?max_configs ?budget ?max_iterations
+          ctx
+      in
       pack ~abstract_configs:r.M.stats.M.abstract_configs
         ~revisits:r.M.stats.M.revisits ~widenings:r.M.stats.M.widenings
-        ~finals:r.M.stats.M.finals ~errors:r.M.stats.M.errors ~log:r.M.log
+        ~finals:r.M.stats.M.finals ~errors:r.M.stats.M.errors
+        ~status:r.M.status ~log:r.M.log

@@ -25,6 +25,7 @@ type summary = {
   widenings : int;
   finals : int;  (** abstract final stores *)
   errors : int;  (** possible runtime failures (may-analysis) *)
+  status : Budget.status;  (** [Truncated _] when a budget fired *)
   log : Alog.t;
 }
 
@@ -35,10 +36,14 @@ val analyze :
   ?folding:Machine.folding ->
   ?widen_after:int ->
   ?max_configs:int ->
+  ?budget:Budget.t ->
+  ?max_iterations:int ->
   ?k_pstring:int ->
   ?max_call_depth:int ->
   Cobegin_lang.Ast.program ->
   summary
 (** Run the abstract machine.  Defaults: intervals, Control folding,
     widening after 3 revisits, k_pstring = 8, call depth 64.
-    @raise Machine.Budget_exceeded when the configuration budget is hit. *)
+    [budget] (which subsumes [max_configs]) and [max_iterations] (the
+    fixpoint fuel) bound the run; exhaustion never raises — the summary
+    comes back with its partial counts and [status = Truncated _]. *)

@@ -25,8 +25,6 @@ let pp_folding ppf f =
   Format.pp_print_string ppf
     (match f with Exact -> "exact" | Control -> "control" | Clan -> "clan")
 
-exception Budget_exceeded of int
-
 module Make (N : Lattice.NUMERIC) = struct
   module V = Aval.Make (N)
   module SM = Map.Make (String)
@@ -799,6 +797,7 @@ module Make (N : Lattice.NUMERIC) = struct
 
   type result = {
     stats : stats;
+    status : Budget.status;
     log : Alog.t;
     final_stores : V.t AM.t list;
   }
@@ -810,54 +809,82 @@ module Make (N : Lattice.NUMERIC) = struct
 
   (* Worklist exploration with key folding.  [widen_after] visits of the
      same key, joins become widenings, which bounds chains through the
-     store lattice. *)
+     store lattice.  [max_iterations] is the fixpoint fuel: a cap on
+     worklist pops, the last line of defence against slowly converging
+     widening chains.  Exhausting any limit stops the run cleanly; the
+     table accumulated so far is still a valid under-approximation of
+     the abstract graph and the log a valid (partial) instrumentation. *)
   let explore ?(folding = Control) ?(widen_after = 3)
-      ?(max_configs = 100_000) ctx : result =
+      ?(max_configs = 100_000) ?budget ?max_iterations ctx : result =
+    let budget =
+      match budget with
+      | Some b -> b
+      | None -> Budget.create ~max_configs ()
+    in
     let table : (key, config * int) Hashtbl.t = Hashtbl.create 256 in
     let queue = Queue.create () in
     let revisits = ref 0 and widenings = ref 0 in
     let finals = ref [] and errors = ref 0 in
+    let iterations = ref 0 in
+    let stop = ref None in
     let c0 = init ctx in
     let k0 = key_of ~folding c0 in
     Hashtbl.replace table k0 (c0, 0);
     Queue.add k0 queue;
-    while not (Queue.is_empty queue) do
-      let k = Queue.pop queue in
-      match Hashtbl.find_opt table k with
-      | None -> ()
-      | Some (c, _visits) ->
-          if c.err then incr errors
-          else if PM.is_empty c.procs then finals := c.store :: !finals
-          else
-            List.iter
-              (fun binding ->
-                List.iter
-                  (fun c' ->
-                    let k' = key_of ~folding c' in
-                    match Hashtbl.find_opt table k' with
-                    | None ->
-                        if Hashtbl.length table >= max_configs then
-                          raise (Budget_exceeded max_configs);
-                        Hashtbl.replace table k' (c', 0);
-                        Queue.add k' queue
-                    | Some (old_, v') ->
-                        incr revisits;
-                        let joined = join_config ~folding old_ c' in
-                        if not (config_leq joined old_) then begin
-                          let next =
-                            if v' >= widen_after then begin
-                              incr widenings;
-                              widen_config old_ joined
-                            end
-                            else joined
-                          in
-                          Hashtbl.replace table k' (next, v' + 1);
-                          Queue.add k' queue
-                        end)
-                  (fire ctx c binding))
-              (enabled_shapes ctx c)
+    while !stop = None && not (Queue.is_empty queue) do
+      (match max_iterations with
+      | Some fuel when !iterations >= fuel -> stop := Some (Budget.Fuel fuel)
+      | _ -> (
+          match
+            Budget.check budget ~configs:(Hashtbl.length table)
+              ~transitions:!iterations
+          with
+          | Some r -> stop := Some r
+          | None -> ()));
+      if !stop = None then begin
+        incr iterations;
+        let k = Queue.pop queue in
+        match Hashtbl.find_opt table k with
+        | None -> ()
+        | Some (c, _visits) ->
+            if c.err then incr errors
+            else if PM.is_empty c.procs then finals := c.store :: !finals
+            else
+              List.iter
+                (fun binding ->
+                  List.iter
+                    (fun c' ->
+                      let k' = key_of ~folding c' in
+                      match Hashtbl.find_opt table k' with
+                      | None -> (
+                          match
+                            Budget.config_guard budget
+                              ~configs:(Hashtbl.length table)
+                          with
+                          | Some r -> stop := Some r
+                          | None ->
+                              Hashtbl.replace table k' (c', 0);
+                              Queue.add k' queue)
+                      | Some (old_, v') ->
+                          incr revisits;
+                          let joined = join_config ~folding old_ c' in
+                          if not (config_leq joined old_) then begin
+                            let next =
+                              if v' >= widen_after then begin
+                                incr widenings;
+                                widen_config old_ joined
+                              end
+                              else joined
+                            in
+                            Hashtbl.replace table k' (next, v' + 1);
+                            Queue.add k' queue
+                          end)
+                    (fire ctx c binding))
+                (enabled_shapes ctx c)
+      end
     done;
     {
+      status = Budget.status_of !stop;
       stats =
         {
           abstract_configs = Hashtbl.length table;

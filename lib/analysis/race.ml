@@ -33,16 +33,37 @@ end)
 let stmt_label_of (p : Proc.t) =
   match Proc.next_stmt p with Some s -> s.Ast.label | None -> -1
 
-(* Scan every reachable configuration for co-enabled conflicting pairs. *)
-let find ?(max_configs = 200_000) ctx : RaceSet.t =
+type result = { races : RaceSet.t; status : Budget.status }
+
+(* Scan every reachable configuration for co-enabled conflicting pairs.
+   The scan degrades gracefully: when the configuration budget fires it
+   stops admitting new configurations but still scans everything already
+   queued, so the reported races are those of a reachable prefix. *)
+let find ?(max_configs = 200_000) ?budget ctx : result =
+  let budget =
+    match budget with Some b -> b | None -> Budget.create ~max_configs ()
+  in
   let races = ref RaceSet.empty in
   let module Tbl = Space.ConfigTbl in
   let visited = Tbl.create 1024 in
   let queue = Queue.create () in
+  let trunc = ref None in
+  let stop = ref None in
+  let steps = ref 0 in
   let c0 = Step.init ctx in
   Tbl.add visited c0 ();
   Queue.add c0 queue;
-  while not (Queue.is_empty queue) do
+  while !stop = None && not (Queue.is_empty queue) do
+    (match Budget.check budget ~configs:(Tbl.length visited)
+             ~transitions:!steps
+     with
+    | Some (Budget.Configs _ as r) ->
+        (* keep draining the queue; just stop admitting new configs *)
+        if !trunc = None then trunc := Some r
+    | Some r -> stop := Some r
+    | None -> ());
+    if !stop = None then begin
+    incr steps;
     let c = Queue.pop queue in
     if not (Config.is_error c) then begin
       let enabled = Step.enabled_processes ctx c in
@@ -94,15 +115,22 @@ let find ?(max_configs = 200_000) ctx : RaceSet.t =
       List.iter
         (fun p ->
           let c', _ = Step.fire ctx c p in
-          if (not (Tbl.mem visited c')) && Tbl.length visited < max_configs
-          then begin
-            Tbl.add visited c' ();
-            Queue.add c' queue
-          end)
+          if not (Tbl.mem visited c') then
+            match Budget.config_guard budget ~configs:(Tbl.length visited)
+            with
+            | Some r -> if !trunc = None then trunc := Some r
+            | None ->
+                Tbl.add visited c' ();
+                Queue.add c' queue)
         enabled
     end
+    end
   done;
-  !races
+  {
+    races = !races;
+    status =
+      Budget.status_of (match !stop with Some _ -> !stop | None -> !trunc);
+  }
 
 let pp_race ppf r =
   Format.fprintf ppf "s%d %s s%d on %a"

@@ -21,9 +21,16 @@ val compare_race : race -> race -> int
 
 module RaceSet : Set.S with type elt = race
 
-val find : ?max_configs:int -> Step.ctx -> RaceSet.t
+type result = {
+  races : RaceSet.t;
+  status : Budget.status;
+      (** [Truncated _] when the scan covered only a reachable prefix *)
+}
+
+val find : ?max_configs:int -> ?budget:Budget.t -> Step.ctx -> result
 (** Scan every reachable configuration for co-enabled conflicting
-    pairs. *)
+    pairs.  At budget exhaustion the scan finishes the configurations
+    already discovered and reports the races of that prefix. *)
 
 val pp_race : Format.formatter -> race -> unit
 val pp : Format.formatter -> RaceSet.t -> unit

@@ -1,0 +1,100 @@
+(* Resource governance shared by every exploration engine: counter
+   budgets checked on every probe, wall clock and GC watermark sampled
+   periodically.  Engines consult a budget instead of raising, so a run
+   that exhausts a limit returns its partial result tagged with the
+   reason. *)
+
+type reason =
+  | Configs of int
+  | Transitions of int
+  | Deadline of float
+  | Heap_words of int
+  | Fuel of int
+
+type status = Complete | Truncated of reason
+
+let is_complete = function Complete -> true | Truncated _ -> false
+
+let combine a b =
+  match a with Complete -> b | Truncated _ -> a
+
+let pp_reason ppf = function
+  | Configs n -> Format.fprintf ppf "configuration budget (%d)" n
+  | Transitions n -> Format.fprintf ppf "transition budget (%d)" n
+  | Deadline s -> Format.fprintf ppf "deadline (%gs)" s
+  | Heap_words n -> Format.fprintf ppf "heap watermark (%d words)" n
+  | Fuel n -> Format.fprintf ppf "iteration fuel (%d)" n
+
+let pp_status ppf = function
+  | Complete -> Format.pp_print_string ppf "complete"
+  | Truncated r -> Format.fprintf ppf "TRUNCATED (%a)" pp_reason r
+
+let reason_to_string r = Format.asprintf "%a" pp_reason r
+
+let status_to_string = function
+  | Complete -> "complete"
+  | Truncated r -> "truncated: " ^ reason_to_string r
+
+type t = {
+  max_configs : int option;
+  max_transitions : int option;
+  deadline : float option; (* absolute, Unix.gettimeofday scale *)
+  timeout_s : float; (* the relative limit, for reporting *)
+  max_heap_words : int option;
+  check_every : int;
+  mutable ticks : int;
+}
+
+let create ?max_configs ?max_transitions ?timeout_s ?max_heap_words
+    ?(check_every = 256) () =
+  {
+    max_configs;
+    max_transitions;
+    deadline =
+      Option.map (fun s -> Unix.gettimeofday () +. s) timeout_s;
+    timeout_s = Option.value timeout_s ~default:0.;
+    max_heap_words;
+    check_every = max 1 check_every;
+    ticks = 0;
+  }
+
+let unlimited () = create ()
+
+let config_guard t ~configs =
+  match t.max_configs with
+  | Some m when configs >= m -> Some (Configs m)
+  | _ -> None
+
+let check t ~configs ~transitions =
+  let counters =
+    match t.max_configs with
+    | Some m when configs >= m -> Some (Configs m)
+    | _ -> (
+        match t.max_transitions with
+        | Some m when transitions >= m -> Some (Transitions m)
+        | _ -> None)
+  in
+  match counters with
+  | Some _ as r -> r
+  | None ->
+      (* clock and GC probes on the sampling period; tick 0 is sampled
+         so a zero deadline truncates before any work *)
+      let sampled = t.ticks mod t.check_every = 0 in
+      t.ticks <- t.ticks + 1;
+      if not sampled then None
+      else
+        let timed_out =
+          match t.deadline with
+          | Some d when Unix.gettimeofday () >= d ->
+              Some (Deadline t.timeout_s)
+          | _ -> None
+        in
+        (match timed_out with
+        | Some _ as r -> r
+        | None -> (
+            match t.max_heap_words with
+            | Some m when (Gc.quick_stat ()).Gc.heap_words >= m ->
+                Some (Heap_words m)
+            | _ -> None))
+
+let status_of = function None -> Complete | Some r -> Truncated r

@@ -1,0 +1,75 @@
+(** Unified resource governance for every exploration engine.
+
+    State-space generation explodes (paper section 2); production
+    analyzers degrade instead of dying.  A {!t} bundles the resource
+    limits a run must respect — configuration count, transition count,
+    wall-clock deadline, heap watermark — and the engines consult it
+    instead of raising: a run that exhausts a limit stops cleanly and
+    returns everything computed so far, tagged {!Truncated} with the
+    limit that fired.
+
+    Cheap counter limits are tested on every {!check}; the wall clock
+    and the GC watermark are sampled every [check_every] calls (and on
+    the very first one, so a zero deadline truncates immediately).
+
+    A single [t] may be shared by several engine runs — the deadline is
+    absolute, so sharing implements an end-to-end time box across a
+    whole pipeline. *)
+
+(** Why a run stopped early. *)
+type reason =
+  | Configs of int  (** distinct-configuration budget (the limit) *)
+  | Transitions of int  (** fired-transition budget (the limit) *)
+  | Deadline of float  (** wall-clock limit, in seconds *)
+  | Heap_words of int  (** major-heap watermark, in words *)
+  | Fuel of int  (** fixpoint iteration fuel (abstract machine) *)
+
+(** Completion status of an engine run.  [Truncated] results are
+    partial but valid: every configuration, statistic and log entry
+    reported was really computed. *)
+type status = Complete | Truncated of reason
+
+val is_complete : status -> bool
+
+val combine : status -> status -> status
+(** [combine a b] is [Complete] only when both are; otherwise the first
+    truncation reason in argument order. *)
+
+val pp_reason : Format.formatter -> reason -> unit
+val pp_status : Format.formatter -> status -> unit
+
+val reason_to_string : reason -> string
+
+val status_to_string : status -> string
+(** ["complete"], or ["truncated: <reason>"] — stable strings for
+    machine-readable output (bench JSON, scripts). *)
+
+type t
+(** A budget: immutable limits plus an internal sampling counter. *)
+
+val create :
+  ?max_configs:int ->
+  ?max_transitions:int ->
+  ?timeout_s:float ->
+  ?max_heap_words:int ->
+  ?check_every:int ->
+  unit ->
+  t
+(** Omitted limits are unlimited.  [timeout_s] is relative to the call;
+    the deadline instant is fixed here.  [check_every] (default 256)
+    is the sampling period for the clock and GC probes. *)
+
+val unlimited : unit -> t
+
+val config_guard : t -> configs:int -> reason option
+(** Enqueue-side guard: [Some (Configs limit)] when [configs] has
+    reached the configuration budget — the engine must not admit a new
+    configuration.  Counters only; never samples clock or GC. *)
+
+val check : t -> configs:int -> transitions:int -> reason option
+(** Scheduling-side probe, called once per worklist pop: tests every
+    limit (clock and heap on the sampling period) and returns the first
+    exhausted one. *)
+
+val status_of : reason option -> status
+(** [None -> Complete], [Some r -> Truncated r]. *)

@@ -9,7 +9,15 @@
        → parallelization, memory placement, compile-time GC     [section 7]
 
    This module is the public API most users want; the individual
-   libraries stay available for finer control. *)
+   libraries stay available for finer control.
+
+   Resource governance (Budget): one budget — configuration count,
+   transition count, wall-clock deadline, heap watermark — governs the
+   engine run and the race scan; exhaustion yields a partial report
+   tagged [Truncated], never an exception.  Each section-5/7 analysis
+   runs under a per-stage guard, so a crashing stage contributes an
+   empty result plus a structured diagnostic instead of aborting the
+   pipeline. *)
 
 open Cobegin_lang
 open Cobegin_trans
@@ -36,6 +44,9 @@ type options = {
   coarsen : bool; (* apply virtual coarsening first *)
   inline : bool; (* apply procedure inlining first *)
   max_configs : int;
+  max_transitions : int option;
+  timeout_s : float option; (* wall-clock deadline for the whole run *)
+  max_heap_words : int option; (* GC major-heap watermark *)
   find_races : bool; (* co-enabledness race scan (concrete engines) *)
 }
 
@@ -45,8 +56,15 @@ let default_options =
     coarsen = false;
     inline = false;
     max_configs = 500_000;
+    max_transitions = None;
+    timeout_s = None;
+    max_heap_words = None;
     find_races = false;
   }
+
+let budget_of_options (o : options) =
+  Budget.create ~max_configs:o.max_configs ?max_transitions:o.max_transitions
+    ?timeout_s:o.timeout_s ?max_heap_words:o.max_heap_words ()
 
 type exploration_stats = {
   configurations : int;
@@ -56,10 +74,17 @@ type exploration_stats = {
   errors : int;
 }
 
+type stage_failure = { stage : string; diagnostic : string }
+
+let pp_stage_failure ppf f =
+  Format.fprintf ppf "stage %s failed: %s" f.stage f.diagnostic
+
 type report = {
   program : Ast.program; (* after transforms *)
   engine_used : engine;
   stats : exploration_stats;
+  status : Budget.status; (* completeness of the exploration(s) *)
+  stage_failures : stage_failure list; (* crashed analyses, if any *)
   log : Event.log;
   side_effects : Side_effect.report list;
   deps : Depend.DepSet.t;
@@ -71,29 +96,41 @@ type report = {
 }
 
 let load_source src =
-  let prog = Parser.parse_string src in
-  Check.check_exn prog;
-  prog
+  try
+    let prog = Parser.parse_string src in
+    Check.check_exn prog;
+    prog
+  with Lexer.Error (msg, pos) ->
+    (* surface lexical errors with their position, like syntax errors *)
+    raise (Parser.Error ("lexical error: " ^ msg, pos))
 
 let load_file path =
-  let prog = Parser.parse_file path in
-  Check.check_exn prog;
-  prog
+  try
+    let prog = Parser.parse_file path in
+    Check.check_exn prog;
+    prog
+  with Lexer.Error (msg, pos) ->
+    raise (Parser.Error ("lexical error: " ^ msg, pos))
 
 let transform (opts : options) prog =
   let prog = if opts.inline then Inline.program prog else prog in
   let prog = if opts.coarsen then Coarsen.program prog else prog in
   prog
 
-(* Run the chosen engine, returning stats plus the unified log. *)
-let run_engine (opts : options) prog : exploration_stats * Event.log =
+let empty_log =
+  { Event.accesses = []; allocs = []; precise_pstrings = true }
+
+(* Run the chosen engine under [budget], returning stats, the unified
+   log, and the completion status. *)
+let run_engine ~budget (opts : options) prog :
+    exploration_stats * Event.log * Budget.status =
   match opts.engine with
   | Concrete_full | Concrete_stubborn ->
       let ctx = Step.make_ctx prog in
       let result =
         match opts.engine with
-        | Concrete_full -> Space.full ~max_configs:opts.max_configs ctx
-        | _ -> Stubborn.explore ~max_configs:opts.max_configs ctx
+        | Concrete_full -> Space.full ~budget ctx
+        | _ -> Stubborn.explore ~budget ctx
       in
       ( {
           configurations = result.Space.stats.Space.configurations;
@@ -102,11 +139,10 @@ let run_engine (opts : options) prog : exploration_stats * Event.log =
           deadlocks = result.Space.stats.Space.deadlocks;
           errors = result.Space.stats.Space.errors;
         },
-        Event.of_concrete result.Space.log )
+        Event.of_concrete result.Space.log,
+        result.Space.status )
   | Abstract (domain, folding) ->
-      let summary =
-        Analyzer.analyze ~domain ~folding ~max_configs:opts.max_configs prog
-      in
+      let summary = Analyzer.analyze ~domain ~folding ~budget prog in
       ( {
           configurations = summary.Analyzer.abstract_configs;
           transitions = 0;
@@ -114,29 +150,82 @@ let run_engine (opts : options) prog : exploration_stats * Event.log =
           deadlocks = 0;
           errors = summary.Analyzer.errors;
         },
-        Event.of_abstract summary.Analyzer.log )
+        Event.of_abstract summary.Analyzer.log,
+        summary.Analyzer.status )
 
-let analyze ?(options = default_options) (prog : Ast.program) : report =
+(* [stage_hook] is an instrumentation/fault-injection seam: it is called
+   with the stage name inside each guard, so tests can force a stage to
+   crash and observe the diagnostic. *)
+let analyze ?(options = default_options) ?(stage_hook = fun _ -> ())
+    (prog : Ast.program) : report =
   Check.check_exn prog;
   let prog = transform options prog in
-  let stats, log = run_engine options prog in
-  let side_effects = Side_effect.of_program log prog in
-  let deps = Depend.of_log log in
-  let lifetimes = Lifetime.of_log log in
-  let placements = Placement.decide lifetimes in
-  let gc_plan = Ctgc.deallocation_plan lifetimes in
-  let races =
+  let budget = budget_of_options options in
+  let failures = ref [] in
+  let stage name ~default f =
+    try
+      stage_hook name;
+      f ()
+    with e ->
+      failures :=
+        { stage = name; diagnostic = Printexc.to_string e } :: !failures;
+      default
+  in
+  let stats, log, status =
+    stage "exploration"
+      ~default:
+        ( {
+            configurations = 0;
+            transitions = 0;
+            finals = 0;
+            deadlocks = 0;
+            errors = 0;
+          },
+          empty_log,
+          Budget.Complete )
+      (fun () -> run_engine ~budget options prog)
+  in
+  let side_effects =
+    stage "side-effects" ~default:[] (fun () ->
+        Side_effect.of_program log prog)
+  in
+  let deps =
+    stage "dependences" ~default:Depend.DepSet.empty (fun () ->
+        Depend.of_log log)
+  in
+  let lifetimes =
+    stage "lifetimes" ~default:[] (fun () -> Lifetime.of_log log)
+  in
+  let placements =
+    stage "placement" ~default:[] (fun () -> Placement.decide lifetimes)
+  in
+  let gc_plan =
+    stage "ctgc" ~default:[] (fun () -> Ctgc.deallocation_plan lifetimes)
+  in
+  let races, status =
     if options.find_races then
       match options.engine with
       | Concrete_full | Concrete_stubborn ->
-          Some (Race.find ~max_configs:options.max_configs (Step.make_ctx prog))
-      | Abstract _ -> None
-    else None
+          let r =
+            stage "races"
+              ~default:
+                { Race.races = Race.RaceSet.empty; status = Budget.Complete }
+              (fun () -> Race.find ~budget (Step.make_ctx prog))
+          in
+          (Some r.Race.races, Budget.combine status r.Race.status)
+      | Abstract _ -> (None, status)
+    else (None, status)
+  in
+  let critical =
+    stage "critical" ~default:Critical.no_conflicts (fun () ->
+        Critical.of_program prog)
   in
   {
     program = prog;
     engine_used = options.engine;
     stats;
+    status;
+    stage_failures = List.rev !failures;
     log;
     side_effects;
     deps;
@@ -144,10 +233,11 @@ let analyze ?(options = default_options) (prog : Ast.program) : report =
     placements;
     gc_plan;
     races;
-    critical = Critical.of_program prog;
+    critical;
   }
 
-let analyze_source ?options src = analyze ?options (load_source src)
+let analyze_source ?options ?stage_hook src =
+  analyze ?options ?stage_hook (load_source src)
 
 (* Parallelization report for segment-shaped programs (Figure 8). *)
 let parallelization (r : report) : Parallelize.report =
@@ -160,10 +250,15 @@ let pp_stats ppf (s : exploration_stats) =
 
 let pp_report ppf (r : report) =
   Format.fprintf ppf
-    "@[<v>engine: %a@ %a@ @ critical references: %a@ @ side effects:@ %a@ @ \
-     parallel dependences:@ %a@ @ lifetimes:@ %a@ @ placement:@ %a@ @ \
-     deallocation plan:@ %a%a@]"
-    pp_engine r.engine_used pp_stats r.stats Critical.pp r.critical
+    "@[<v>engine: %a@ %a@ status: %a%a@ @ critical references: %a@ @ side \
+     effects:@ %a@ @ parallel dependences:@ %a@ @ lifetimes:@ %a@ @ \
+     placement:@ %a@ @ deallocation plan:@ %a%a@]"
+    pp_engine r.engine_used pp_stats r.stats Budget.pp_status r.status
+    (fun ppf -> function
+      | [] -> ()
+      | fs ->
+          List.iter (fun f -> Format.fprintf ppf "@ %a" pp_stage_failure f) fs)
+    r.stage_failures Critical.pp r.critical
     (Format.pp_print_list ~pp_sep:Format.pp_print_cut Side_effect.pp_report)
     r.side_effects Depend.pp_deps
     (Depend.DepSet.filter (fun d -> d.Depend.parallel) r.deps)

@@ -9,7 +9,15 @@ source → parse → check → (coarsen | inline)
     v}
 
     This is the one-call API; the individual libraries remain available
-    for finer control. *)
+    for finer control.
+
+    Resource governance: one {!Budget.t} — built from the limits in
+    {!options} — governs the engine run and the race scan together.
+    Exhaustion never raises; the report comes back with
+    [status = Truncated _] and partial results.  Each section-5/7
+    analysis runs under a per-stage guard: a crashing stage contributes
+    its default (empty) result plus a {!stage_failure} diagnostic
+    instead of aborting the pipeline. *)
 
 open Cobegin_lang
 open Cobegin_trans
@@ -31,11 +39,18 @@ type options = {
   coarsen : bool;  (** apply virtual coarsening first (Observation 5) *)
   inline : bool;  (** inline non-recursive calls first *)
   max_configs : int;  (** exploration budget *)
+  max_transitions : int option;  (** transition/edge budget *)
+  timeout_s : float option;  (** wall-clock deadline for the whole run *)
+  max_heap_words : int option;  (** GC major-heap watermark *)
   find_races : bool;  (** run the co-enabledness race scan too *)
 }
 
 val default_options : options
-(** Concrete full engine, no transforms, 500k budget, no race scan. *)
+(** Concrete full engine, no transforms, 500k configuration budget, no
+    transition/time/heap limits, no race scan. *)
+
+val budget_of_options : options -> Budget.t
+(** The budget {!analyze} runs under, fresh each call. *)
 
 type exploration_stats = {
   configurations : int;
@@ -45,10 +60,22 @@ type exploration_stats = {
   errors : int;
 }
 
+type stage_failure = {
+  stage : string;  (** e.g. ["side-effects"], ["races"] *)
+  diagnostic : string;  (** printed form of the escaping exception *)
+}
+
+val pp_stage_failure : Format.formatter -> stage_failure -> unit
+
 type report = {
   program : Ast.program;  (** the program after transforms *)
   engine_used : engine;
   stats : exploration_stats;
+  status : Budget.status;
+      (** [Truncated _] if any budget fired during exploration or the
+          race scan; the rest of the report describes the partial run *)
+  stage_failures : stage_failure list;
+      (** analyses that crashed; their report fields hold defaults *)
   log : Event.log;  (** unified instrumentation log *)
   side_effects : Side_effect.report list;  (** one per procedure *)
   deps : Depend.DepSet.t;  (** all dependences (parallel + sequential) *)
@@ -60,17 +87,25 @@ type report = {
 }
 
 val load_source : string -> Ast.program
-(** Parse and check a program from source text.
-    @raise Cobegin_lang.Parser.Error on syntax errors
+(** Parse and check a program from source text.  Lexical errors are
+    reported as {!Cobegin_lang.Parser.Error} with their position, the
+    same way syntax errors are.
+    @raise Cobegin_lang.Parser.Error on lexical or syntax errors
     @raise Cobegin_lang.Check.Ill_formed on static errors *)
 
 val load_file : string -> Ast.program
 
-val analyze : ?options:options -> Ast.program -> report
-(** Run the pipeline.  May raise {!Cobegin_explore.Space.Budget_exceeded}
-    or {!Cobegin_absint.Machine.Budget_exceeded}. *)
+val analyze :
+  ?options:options -> ?stage_hook:(string -> unit) -> Ast.program -> report
+(** Run the pipeline.  Never raises on budget exhaustion — check
+    [report.status] — and never aborts on an analysis-stage crash —
+    check [report.stage_failures].  [stage_hook] is called with each
+    stage's name just before the stage body runs; an exception it
+    raises is attributed to that stage (a fault-injection seam used by
+    the tests). *)
 
-val analyze_source : ?options:options -> string -> report
+val analyze_source :
+  ?options:options -> ?stage_hook:(string -> unit) -> string -> report
 
 val parallelization : report -> Parallelize.report
 (** Shasha–Snir conflict/delay/parallelization report for programs whose

@@ -38,7 +38,10 @@ let new_stats () = { pruned_by_sleep = 0; explored_transitions = 0 }
    revisit with a *smaller* sleep set must be re-expanded (standard sleep
    set algorithm), which we approximate by re-expanding when the recorded
    set is not a subset of the new one. *)
-let explore ?(max_configs = 1_000_000) ?stats ctx : Space.result =
+let explore ?(max_configs = 1_000_000) ?budget ?stats ctx : Space.result =
+  let budget =
+    match budget with Some b -> b | None -> Budget.create ~max_configs ()
+  in
   let mctx = Mayaccess.make_ctx ctx.Step.prog in
   let module PidSet = Set.Make (struct
     type t = Value.pid
@@ -50,10 +53,18 @@ let explore ?(max_configs = 1_000_000) ?stats ctx : Space.result =
   let finals = ref [] and deadlocks = ref [] and errors = ref [] in
   let transitions = ref 0 and max_frontier = ref 0 in
   let accesses = ref [] and allocs = ref [] in
+  let stop = ref None in
   let c0 = Step.init ctx in
   Space.ConfigTbl.add visited c0 PidSet.empty;
   Queue.add (c0, PidSet.empty) queue;
-  while not (Queue.is_empty queue) do
+  while !stop = None && not (Queue.is_empty queue) do
+    match
+      Budget.check budget
+        ~configs:(Space.ConfigTbl.length visited)
+        ~transitions:!transitions
+    with
+    | Some r -> stop := Some r
+    | None -> (
     max_frontier := max !max_frontier (Queue.length queue);
     let c, sleep = Queue.pop queue in
     if Config.is_error c then errors := c :: !errors
@@ -111,11 +122,15 @@ let explore ?(max_configs = 1_000_000) ?stats ctx : Space.result =
                           earlier))
                 in
                 (match Space.ConfigTbl.find_opt visited c' with
-                | None ->
-                    if Space.ConfigTbl.length visited >= max_configs then
-                      raise (Space.Budget_exceeded max_configs);
-                    Space.ConfigTbl.add visited c' sleep';
-                    Queue.add (c', sleep') queue
+                | None -> (
+                    match
+                      Budget.config_guard budget
+                        ~configs:(Space.ConfigTbl.length visited)
+                    with
+                    | Some r -> stop := Some r
+                    | None ->
+                        Space.ConfigTbl.add visited c' sleep';
+                        Queue.add (c', sleep') queue)
                 | Some recorded ->
                     (* revisit with strictly fewer sleepers: re-expand *)
                     if not (PidSet.subset recorded sleep') then begin
@@ -126,10 +141,11 @@ let explore ?(max_configs = 1_000_000) ?stats ctx : Space.result =
                 expand (p :: earlier) rest
           in
           expand [] awake
-    end
+    end)
   done;
   {
-    Space.stats =
+    Space.status = Budget.status_of !stop;
+    stats =
       {
         Space.configurations = Space.ConfigTbl.length visited;
         transitions = !transitions;

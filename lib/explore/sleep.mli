@@ -20,5 +20,11 @@ val new_stats : unit -> stats
 val independent : Step.footprint -> Step.footprint -> bool
 (** No read/write conflict between the two concrete footprints. *)
 
-val explore : ?max_configs:int -> ?stats:stats -> Step.ctx -> Space.result
-(** Persistent-set + sleep-set exploration. *)
+val explore :
+  ?max_configs:int ->
+  ?budget:Budget.t ->
+  ?stats:stats ->
+  Step.ctx ->
+  Space.result
+(** Persistent-set + sleep-set exploration.  Stops cleanly at budget
+    exhaustion and returns the partial result (see {!Space.explore}). *)

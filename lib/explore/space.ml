@@ -24,13 +24,12 @@ type stats = {
 
 type result = {
   stats : stats;
+  status : Budget.status;
   final_configs : Config.t list;
   deadlock_configs : Config.t list;
   error_configs : Config.t list;
   log : Step.events;
 }
-
-exception Budget_exceeded of int
 
 (* Visited sets are keyed by the canonical representation, computed once
    per configuration — [Config.repr] is pure data, so polymorphic hashing
@@ -47,40 +46,55 @@ end
 
 (* [expand c] returns the processes to fire at [c]; it must return a
    subset of the enabled processes, and must be non-empty whenever some
-   process is enabled. *)
-let explore ?(max_configs = 1_000_000) ctx ~expand : result =
+   process is enabled.  Exhausting the budget stops the generation
+   cleanly: everything visited so far is returned, tagged truncated. *)
+let explore ?(max_configs = 1_000_000) ?budget ctx ~expand : result =
+  let budget =
+    match budget with Some b -> b | None -> Budget.create ~max_configs ()
+  in
   let visited = ConfigTbl.create 1024 in
   let queue = Queue.create () in
   let finals = ref [] and deadlocks = ref [] and errors = ref [] in
   let transitions = ref 0 and max_frontier = ref 0 in
   let accesses = ref [] and allocs = ref [] in
+  let stop = ref None in
   let c0 = Step.init ctx in
   ConfigTbl.add visited c0 ();
   Queue.add c0 queue;
-  while not (Queue.is_empty queue) do
-    max_frontier := max !max_frontier (Queue.length queue);
-    let c = Queue.pop queue in
-    if Config.is_error c then errors := c :: !errors
-    else if Config.all_terminated c then finals := c :: !finals
-    else
-      match Step.enabled_processes ctx c with
-      | [] -> deadlocks := c :: !deadlocks
-      | _ ->
-          List.iter
-            (fun p ->
-              incr transitions;
-              let c', evs = Step.fire ctx c p in
-              accesses := evs.Step.accesses :: !accesses;
-              allocs := evs.Step.allocs :: !allocs;
-              if not (ConfigTbl.mem visited c') then begin
-                if ConfigTbl.length visited >= max_configs then
-                  raise (Budget_exceeded max_configs);
-                ConfigTbl.add visited c' ();
-                Queue.add c' queue
-              end)
-            (expand c)
+  while !stop = None && not (Queue.is_empty queue) do
+    match
+      Budget.check budget ~configs:(ConfigTbl.length visited)
+        ~transitions:!transitions
+    with
+    | Some r -> stop := Some r
+    | None -> (
+        max_frontier := max !max_frontier (Queue.length queue);
+        let c = Queue.pop queue in
+        if Config.is_error c then errors := c :: !errors
+        else if Config.all_terminated c then finals := c :: !finals
+        else
+          match Step.enabled_processes ctx c with
+          | [] -> deadlocks := c :: !deadlocks
+          | _ ->
+              List.iter
+                (fun p ->
+                  incr transitions;
+                  let c', evs = Step.fire ctx c p in
+                  accesses := evs.Step.accesses :: !accesses;
+                  allocs := evs.Step.allocs :: !allocs;
+                  if not (ConfigTbl.mem visited c') then
+                    match
+                      Budget.config_guard budget
+                        ~configs:(ConfigTbl.length visited)
+                    with
+                    | Some r -> stop := Some r
+                    | None ->
+                        ConfigTbl.add visited c' ();
+                        Queue.add c' queue)
+                (expand c))
   done;
   {
+    status = Budget.status_of !stop;
     stats =
       {
         configurations = ConfigTbl.length visited;
@@ -101,8 +115,9 @@ let explore ?(max_configs = 1_000_000) ctx ~expand : result =
   }
 
 (* Ordinary (full interleaving) generation. *)
-let full ?max_configs ctx =
-  explore ?max_configs ctx ~expand:(fun c -> Step.enabled_processes ctx c)
+let full ?max_configs ?budget ctx =
+  explore ?max_configs ?budget ctx ~expand:(fun c ->
+      Step.enabled_processes ctx c)
 
 (* Canonical multiset of final stores, for strategy comparisons. *)
 let final_store_reprs (r : result) =

@@ -21,14 +21,14 @@ type stats = {
 
 type result = {
   stats : stats;
+  status : Budget.status;
+      (** [Complete], or [Truncated reason] when a resource budget was
+          exhausted — the other fields then hold the partial result *)
   final_configs : Config.t list;
   deadlock_configs : Config.t list;
   error_configs : Config.t list;
   log : Step.events;  (** merged instrumentation of every transition *)
 }
-
-exception Budget_exceeded of int
-(** Raised when the visited set reaches [max_configs]. *)
 
 (** Visited sets keyed by the canonical configuration representation
     (computed once per configuration). *)
@@ -44,15 +44,19 @@ end
 
 val explore :
   ?max_configs:int ->
+  ?budget:Budget.t ->
   Step.ctx ->
   expand:(Config.t -> Proc.t list) ->
   result
 (** [explore ctx ~expand] generates the graph, firing at each
     configuration exactly the processes [expand] returns.  [expand] must
     return a subset of the enabled processes, non-empty whenever any
-    process is enabled.  Default budget: one million configurations. *)
+    process is enabled.  When [budget] is given it governs the run
+    ([max_configs] is then ignored); otherwise [max_configs] (default
+    one million) bounds the visited set.  Never raises on exhaustion:
+    the partial result comes back with [status = Truncated _]. *)
 
-val full : ?max_configs:int -> Step.ctx -> result
+val full : ?max_configs:int -> ?budget:Budget.t -> Step.ctx -> result
 (** Ordinary (full interleaving) generation. *)
 
 val final_store_reprs : result -> (Value.loc * Value.t) list list

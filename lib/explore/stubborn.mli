@@ -35,5 +35,10 @@ val choose_expansion :
     the enabled processes whenever any is enabled. *)
 
 val explore :
-  ?max_configs:int -> ?stats:reduction_stats -> Step.ctx -> Space.result
-(** Stubborn-set exploration of a program. *)
+  ?max_configs:int ->
+  ?budget:Budget.t ->
+  ?stats:reduction_stats ->
+  Step.ctx ->
+  Space.result
+(** Stubborn-set exploration of a program.  Stops cleanly at budget
+    exhaustion and returns the partial result (see {!Space.explore}). *)

@@ -22,6 +22,7 @@ type stats = {
 
 type result = {
   stats : stats;
+  status : Budget.status;
   deadlock_markings : Net.marking list;
 }
 
@@ -37,36 +38,54 @@ module MarkingTbl = Hashtbl.Make (struct
 end)
 
 (* Generic exploration parameterized by the expansion strategy: [expand m]
-   returns the transitions to fire at marking [m] (all of them enabled). *)
-let explore ?(max_states = 10_000_000) net ~expand =
+   returns the transitions to fire at marking [m] (all of them enabled).
+   Budget exhaustion stops the generation cleanly: the partial marking
+   graph is returned tagged [Truncated]. *)
+let explore ?(max_states = 10_000_000) ?budget net ~expand =
+  let budget =
+    match budget with
+    | Some b -> b
+    | None -> Budget.create ~max_configs:max_states ()
+  in
   let visited = MarkingTbl.create 1024 in
   let queue = Queue.create () in
   let edges = ref 0 in
   let deadlocks = ref [] in
   let max_frontier = ref 0 in
+  let stop = ref None in
   let m0 = Net.initial_marking net in
   MarkingTbl.add visited m0 ();
   Queue.add m0 queue;
-  while not (Queue.is_empty queue) do
-    max_frontier := max !max_frontier (Queue.length queue);
-    let m = Queue.pop queue in
-    if Net.is_deadlock net m then deadlocks := m :: !deadlocks
-    else begin
-      let to_fire = expand m in
-      List.iter
-        (fun t ->
-          incr edges;
-          let m' = Net.fire m t in
-          if not (MarkingTbl.mem visited m') then begin
-            if MarkingTbl.length visited >= max_states then
-              failwith "Reach.explore: state budget exceeded";
-            MarkingTbl.add visited m' ();
-            Queue.add m' queue
-          end)
-        to_fire
-    end
+  while !stop = None && not (Queue.is_empty queue) do
+    match
+      Budget.check budget ~configs:(MarkingTbl.length visited)
+        ~transitions:!edges
+    with
+    | Some r -> stop := Some r
+    | None ->
+        max_frontier := max !max_frontier (Queue.length queue);
+        let m = Queue.pop queue in
+        if Net.is_deadlock net m then deadlocks := m :: !deadlocks
+        else begin
+          let to_fire = expand m in
+          List.iter
+            (fun t ->
+              incr edges;
+              let m' = Net.fire m t in
+              if not (MarkingTbl.mem visited m') then
+                match
+                  Budget.config_guard budget
+                    ~configs:(MarkingTbl.length visited)
+                with
+                | Some r -> stop := Some r
+                | None ->
+                    MarkingTbl.add visited m' ();
+                    Queue.add m' queue)
+            to_fire
+        end
   done;
   {
+    status = Budget.status_of !stop;
     stats =
       {
         states = MarkingTbl.length visited;
@@ -77,8 +96,9 @@ let explore ?(max_states = 10_000_000) net ~expand =
     deadlock_markings = !deadlocks;
   }
 
-let full ?max_states net =
-  explore ?max_states net ~expand:(fun m -> Net.enabled_transitions net m)
+let full ?max_states ?budget net =
+  explore ?max_states ?budget net ~expand:(fun m ->
+      Net.enabled_transitions net m)
 
 (* Stubborn closure from a seed transition.  Returns the tids in the
    closure.  [scapegoat] picks, for a disabled transition, one input place
@@ -148,6 +168,6 @@ let stubborn_expand net idx (m : Net.marking) =
         enabled;
       (match !best with Some (fired, _) -> fired | None -> [])
 
-let stubborn ?max_states net =
+let stubborn ?max_states ?budget net =
   let idx = Net.build_indices net in
-  explore ?max_states net ~expand:(stubborn_expand net idx)
+  explore ?max_states ?budget net ~expand:(stubborn_expand net idx)

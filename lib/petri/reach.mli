@@ -13,20 +13,27 @@ type stats = {
   max_frontier : int;
 }
 
-type result = { stats : stats; deadlock_markings : Net.marking list }
+type result = {
+  stats : stats;
+  status : Budget.status;
+      (** [Truncated _] when a budget fired: the stats and deadlocks
+          describe the partial marking graph generated so far *)
+  deadlock_markings : Net.marking list;
+}
 
 val pp_stats : Format.formatter -> stats -> unit
 
 val explore :
   ?max_states:int ->
+  ?budget:Budget.t ->
   Net.t ->
   expand:(Net.marking -> Net.transition list) ->
   result
 (** Generic BFS under an expansion strategy; [expand] must return enabled
-    transitions only.
-    @raise Failure when the state budget is exceeded. *)
+    transitions only.  Never raises on exhaustion: the partial marking
+    graph comes back with [status = Truncated _]. *)
 
-val full : ?max_states:int -> Net.t -> result
+val full : ?max_states:int -> ?budget:Budget.t -> Net.t -> result
 (** Ordinary reachability. *)
 
 val closure : Net.t -> Net.indices -> Net.marking -> seed:int -> int list
@@ -38,5 +45,5 @@ val stubborn_expand : Net.t -> Net.indices -> Net.marking -> Net.transition list
 (** The enabled members of the smallest stubborn closure over all enabled
     seeds. *)
 
-val stubborn : ?max_states:int -> Net.t -> result
+val stubborn : ?max_states:int -> ?budget:Budget.t -> Net.t -> result
 (** Stubborn-set reachability. *)

@@ -121,19 +121,21 @@ let soundness_tests =
           }
         in
         let prog = random_program ~cfg seed in
-        match Cobegin_explore.Space.full ~max_configs:20_000
-                (Cobegin_semantics.Step.make_ctx prog)
-        with
-        | concrete ->
-            let abstract =
-              Analyzer.analyze ~max_configs:20_000 prog
-            in
-            (* concrete error ⇒ abstract error *)
-            concrete.Cobegin_explore.Space.stats.Cobegin_explore.Space.errors
-            = 0
-            || abstract.Analyzer.errors > 0
-        | exception Cobegin_explore.Space.Budget_exceeded _ -> true
-        | exception Machine.Budget_exceeded _ -> true);
+        let concrete =
+          Cobegin_explore.Space.full ~max_configs:20_000
+            (Cobegin_semantics.Step.make_ctx prog)
+        in
+        let abstract = Analyzer.analyze ~max_configs:20_000 prog in
+        if
+          not
+            (Budget.is_complete concrete.Cobegin_explore.Space.status
+            && Budget.is_complete abstract.Analyzer.status)
+        then true
+        else
+          (* concrete error ⇒ abstract error *)
+          concrete.Cobegin_explore.Space.stats.Cobegin_explore.Space.errors
+          = 0
+          || abstract.Analyzer.errors > 0);
     qtest ~count:20
       "abstract accesses cover concrete accesses (per site and kind)"
       seed_gen
@@ -147,11 +149,17 @@ let soundness_tests =
           }
         in
         let prog = random_program ~cfg seed in
-        match Cobegin_explore.Space.full ~max_configs:20_000
-                (Cobegin_semantics.Step.make_ctx prog)
-        with
-        | concrete ->
-            let abstract = Analyzer.analyze ~max_configs:20_000 prog in
+        let concrete =
+          Cobegin_explore.Space.full ~max_configs:20_000
+            (Cobegin_semantics.Step.make_ctx prog)
+        in
+        let abstract = Analyzer.analyze ~max_configs:20_000 prog in
+        if
+          not
+            (Budget.is_complete concrete.Cobegin_explore.Space.status
+            && Budget.is_complete abstract.Analyzer.status)
+        then true
+        else
             let alog = abstract.Analyzer.log in
             let abstract_pairs =
               List.map
@@ -167,9 +175,7 @@ let soundness_tests =
                      ( a.Cobegin_semantics.Step.a_label,
                        a.Cobegin_semantics.Step.a_kind = `Write )
                      abstract_pairs)
-              concrete.Cobegin_explore.Space.log.Cobegin_semantics.Step.accesses
-        | exception Cobegin_explore.Space.Budget_exceeded _ -> true
-        | exception Machine.Budget_exceeded _ -> true);
+              concrete.Cobegin_explore.Space.log.Cobegin_semantics.Step.accesses);
   ]
 
 let machine_unit_tests =

@@ -168,29 +168,34 @@ let lifetime_tests =
 let race_tests =
   [
     case "racy counter has anomalies" (fun () ->
-        let races = Race.find (ctx_of Cobegin_models.Figures.mutex_racy) in
-        check_bool "found" true (not (Race.RaceSet.is_empty races)));
+        let r = Race.find (ctx_of Cobegin_models.Figures.mutex_racy) in
+        check_bool "complete" true (Budget.is_complete r.Race.status);
+        check_bool "found" true (not (Race.RaceSet.is_empty r.Race.races)));
     case "lock-protected counter has none" (fun () ->
-        let races = Race.find (ctx_of Cobegin_models.Figures.mutex) in
+        let races = (Race.find (ctx_of Cobegin_models.Figures.mutex)).Race.races in
         check_bool "clean" true (Race.RaceSet.is_empty races));
     case "await-synchronized handoff has none" (fun () ->
-        let races = Race.find (ctx_of Cobegin_models.Figures.busywait) in
+        let races =
+          (Race.find (ctx_of Cobegin_models.Figures.busywait)).Race.races
+        in
         check_bool "clean" true (Race.RaceSet.is_empty races));
     case "write-write race is classified" (fun () ->
         let races =
-          Race.find
-            (ctx_of
-               "proc main() { var x = 0; cobegin { x = 1; } { x = 2; } \
-                coend; }")
+          (Race.find
+             (ctx_of
+                "proc main() { var x = 0; cobegin { x = 1; } { x = 2; } \
+                 coend; }"))
+            .Race.races
         in
         check_bool "W/W" true
           (Race.RaceSet.exists (fun r -> r.Race.write_write) races));
     case "disjoint variables do not race" (fun () ->
         let races =
-          Race.find
-            (ctx_of
-               "proc main() { var x = 0; var y = 0; cobegin { x = 1; } { y \
-                = 2; } coend; }")
+          (Race.find
+             (ctx_of
+                "proc main() { var x = 0; var y = 0; cobegin { x = 1; } { y \
+                 = 2; } coend; }"))
+            .Race.races
         in
         check_bool "clean" true (Race.RaceSet.is_empty races));
   ]

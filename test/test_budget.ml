@@ -1,0 +1,144 @@
+(* Resource governance: budgeted exploration degrades gracefully.
+
+   (a) a truncated run still returns non-empty partial statistics;
+   (b) partial statistics are monotone in the configuration budget;
+   (c) an already-expired deadline truncates immediately, without
+       raising and without exploring;
+   (d) a crashing pipeline stage yields a structured diagnostic in the
+       report instead of aborting the pipeline. *)
+
+open Cobegin_core
+open Cobegin_explore
+open Helpers
+
+(* fig5 explodes enough (hundreds of configurations) for tiny budgets to
+   bite; philosophers-style nets are exercised in test_petri. *)
+let big_src = Cobegin_models.Figures.fig5
+
+let truncation_tests =
+  [
+    case "truncated run returns non-empty partial stats" (fun () ->
+        let r = explore_full ~max_configs:5 big_src in
+        (match r.Space.status with
+        | Budget.Truncated (Budget.Configs 5) -> ()
+        | Budget.Truncated _ -> Alcotest.fail "wrong truncation reason"
+        | Budget.Complete -> Alcotest.fail "expected truncation");
+        check_bool "some configurations" true
+          (r.Space.stats.Space.configurations > 0);
+        check_bool "within budget" true
+          (r.Space.stats.Space.configurations <= 5));
+    case "complete run is tagged Complete" (fun () ->
+        let r = explore_full big_src in
+        check_bool "complete" true (Budget.is_complete r.Space.status));
+    case "transition budget truncates too" (fun () ->
+        let budget = Budget.create ~max_transitions:10 () in
+        let r = Space.full ~budget (ctx_of big_src) in
+        match r.Space.status with
+        | Budget.Truncated (Budget.Transitions 10) -> ()
+        | _ -> Alcotest.fail "expected transition truncation");
+    case "petri reachability truncates instead of failing" (fun () ->
+        let net = Cobegin_models.Philosophers.net 5 in
+        let r = Cobegin_petri.Reach.full ~max_states:10 net in
+        check_bool "truncated" false
+          (Budget.is_complete r.Cobegin_petri.Reach.status);
+        check_bool "partial states" true
+          (r.Cobegin_petri.Reach.stats.Cobegin_petri.Reach.states > 0));
+  ]
+
+let monotonicity_tests =
+  [
+    qtest ~count:30 "configs are monotone in the budget" seed_gen (fun seed ->
+        let prog = random_program seed in
+        let ctx = Cobegin_semantics.Step.make_ctx prog in
+        let configs_at k =
+          (Space.full ~max_configs:k ctx).Space.stats.Space.configurations
+        in
+        let k = 1 + (seed mod 50) in
+        configs_at k <= configs_at (k + 25)
+        && configs_at k <= k
+        && configs_at (k + 25) <= k + 25);
+  ]
+
+let deadline_tests =
+  [
+    case "expired deadline truncates immediately without raising" (fun () ->
+        let budget = Budget.create ~timeout_s:0.0 () in
+        let r = Space.full ~budget (ctx_of big_src) in
+        (match r.Space.status with
+        | Budget.Truncated (Budget.Deadline _) -> ()
+        | _ -> Alcotest.fail "expected deadline truncation");
+        (* nothing was expanded: only the initial configuration exists *)
+        check_int "no exploration" 1 r.Space.stats.Space.configurations;
+        check_int "no transitions" 0 r.Space.stats.Space.transitions);
+    case "pipeline honours a zero timeout end to end" (fun () ->
+        let options =
+          { Pipeline.default_options with timeout_s = Some 0.0 }
+        in
+        let report = Pipeline.analyze ~options (parse big_src) in
+        check_bool "truncated" false
+          (Budget.is_complete report.Pipeline.status);
+        check_bool "no stage crashed" true
+          (report.Pipeline.stage_failures = []));
+  ]
+
+let stage_isolation_tests =
+  [
+    case "a crashing stage yields a diagnostic, not an abort" (fun () ->
+        let boom = "injected fault" in
+        let report =
+          Pipeline.analyze
+            ~stage_hook:(fun stage ->
+              if stage = "lifetimes" then failwith boom)
+            (parse Cobegin_models.Figures.fig2)
+        in
+        match report.Pipeline.stage_failures with
+        | [ f ] ->
+            check_string "stage" "lifetimes" f.Pipeline.stage;
+            check_bool "diagnostic mentions the exception" true
+              (let d = f.Pipeline.diagnostic and n = String.length boom in
+               let hit = ref false in
+               for i = 0 to String.length d - n do
+                 if String.sub d i n = boom then hit := true
+               done;
+               !hit);
+            (* downstream stages still ran on the default (empty) input *)
+            check_bool "lifetimes defaulted" true
+              (report.Pipeline.lifetimes = []);
+            check_bool "placements consistent with empty lifetimes" true
+              (report.Pipeline.placements = []);
+            check_bool "side effects survived" true
+              (report.Pipeline.side_effects <> [])
+        | [] -> Alcotest.fail "expected a stage failure"
+        | _ -> Alcotest.fail "expected exactly one stage failure");
+    case "a crashing exploration still yields a report" (fun () ->
+        let report =
+          Pipeline.analyze
+            ~stage_hook:(fun stage ->
+              if stage = "exploration" then failwith "engine down")
+            (parse Cobegin_models.Figures.fig2)
+        in
+        check_bool "failure recorded" true
+          (List.exists
+             (fun f -> f.Pipeline.stage = "exploration")
+             report.Pipeline.stage_failures);
+        check_int "empty stats" 0 report.Pipeline.stats.Pipeline.configurations);
+  ]
+
+let status_tests =
+  [
+    case "combine keeps the first truncation" (fun () ->
+        let t = Budget.Truncated (Budget.Configs 3) in
+        check_bool "id left" true (Budget.combine Budget.Complete t = t);
+        check_bool "id right" true (Budget.combine t Budget.Complete = t);
+        check_bool "complete" true
+          (Budget.is_complete (Budget.combine Budget.Complete Budget.Complete)));
+    case "status strings are stable" (fun () ->
+        check_string "complete" "complete"
+          (Budget.status_to_string Budget.Complete);
+        check_string "truncated" "truncated: configuration budget (3)"
+          (Budget.status_to_string (Budget.Truncated (Budget.Configs 3))));
+  ]
+
+let suite =
+  truncation_tests @ monotonicity_tests @ deadline_tests
+  @ stage_isolation_tests @ status_tests

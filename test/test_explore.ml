@@ -36,10 +36,12 @@ let count_tests =
         let r = explore_full Cobegin_models.Figures.mutex_racy in
         (* finals: count ∈ {1, 2} -> at least 2 distinct final stores *)
         check_bool "several outcomes" true (r.Space.stats.Space.finals >= 2));
-    case "budget exceeded raises" (fun () ->
-        match explore_full ~max_configs:3 Cobegin_models.Figures.fig5 with
-        | exception Space.Budget_exceeded _ -> ()
-        | _ -> Alcotest.fail "expected budget");
+    case "budget exhaustion truncates instead of raising" (fun () ->
+        let r = explore_full ~max_configs:3 Cobegin_models.Figures.fig5 in
+        check_bool "truncated" false (Budget.is_complete r.Space.status);
+        check_bool "partial stats returned" true
+          (r.Space.stats.Space.configurations > 0
+          && r.Space.stats.Space.configurations <= 3));
   ]
 
 let all_figures_agree =
@@ -74,27 +76,31 @@ let property_tests =
       (fun seed ->
         let prog = random_program ~cfg:gen_cfg seed in
         let ctx = Cobegin_semantics.Step.make_ctx prog in
-        match
-          ( Space.full ~max_configs:20_000 ctx,
-            Stubborn.explore ~max_configs:20_000 ctx )
-        with
-        | full, stub ->
-            final_reprs full = final_reprs stub
-            && full.Space.stats.Space.deadlocks
-               = stub.Space.stats.Space.deadlocks
-        | exception Space.Budget_exceeded _ -> true);
+        let full = Space.full ~max_configs:20_000 ctx in
+        let stub = Stubborn.explore ~max_configs:20_000 ctx in
+        if
+          not
+            (Budget.is_complete full.Space.status
+            && Budget.is_complete stub.Space.status)
+        then true
+        else
+          final_reprs full = final_reprs stub
+          && full.Space.stats.Space.deadlocks
+             = stub.Space.stats.Space.deadlocks);
     qtest ~count:25 "stubborn never explores more configurations" seed_gen
       (fun seed ->
         let prog = random_program ~cfg:gen_cfg seed in
         let ctx = Cobegin_semantics.Step.make_ctx prog in
-        match
-          ( Space.full ~max_configs:20_000 ctx,
-            Stubborn.explore ~max_configs:20_000 ctx )
-        with
-        | full, stub ->
-            stub.Space.stats.Space.configurations
-            <= full.Space.stats.Space.configurations
-        | exception Space.Budget_exceeded _ -> true);
+        let full = Space.full ~max_configs:20_000 ctx in
+        let stub = Stubborn.explore ~max_configs:20_000 ctx in
+        if
+          not
+            (Budget.is_complete full.Space.status
+            && Budget.is_complete stub.Space.status)
+        then true
+        else
+          stub.Space.stats.Space.configurations
+          <= full.Space.stats.Space.configurations);
     qtest ~count:20 "three-branch programs also agree"
       seed_gen
       (fun seed ->
@@ -107,12 +113,14 @@ let property_tests =
         in
         let prog = random_program ~cfg seed in
         let ctx = Cobegin_semantics.Step.make_ctx prog in
-        match
-          ( Space.full ~max_configs:20_000 ctx,
-            Stubborn.explore ~max_configs:20_000 ctx )
-        with
-        | full, stub -> final_reprs full = final_reprs stub
-        | exception Space.Budget_exceeded _ -> true);
+        let full = Space.full ~max_configs:20_000 ctx in
+        let stub = Stubborn.explore ~max_configs:20_000 ctx in
+        if
+          not
+            (Budget.is_complete full.Space.status
+            && Budget.is_complete stub.Space.status)
+        then true
+        else final_reprs full = final_reprs stub);
   ]
 
 let composition_tests =
@@ -131,15 +139,17 @@ let composition_tests =
         let prog = random_program ~cfg seed in
         let coarse = Cobegin_trans.Coarsen.program prog in
         let ctx p = Cobegin_semantics.Step.make_ctx p in
-        match
-          ( Space.full ~max_configs:20_000 (ctx prog),
-            Sleep.explore ~max_configs:20_000 (ctx coarse) )
-        with
-        | plain, reduced ->
-            (* coarsening changes store granularity only at intermediate
-               states; final stores must agree exactly *)
-            final_reprs plain = final_reprs reduced
-        | exception Space.Budget_exceeded _ -> true);
+        let plain = Space.full ~max_configs:20_000 (ctx prog) in
+        let reduced = Sleep.explore ~max_configs:20_000 (ctx coarse) in
+        if
+          not
+            (Budget.is_complete plain.Space.status
+            && Budget.is_complete reduced.Space.status)
+        then true
+        else
+          (* coarsening changes store granularity only at intermediate
+             states; final stores must agree exactly *)
+          final_reprs plain = final_reprs reduced);
   ]
 
 let forktree_tests =
@@ -221,15 +231,17 @@ let sleep_tests =
       (fun seed ->
         let prog = random_program ~cfg:gen_cfg seed in
         let ctx = Cobegin_semantics.Step.make_ctx prog in
-        match
-          ( Space.full ~max_configs:20_000 ctx,
-            Sleep.explore ~max_configs:20_000 ctx )
-        with
-        | full, slp ->
-            final_reprs full = final_reprs slp
-            && full.Space.stats.Space.deadlocks
-               = slp.Space.stats.Space.deadlocks
-        | exception Space.Budget_exceeded _ -> true);
+        let full = Space.full ~max_configs:20_000 ctx in
+        let slp = Sleep.explore ~max_configs:20_000 ctx in
+        if
+          not
+            (Budget.is_complete full.Space.status
+            && Budget.is_complete slp.Space.status)
+        then true
+        else
+          final_reprs full = final_reprs slp
+          && full.Space.stats.Space.deadlocks
+             = slp.Space.stats.Space.deadlocks);
   ]
 
 let replay_tests =

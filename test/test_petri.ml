@@ -137,12 +137,16 @@ let random_tests =
                  ~post:(List.map (fun p -> (p, 1)) post)))
           trans;
         let net = Net.Builder.build b in
-        match (Reach.full ~max_states:30_000 net,
-               Reach.stubborn ~max_states:30_000 net) with
-        | f, s ->
-            List.sort compare (List.map Array.to_list f.Reach.deadlock_markings)
-            = List.sort compare (List.map Array.to_list s.Reach.deadlock_markings)
-        | exception Failure _ -> true);
+        let f = Reach.full ~max_states:30_000 net in
+        let s = Reach.stubborn ~max_states:30_000 net in
+        if
+          not
+            (Budget.is_complete f.Reach.status
+            && Budget.is_complete s.Reach.status)
+        then true
+        else
+          List.sort compare (List.map Array.to_list f.Reach.deadlock_markings)
+          = List.sort compare (List.map Array.to_list s.Reach.deadlock_markings));
   ]
 
 let suite = unit_tests @ philosophers_tests @ random_tests

@@ -55,8 +55,9 @@ let suite =
         (* flag/turn accesses race by design (that is the protocol); the
            critical-section counter must not *)
         let races =
-          Cobegin_analysis.Race.find
-            (ctx_of Cobegin_models.Protocols.peterson)
+          (Cobegin_analysis.Race.find
+             (ctx_of Cobegin_models.Protocols.peterson))
+            .Cobegin_analysis.Race.races
         in
         (* incrit is declared 4th: any race on it would be a mutual
            exclusion failure; check no W/W race exists on one location

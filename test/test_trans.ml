@@ -94,12 +94,16 @@ let coarsen_tests =
         let prog = random_program ~cfg seed in
         let coarse = Coarsen.program prog in
         let ctx p = Cobegin_semantics.Step.make_ctx p in
-        match
-          ( Cobegin_explore.Space.full ~max_configs:20_000 (ctx prog),
-            Cobegin_explore.Space.full ~max_configs:20_000 (ctx coarse) )
-        with
-        | before, after -> final_reprs before = final_reprs after
-        | exception Cobegin_explore.Space.Budget_exceeded _ -> true);
+        let before = Cobegin_explore.Space.full ~max_configs:20_000 (ctx prog) in
+        let after =
+          Cobegin_explore.Space.full ~max_configs:20_000 (ctx coarse)
+        in
+        if
+          not
+            (Budget.is_complete before.Cobegin_explore.Space.status
+            && Budget.is_complete after.Cobegin_explore.Space.status)
+        then true
+        else final_reprs before = final_reprs after);
     qtest ~count:25 "coarsening never grows the space" seed_gen (fun seed ->
         let cfg =
           {
@@ -112,16 +116,20 @@ let coarsen_tests =
         let prog = random_program ~cfg seed in
         let coarse = Coarsen.program prog in
         let ctx p = Cobegin_semantics.Step.make_ctx p in
-        match
-          ( Cobegin_explore.Space.full ~max_configs:20_000 (ctx prog),
-            Cobegin_explore.Space.full ~max_configs:20_000 (ctx coarse) )
-        with
-        | before, after ->
-            after.Cobegin_explore.Space.stats
-              .Cobegin_explore.Space.configurations
-            <= before.Cobegin_explore.Space.stats
-                 .Cobegin_explore.Space.configurations
-        | exception Cobegin_explore.Space.Budget_exceeded _ -> true);
+        let before = Cobegin_explore.Space.full ~max_configs:20_000 (ctx prog) in
+        let after =
+          Cobegin_explore.Space.full ~max_configs:20_000 (ctx coarse)
+        in
+        if
+          not
+            (Budget.is_complete before.Cobegin_explore.Space.status
+            && Budget.is_complete after.Cobegin_explore.Space.status)
+        then true
+        else
+          after.Cobegin_explore.Space.stats
+            .Cobegin_explore.Space.configurations
+          <= before.Cobegin_explore.Space.stats
+               .Cobegin_explore.Space.configurations);
   ]
 
 let inline_tests =
