@@ -380,6 +380,44 @@ let e12 () =
     r.Reach.stats.Reach.states r.Reach.stats.Reach.edges
     (Budget.status_to_string r.Reach.status)
 
+(* --- E13: static concurrency lint vs. the exploration race scan ---
+
+   The lint (lib/static) answers "which statement pairs may race" from
+   the program text alone; the explorer answers it by enumerating
+   interleavings.  On the dining-philosophers family the lint must be
+   orders of magnitude cheaper — that is its reason to exist as a
+   budget-free pre-stage. *)
+
+let e13 () =
+  section "E13" "Static lint cost vs. exploration race scan (philosophers)";
+  let time f =
+    let t0 = Sys.time () in
+    let r = f () in
+    (r, Sys.time () -. t0)
+  in
+  row "%-16s %14s %14s %10s@." "workload" "lint (s)" "explore (s)" "ratio";
+  List.iter
+    (fun n ->
+      let prog = parse (Philosophers.program n) in
+      (* amortize the lint over repeats: it is too fast to time once *)
+      let reps = 20 in
+      let (), tl =
+        time (fun () ->
+            for _ = 1 to reps do
+              ignore (Cobegin_static.Lint.run prog)
+            done)
+      in
+      let tl = tl /. float_of_int reps in
+      let r, te =
+        time (fun () -> Race.find ~max_configs:200_000 (Step.make_ctx prog))
+      in
+      let ratio = if tl > 0. then te /. tl else Float.infinity in
+      row "philosophers-%-3d %14.6f %14.6f %9.0fx   (dynamic races: %d, %s)@."
+        n tl te ratio
+        (Race.RaceSet.cardinal r.Race.races)
+        (Budget.status_to_string r.Race.status))
+    [ 2; 3 ]
+
 (* --- Bechamel timings: one per experiment family --- *)
 
 let bechamel () =
@@ -451,7 +489,7 @@ let experiments =
   [
     ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
-    ("E12", e12);
+    ("E12", e12); ("E13", e13);
     ("TIMING", bechamel);
   ]
 

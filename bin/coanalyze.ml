@@ -12,9 +12,12 @@
      1  usage, parse or static errors
      2  a resource budget fired — the printed results are partial
      3  an analysis stage crashed (structured diagnostic printed)
+     4  clean run, but the static lint suite has findings
+        (--lint / --lint-only; precedence 1 > 3 > 2 > 4 > 0)
 
    Examples:
      coanalyze analyze prog.cob --engine stubborn --coarsen
+     coanalyze analyze prog.cob --lint-only
      coanalyze analyze prog.cob --engine abstract --domain signs --folding clan
      coanalyze explore prog.cob --max-configs 1000 --timeout 5
      coanalyze examples fig8 | coanalyze parallel /dev/stdin *)
@@ -50,10 +53,11 @@ let report_status status =
       Format.eprintf "TRUNCATED (%s) — results below are partial@."
         (Budget.reason_to_string reason)
 
-let exit_code ?(stage_failures = []) status =
+let exit_code ?(stage_failures = []) ?(static_findings = false) status =
   if stage_failures <> [] then 3
-  else if Budget.is_complete status then 0
-  else 2
+  else if not (Budget.is_complete status) then 2
+  else if static_findings then 4
+  else 0
 
 let file_arg =
   Arg.(
@@ -122,6 +126,23 @@ let races_arg =
     value & flag
     & info [ "races" ] ~doc:"Also run the co-enabledness race scan.")
 
+let lint_arg =
+  Arg.(
+    value & flag
+    & info [ "lint" ]
+        ~doc:
+          "Also run the static concurrency lint suite (MHP, locksets, \
+           lock-order cycles) as a budget-free pre-stage.  Findings make \
+           the exit code 4.")
+
+let lint_only_arg =
+  Arg.(
+    value & flag
+    & info [ "lint-only" ]
+        ~doc:
+          "Run only the static lint suite — no exploration, no budget.  \
+           Exit code 4 when there are findings, 0 otherwise.")
+
 let max_configs_arg =
   Arg.(
     value & opt int 500_000
@@ -157,7 +178,7 @@ let heap_words_of_mb mb =
   (* OCaml heap words: 8 bytes each on 64-bit *)
   mb * 1024 * 1024 / (Sys.word_size / 8)
 
-let mk_options engine domain folding coarsen inline races max_configs
+let mk_options engine domain folding coarsen inline races lint max_configs
     max_transitions timeout_s max_heap_mb =
   let engine =
     match engine with
@@ -173,34 +194,50 @@ let mk_options engine domain folding coarsen inline races max_configs
     timeout_s;
     max_heap_words = Option.map heap_words_of_mb max_heap_mb;
     find_races = races;
+    lint;
   }
 
 let options_term =
   Term.(
     const mk_options $ engine_arg $ domain_arg $ folding_arg $ coarsen_arg
-    $ inline_arg $ races_arg $ max_configs_arg $ max_transitions_arg
-    $ timeout_arg $ max_heap_mb_arg)
+    $ inline_arg $ races_arg $ lint_arg $ max_configs_arg
+    $ max_transitions_arg $ timeout_arg $ max_heap_mb_arg)
 
 let analyze_cmd =
-  let run file options =
+  let run file options lint_only =
     match read_program file with
     | Error e ->
         Format.eprintf "%s@." e;
         1
     | Ok prog ->
-        let report = Pipeline.analyze ~options prog in
-        Format.printf "%a@." Pipeline.pp_report report;
-        List.iter
-          (fun f ->
-            Format.eprintf "%a@." Pipeline.pp_stage_failure f)
-          report.Pipeline.stage_failures;
-        report_status report.Pipeline.status;
-        exit_code ~stage_failures:report.Pipeline.stage_failures
-          report.Pipeline.status
+        if lint_only then begin
+          (* static suite alone: no exploration, no budget; the
+             canonical-order self-check makes non-canonical output a
+             crash the CI sweep catches *)
+          let r = Cobegin_static.Lint.run prog in
+          Cobegin_static.Report.assert_canonical r.Cobegin_static.Lint.findings;
+          Format.printf "%a@." Cobegin_static.Lint.pp r;
+          if r.Cobegin_static.Lint.findings <> [] then 4 else 0
+        end
+        else begin
+          let report = Pipeline.analyze ~options prog in
+          Format.printf "%a@." Pipeline.pp_report report;
+          List.iter
+            (fun f -> Format.eprintf "%a@." Pipeline.pp_stage_failure f)
+            report.Pipeline.stage_failures;
+          report_status report.Pipeline.status;
+          let static_findings =
+            match report.Pipeline.static with
+            | Some r -> r.Cobegin_static.Lint.findings <> []
+            | None -> false
+          in
+          exit_code ~stage_failures:report.Pipeline.stage_failures
+            ~static_findings report.Pipeline.status
+        end
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Run the full analysis pipeline on a program.")
-    Term.(const run $ file_arg $ options_term)
+    Term.(const run $ file_arg $ options_term $ lint_only_arg)
 
 let explore_cmd =
   let run file coarsen max_configs max_transitions timeout_s max_heap_mb =
@@ -303,28 +340,40 @@ let parallel_cmd =
     Term.(const run $ file_arg $ options_term)
 
 let examples_cmd =
-  let all =
-    Cobegin_models.Figures.all_named @ Cobegin_models.Protocols.all_named
+  let run list name =
+    if list then begin
+      List.iter print_endline Cobegin_models.Corpus.names;
+      0
+    end
+    else
+      match name with
+      | None ->
+          Format.eprintf "missing example name; try --list@.";
+          1
+      | Some name -> (
+          match Cobegin_models.Corpus.find name with
+          | Some src ->
+              print_string src;
+              0
+          | None ->
+              Format.eprintf "unknown example %s; available: %s@." name
+                (String.concat ", " Cobegin_models.Corpus.names);
+              1)
   in
-  let run name =
-    match List.assoc_opt name all with
-    | Some src ->
-        print_string src;
-        0
-    | None ->
-        Format.eprintf "unknown example %s; available: %s@." name
-          (String.concat ", " (List.map fst all));
-        1
+  let list_arg =
+    Arg.(
+      value & flag
+      & info [ "list" ] ~doc:"Print the available example names, one per line.")
   in
   let name_arg =
     Arg.(
-      required
+      value
       & pos 0 (some string) None
       & info [] ~docv:"NAME" ~doc:"Example name (fig2, fig5, example8, ...).")
   in
   Cmd.v
     (Cmd.info "examples" ~doc:"Print a built-in example program.")
-    Term.(const run $ name_arg)
+    Term.(const run $ list_arg $ name_arg)
 
 let main_cmd =
   let doc =

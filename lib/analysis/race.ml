@@ -20,9 +20,20 @@ type race = {
 }
 
 let compare_race a b =
-  compare
-    (a.stmt1, a.stmt2, a.write_write, Value.compare_loc a.loc b.loc)
-    (b.stmt1, b.stmt2, b.write_write, 0)
+  let c =
+    compare (a.stmt1, a.stmt2, a.write_write) (b.stmt1, b.stmt2, b.write_write)
+  in
+  if c <> 0 then c else Value.compare_loc a.loc b.loc
+
+(* The only constructor: pairs are normalized at birth so mirrored
+   discoveries collapse in the set and reports are canonical. *)
+let make ~stmt1 ~stmt2 ~loc ~write_write =
+  {
+    stmt1 = min stmt1 stmt2;
+    stmt2 = max stmt1 stmt2;
+    loc;
+    write_write;
+  }
 
 module RaceSet = Set.Make (struct
   type t = race
@@ -30,8 +41,14 @@ module RaceSet = Set.Make (struct
   let compare = compare_race
 end)
 
+(* The label the anomaly is reported at.  A process whose head is a
+   pending return is about to write the call's destination: attribute
+   that to the call site, where the write is visible in the source. *)
 let stmt_label_of (p : Proc.t) =
-  match Proc.next_stmt p with Some s -> s.Ast.label | None -> -1
+  match p.Proc.stack with
+  | Proc.Istmt s :: _ -> s.Ast.label
+  | Proc.Iret { site; _ } :: _ -> site
+  | _ -> -1
 
 type result = { races : RaceSet.t; status : Budget.status }
 
@@ -94,15 +111,10 @@ let find ?(max_configs = 200_000) ?budget ctx : result =
                 let add ~ww locs =
                   LS.iter
                     (fun loc ->
-                      let l1 = stmt_label_of p1 and l2 = stmt_label_of p2 in
                       races :=
                         RaceSet.add
-                          {
-                            stmt1 = min l1 l2;
-                            stmt2 = max l1 l2;
-                            loc;
-                            write_write = ww;
-                          }
+                          (make ~stmt1:(stmt_label_of p1)
+                             ~stmt2:(stmt_label_of p2) ~loc ~write_write:ww)
                           !races)
                     locs
                 in

@@ -19,6 +19,11 @@ type race = {
 
 val compare_race : race -> race -> int
 
+val make :
+  stmt1:int -> stmt2:int -> loc:Value.loc -> write_write:bool -> race
+(** The only constructor: normalizes the pair so [stmt1 <= stmt2],
+    collapsing mirrored discoveries. *)
+
 module RaceSet : Set.S with type elt = race
 
 type result = {

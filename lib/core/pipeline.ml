@@ -48,6 +48,7 @@ type options = {
   timeout_s : float option; (* wall-clock deadline for the whole run *)
   max_heap_words : int option; (* GC major-heap watermark *)
   find_races : bool; (* co-enabledness race scan (concrete engines) *)
+  lint : bool; (* static concurrency lints (budget-free pre-stage) *)
 }
 
 let default_options =
@@ -60,6 +61,7 @@ let default_options =
     timeout_s = None;
     max_heap_words = None;
     find_races = false;
+    lint = false;
   }
 
 let budget_of_options (o : options) =
@@ -93,6 +95,7 @@ type report = {
   gc_plan : Ctgc.entry list;
   races : Race.RaceSet.t option;
   critical : Critical.conflicts;
+  static : Cobegin_static.Lint.result option; (* when [lint] was set *)
 }
 
 let load_source src =
@@ -171,6 +174,14 @@ let analyze ?(options = default_options) ?(stage_hook = fun _ -> ())
         { stage = name; diagnostic = Printexc.to_string e } :: !failures;
       default
   in
+  (* the static lints run before (and independently of) exploration:
+     they are polynomial in program size, so no budget governs them *)
+  let static =
+    if options.lint then
+      stage "static-lint" ~default:None (fun () ->
+          Some (Cobegin_static.Lint.run prog))
+    else None
+  in
   let stats, log, status =
     stage "exploration"
       ~default:
@@ -234,6 +245,7 @@ let analyze ?(options = default_options) ?(stage_hook = fun _ -> ())
     gc_plan;
     races;
     critical;
+    static;
   }
 
 let analyze_source ?options ?stage_hook src =
@@ -252,7 +264,7 @@ let pp_report ppf (r : report) =
   Format.fprintf ppf
     "@[<v>engine: %a@ %a@ status: %a%a@ @ critical references: %a@ @ side \
      effects:@ %a@ @ parallel dependences:@ %a@ @ lifetimes:@ %a@ @ \
-     placement:@ %a@ @ deallocation plan:@ %a%a@]"
+     placement:@ %a@ @ deallocation plan:@ %a%a%a@]"
     pp_engine r.engine_used pp_stats r.stats Budget.pp_status r.status
     (fun ppf -> function
       | [] -> ()
@@ -268,3 +280,9 @@ let pp_report ppf (r : report) =
       | None -> ()
       | Some races -> Format.fprintf ppf "@ @ races:@ %a" Race.pp races)
     r.races
+    (fun ppf -> function
+      | None -> ()
+      | Some static ->
+          Format.fprintf ppf "@ @ static lints:@ %a" Cobegin_static.Lint.pp
+            static)
+    r.static

@@ -43,11 +43,14 @@ type options = {
   timeout_s : float option;  (** wall-clock deadline for the whole run *)
   max_heap_words : int option;  (** GC major-heap watermark *)
   find_races : bool;  (** run the co-enabledness race scan too *)
+  lint : bool;
+      (** run the static concurrency lints ({!Cobegin_static.Lint}) as a
+          budget-free pre-stage *)
 }
 
 val default_options : options
 (** Concrete full engine, no transforms, 500k configuration budget, no
-    transition/time/heap limits, no race scan. *)
+    transition/time/heap limits, no race scan, no static lints. *)
 
 val budget_of_options : options -> Budget.t
 (** The budget {!analyze} runs under, fresh each call. *)
@@ -84,6 +87,9 @@ type report = {
   gc_plan : Ctgc.entry list;  (** static deallocation points *)
   races : Race.RaceSet.t option;  (** when [find_races] was set *)
   critical : Critical.conflicts;  (** critical-reference report *)
+  static : Cobegin_static.Lint.result option;
+      (** when [lint] was set; the lints run before exploration and are
+          not governed by the budget *)
 }
 
 val load_source : string -> Ast.program

@@ -162,7 +162,15 @@ let check (prog : program) : result =
       if dup then err "procedure %s has duplicate parameters" p.pname;
       ignore (check_stmt (SS.of_list p.params) p.body))
     prog.procs;
-  { errors = List.rev !errors }
+  (* diagnostics sorted by position — unlabeled (program-level) ones
+     first — so output is deterministic and diffable; the stable sort
+     keeps collection order among diagnostics of one statement *)
+  {
+    errors =
+      List.stable_sort
+        (fun a b -> compare a.dlabel b.dlabel)
+        (List.rev !errors);
+  }
 
 exception Ill_formed of diagnostic list
 

@@ -9,6 +9,8 @@ type diagnostic = { dlabel : Ast.label option; message : string }
 val pp_diagnostic : Format.formatter -> diagnostic -> unit
 
 type result = { errors : diagnostic list }
+(** Sorted by statement label, unlabeled (program-level) diagnostics
+    first; collection order breaks ties. *)
 
 val ok : result -> bool
 val check : Ast.program -> result

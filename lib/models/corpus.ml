@@ -1,0 +1,15 @@
+(* The whole named model corpus in one list: the paper figures, the
+   protocol zoo, and program-form dining-philosopher instances.  This is
+   what `coanalyze examples` serves, what the CI lint sweep iterates
+   over, and what the static/dynamic cross-validation suite runs on. *)
+
+let all : (string * string) list =
+  Figures.all_named @ Protocols.all_named
+  @ [
+      ("phil2", Philosophers.program 2);
+      ("phil3", Philosophers.program 3);
+      ("phil2r2", Philosophers.program ~rounds:2 2);
+    ]
+
+let names = List.map fst all
+let find name = List.assoc_opt name all

@@ -1,0 +1,10 @@
+(** Every named model in one list: paper figures, protocols, and
+    program-form dining-philosopher instances.  Served by
+    [coanalyze examples], swept by CI's [--lint-only] job, and used as
+    the static/dynamic cross-validation corpus. *)
+
+val all : (string * string) list
+(** [(name, source)] pairs; names are unique. *)
+
+val names : string list
+val find : string -> string option

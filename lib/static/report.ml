@@ -1,0 +1,64 @@
+(* Findings of the static concurrency lint suite.
+
+   Every finding is anchored at a statement label (or none, for
+   program-level findings) and rendered in a canonical order: unlabeled
+   findings first, then by ascending primary label, secondary label,
+   rule and message.  The order is a contract — `coanalyze --lint-only`
+   output is diffable across runs, and the CI sweep asserts it. *)
+
+type severity = Error | Warning | Info
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+type finding = {
+  f_rule : string; (* e.g. "static-race", "lock-order-cycle" *)
+  f_severity : severity;
+  f_label : int option; (* primary statement, None = whole program *)
+  f_other : int option; (* secondary statement for pair findings *)
+  f_message : string;
+}
+
+(* Unlabeled findings sort first; ties broken by every remaining field
+   so equal inputs always render identically. *)
+let compare_finding a b =
+  let c = compare a.f_label b.f_label in
+  if c <> 0 then c
+  else
+    let c = compare a.f_other b.f_other in
+    if c <> 0 then c
+    else
+      let c = compare a.f_rule b.f_rule in
+      if c <> 0 then c else compare a.f_message b.f_message
+
+let sort findings = List.sort_uniq compare_finding findings
+
+let is_canonical findings =
+  let rec go = function
+    | a :: (b :: _ as rest) -> compare_finding a b <= 0 && go rest
+    | [] | [ _ ] -> true
+  in
+  go findings
+
+exception Non_canonical
+
+let assert_canonical findings =
+  if not (is_canonical findings) then raise Non_canonical
+
+let pp_finding ppf f =
+  let pp_anchor ppf = function
+    | None -> Format.pp_print_string ppf "program"
+    | Some l -> Format.fprintf ppf "s%d" l
+  in
+  Format.fprintf ppf "%s[%s] %a: %s"
+    (severity_to_string f.f_severity)
+    f.f_rule pp_anchor f.f_label f.f_message
+
+let pp ppf findings =
+  if findings = [] then Format.pp_print_string ppf "no static findings"
+  else
+    Format.fprintf ppf "@[<v>%a@]"
+      (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_finding)
+      findings

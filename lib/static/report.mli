@@ -1,0 +1,32 @@
+(** Findings of the static concurrency lint suite, with a canonical
+    position-sorted order: unlabeled findings first, then ascending
+    primary label, secondary label, rule, message.  [coanalyze
+    --lint-only] output relies on this order being total, so equal
+    inputs always render identically. *)
+
+type severity = Error | Warning | Info
+
+val severity_to_string : severity -> string
+
+type finding = {
+  f_rule : string;  (** e.g. ["static-race"], ["lock-order-cycle"] *)
+  f_severity : severity;
+  f_label : int option;  (** primary statement; [None] = whole program *)
+  f_other : int option;  (** secondary statement for pair findings *)
+  f_message : string;
+}
+
+val compare_finding : finding -> finding -> int
+val sort : finding list -> finding list
+(** Canonical order, duplicates removed. *)
+
+val is_canonical : finding list -> bool
+
+exception Non_canonical
+
+val assert_canonical : finding list -> unit
+(** @raise Non_canonical when the list is not in canonical order — the
+    self-check behind the CI lint sweep. *)
+
+val pp_finding : Format.formatter -> finding -> unit
+val pp : Format.formatter -> finding list -> unit

@@ -198,6 +198,21 @@ let race_tests =
             .Race.races
         in
         check_bool "clean" true (Race.RaceSet.is_empty races));
+    case "races are normalized at construction" (fun () ->
+        let loc =
+          {
+            Cobegin_semantics.Value.l_pid = Cobegin_semantics.Value.root_pid;
+            l_site = 1;
+            l_seq = 0;
+            l_off = 0;
+          }
+        in
+        let r = Race.make ~stmt1:9 ~stmt2:3 ~loc ~write_write:false in
+        check_int "stmt1" 3 r.Race.stmt1;
+        check_int "stmt2" 9 r.Race.stmt2;
+        check_int "mirrored discoveries collapse" 0
+          (Race.compare_race r
+             (Race.make ~stmt1:3 ~stmt2:9 ~loc ~write_write:false)));
   ]
 
 let suite = side_effect_tests @ depend_tests @ lifetime_tests @ race_tests

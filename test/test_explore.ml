@@ -292,6 +292,89 @@ let replay_tests =
             | Cobegin_semantics.Replay.Stuck _ -> false));
   ]
 
+(* Continuation summaries (Mayaccess): the soundness ingredient of the
+   stubborn reduction. *)
+let mayaccess_tests =
+  let module Sem = Cobegin_semantics in
+  (* fire actions until [n] processes are enabled, then return them with
+     the configuration *)
+  let spawn src =
+    let prog = Helpers.parse src in
+    let ctx = Sem.Step.make_ctx prog in
+    let rec go c =
+      match Sem.Step.enabled_processes ctx c with
+      | [ p ] ->
+          let c', _ = Sem.Step.fire ctx c p in
+          go c'
+      | ps -> (ctx, prog, c, ps)
+    in
+    go (Sem.Step.init ctx)
+  in
+  [
+    case "unresolved (fresh) names are conflict-free" (fun () ->
+        (* branch 1 only touches a variable it has yet to declare: its
+           future summary resolves no location at all, so it cannot
+           conflict with the sibling's write *)
+        let ctx, prog, c, ps =
+          spawn
+            "proc main() { var a = 0; cobegin { var x = 5; x = x + 1; } { a \
+             = 2; } coend; }"
+        in
+        let mctx = Mayaccess.make_ctx prog in
+        let fresh =
+          List.find
+            (fun p ->
+              match Sem.Proc.next_stmt p with
+              | Some { Cobegin_lang.Ast.kind = Cobegin_lang.Ast.Sdecl _; _ }
+                ->
+                  true
+              | _ -> false)
+            ps
+        in
+        let writer = List.find (fun p -> p != fresh) ps in
+        let summary = Mayaccess.of_process mctx fresh in
+        check_bool "no resolved reads" true
+          (Sem.Value.LocSet.is_empty summary.Mayaccess.freads);
+        check_bool "no resolved writes" true
+          (Sem.Value.LocSet.is_empty summary.Mayaccess.fwrites);
+        check_bool "no memory token" true
+          ((not summary.Mayaccess.mem_read)
+          && not summary.Mayaccess.mem_write);
+        let fp = Sem.Step.action_footprint ctx c writer in
+        check_bool "sibling's write does not conflict" false
+          (Mayaccess.conflicts_footprint c.Sem.Config.store fp summary));
+    case "pointer accesses concretize to address-taken variables" (fun () ->
+        let ctx, prog, c, ps =
+          spawn
+            "proc main() { var a = 0; var p = &a; cobegin { *p = 1; } { var \
+             t = a; t = t + 1; } coend; }"
+        in
+        let mctx = Mayaccess.make_ctx prog in
+        let deref =
+          List.find
+            (fun p ->
+              match Sem.Proc.next_stmt p with
+              | Some
+                  {
+                    Cobegin_lang.Ast.kind =
+                      Cobegin_lang.Ast.Sassign (Cobegin_lang.Ast.Lderef _, _);
+                    _;
+                  } ->
+                  true
+              | _ -> false)
+            ps
+        in
+        let reader = List.find (fun p -> p != deref) ps in
+        let summary = Mayaccess.of_process mctx deref in
+        check_bool "memory token set" true summary.Mayaccess.mem_write;
+        (* the sibling reads [a], whose address is taken: the memory
+           token must cover that location *)
+        let fp = Sem.Step.action_footprint ctx c reader in
+        check_bool "read of the address-taken cell conflicts" true
+          (Mayaccess.conflicts_footprint c.Sem.Config.store fp summary));
+  ]
+
 let suite =
   count_tests @ all_figures_agree @ property_tests @ composition_tests
   @ forktree_tests @ trace_tests @ sleep_tests @ replay_tests
+  @ mayaccess_tests

@@ -219,6 +219,25 @@ let access_tests =
         let at = Ast.addr_taken_of_program p in
         check_bool "x taken" true (Ast.StringSet.mem "x" at);
         check_bool "p not" false (Ast.StringSet.mem "p" at));
+    case "diagnostics come out sorted by label, unlabeled first" (fun () ->
+        (* the labeled error (undeclared variable, in the first proc) is
+           collected before the unlabeled one (duplicate parameters of
+           the second proc); the report must order them the other way *)
+        let prog =
+          Parser.parse_string
+            "proc p() { y = 1; }\nproc q(a, a) { skip; }\nproc main() { \
+             skip; }"
+        in
+        let r = Check.check prog in
+        check_bool "several diagnostics" true (List.length r.Check.errors >= 2);
+        check_bool "unlabeled first" true
+          ((List.hd r.Check.errors).Check.dlabel = None);
+        let rec sorted = function
+          | a :: (b :: _ as rest) ->
+              a.Check.dlabel <= b.Check.dlabel && sorted rest
+          | _ -> true
+        in
+        check_bool "ascending labels" true (sorted r.Check.errors));
   ]
 
 let suite =

@@ -13,6 +13,7 @@ let () =
       ("petri", Test_petri.suite);
       ("absint", Test_absint.suite);
       ("analysis", Test_analysis.suite);
+      ("static", Test_static.suite);
       ("apps", Test_apps.suite);
       ("pipeline", Test_pipeline.suite);
     ]

@@ -86,6 +86,42 @@ let integration_tests =
         check_int "no deadlocks" 0 report.Pipeline.stats.Pipeline.deadlocks);
   ]
 
+let lint_stage_tests =
+  [
+    case "lint option runs the static pre-stage" (fun () ->
+        let report =
+          Pipeline.analyze
+            ~options:{ Pipeline.default_options with lint = true }
+            (parse Cobegin_models.Figures.mutex_racy)
+        in
+        match report.Pipeline.static with
+        | Some r ->
+            check_bool "static races found" true
+              (r.Cobegin_static.Lint.races <> [])
+        | None -> Alcotest.fail "static stage missing");
+    case "lint stage is off by default" (fun () ->
+        let report =
+          Pipeline.analyze (parse Cobegin_models.Figures.mutex_racy)
+        in
+        check_bool "no static report" true (report.Pipeline.static = None));
+    case "a crashing lint stage degrades, not aborts" (fun () ->
+        let report =
+          Pipeline.analyze
+            ~options:{ Pipeline.default_options with lint = true }
+            ~stage_hook:(fun s ->
+              if s = "static-lint" then failwith "injected")
+            (parse Cobegin_models.Figures.mutex)
+        in
+        check_bool "static report absent" true (report.Pipeline.static = None);
+        check_bool "failure recorded" true
+          (List.exists
+             (fun (f : Pipeline.stage_failure) -> f.Pipeline.stage = "static-lint")
+             report.Pipeline.stage_failures);
+        (* the rest of the pipeline still ran *)
+        check_bool "exploration ran" true
+          (report.Pipeline.stats.Pipeline.configurations > 0));
+  ]
+
 let stubborn_vs_full_analysis =
   [
     qtest ~count:25 "pipeline analyses agree between full and stubborn logs"
@@ -134,4 +170,4 @@ let stubborn_vs_full_analysis =
               (sharedness stub));
   ]
 
-let suite = integration_tests @ stubborn_vs_full_analysis
+let suite = integration_tests @ lint_stage_tests @ stubborn_vs_full_analysis
