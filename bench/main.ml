@@ -418,6 +418,157 @@ let e13 () =
         (Budget.status_to_string r.Race.status))
     [ 2; 3 ]
 
+(* --- E14: hash-consed digests vs. the legacy repr-keyed visited set ---
+
+   The pre-interning engine keyed visited sets by [Config.repr] under the
+   generic polymorphic hash, which inspects only the first ~10 nodes of
+   the representation — every large state space degenerated into
+   collision chains probed by deep structural equality.  [legacy_full]
+   reproduces that engine verbatim (same budget protocol, same expansion
+   order) so the comparison isolates the keying strategy.  Digest
+   equality is equivalent to repr equality (interned ids are never
+   reused), so every count must be identical. *)
+
+type e14_counts = {
+  l_configs : int;
+  l_transitions : int;
+  l_finals : int;
+  l_deadlocks : int;
+  l_errors : int;
+}
+
+let legacy_full ?(max_configs = 1_000_000) ctx : e14_counts =
+  let budget = Budget.create ~max_configs () in
+  let visited : (Config.repr, unit) Hashtbl.t = Hashtbl.create 1024 in
+  let queue = Queue.create () in
+  let finals = ref 0 and deadlocks = ref 0 and errors = ref 0 in
+  let transitions = ref 0 in
+  let stop = ref None in
+  let c0 = Step.init ctx in
+  Hashtbl.replace visited (Config.repr c0) ();
+  Queue.add c0 queue;
+  while !stop = None && not (Queue.is_empty queue) do
+    match
+      Budget.check budget ~configs:(Hashtbl.length visited)
+        ~transitions:!transitions
+    with
+    | Some r -> stop := Some r
+    | None -> (
+        let c = Queue.pop queue in
+        if Config.is_error c then incr errors
+        else if Config.all_terminated c then incr finals
+        else
+          match Step.enabled_processes ctx c with
+          | [] -> incr deadlocks
+          | enabled ->
+              let rec fire_each = function
+                | [] -> ()
+                | p :: rest ->
+                    incr transitions;
+                    let c', _ = Step.fire ctx c p in
+                    let k = Config.repr c' in
+                    (if not (Hashtbl.mem visited k) then
+                       match
+                         Budget.config_guard budget
+                           ~configs:(Hashtbl.length visited)
+                       with
+                       | Some r -> stop := Some r
+                       | None ->
+                           Hashtbl.replace visited k ();
+                           Queue.add c' queue);
+                    if !stop = None then fire_each rest
+              in
+              fire_each enabled)
+  done;
+  {
+    l_configs = Hashtbl.length visited;
+    l_transitions = !transitions;
+    l_finals = !finals;
+    l_deadlocks = !deadlocks;
+    l_errors = !errors;
+  }
+
+let digest_counts (r : Space.result) =
+  {
+    l_configs = r.Space.stats.Space.configurations;
+    l_transitions = r.Space.stats.Space.transitions;
+    l_finals = r.Space.stats.Space.finals;
+    l_deadlocks = r.Space.stats.Space.deadlocks;
+    l_errors = r.Space.stats.Space.errors;
+  }
+
+(* [agree] over the whole corpus; returns the mismatching names. *)
+let e14_corpus_check ~max_configs =
+  List.filter_map
+    (fun (name, src) ->
+      let ctx () = Step.make_ctx (parse src) in
+      let legacy = legacy_full ~max_configs (ctx ()) in
+      let digest = digest_counts (Space.full ~max_configs (ctx ())) in
+      if legacy = digest then None else Some name)
+    Corpus.all
+
+let e14 () =
+  section "E14" "Hash-consed digests vs. legacy repr-keyed visited sets";
+  row "counts (configs/transitions/finals/deadlocks) must be identical;@.";
+  row "wall time must drop: the digest probe is a few int compares@.";
+  let mismatches = e14_corpus_check ~max_configs:20_000 in
+  row "corpus count agreement: %d/%d models%s@."
+    (List.length Corpus.all - List.length mismatches)
+    (List.length Corpus.all)
+    (match mismatches with
+    | [] -> ""
+    | l -> " — MISMATCH: " ^ String.concat ", " l);
+  let time f =
+    let t0 = Sys.time () in
+    let r = f () in
+    (r, Sys.time () -. t0)
+  in
+  row "%-20s %10s %12s %12s %10s %14s@." "workload" "configs" "legacy (s)"
+    "digest (s)" "speedup" "peak heap (MW)";
+  List.iter
+    (fun (label, rounds, n) ->
+      let src = Philosophers.program ~rounds n in
+      let ctx () = Step.make_ctx (parse src) in
+      (* run the digest engine first: top_heap_words is monotone, so the
+         smaller footprint must be measured before the larger one *)
+      Gc.compact ();
+      let digest, td = time (fun () -> Space.full (ctx ())) in
+      let digest_peak = (Gc.quick_stat ()).Gc.top_heap_words in
+      Gc.compact ();
+      let legacy, tl = time (fun () -> legacy_full (ctx ())) in
+      let legacy_peak = (Gc.quick_stat ()).Gc.top_heap_words in
+      let d = digest_counts digest in
+      row "%-20s %10d %12.3f %12.3f %9.2fx %6.1f → %.1f%s@." label
+        d.l_configs tl td
+        (if td > 0. then tl /. td else Float.infinity)
+        (float_of_int digest_peak /. 1e6)
+        (float_of_int legacy_peak /. 1e6)
+        (if legacy = d then "" else "  COUNT MISMATCH"))
+    [
+      ("phil-2 (3 rounds)", 3, 2);
+      ("phil-3", 1, 3);
+      ("phil-3 (2 rounds)", 2, 3);
+    ]
+
+(* CI smoke variant: small models only, nonzero exit on any divergence
+   between the legacy and digest-keyed engines. *)
+let e14smoke () =
+  section "E14smoke" "legacy vs digest count agreement (CI gate)";
+  let mismatches = e14_corpus_check ~max_configs:2_000 in
+  (match mismatches with
+  | [] -> row "all %d corpus models agree@." (List.length Corpus.all)
+  | l ->
+      row "DIVERGENCE on: %s@." (String.concat ", " l);
+      exit 1);
+  let src = Philosophers.program ~rounds:1 2 in
+  let legacy = legacy_full (Step.make_ctx (parse src)) in
+  let digest = digest_counts (Space.full (Step.make_ctx (parse src))) in
+  if legacy <> digest then begin
+    row "DIVERGENCE on philosophers-2@.";
+    exit 1
+  end;
+  row "philosophers-2: %d configurations, engines agree@." digest.l_configs
+
 (* --- Bechamel timings: one per experiment family --- *)
 
 let bechamel () =
@@ -489,7 +640,7 @@ let experiments =
   [
     ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
-    ("E12", e12); ("E13", e13);
+    ("E12", e12); ("E13", e13); ("E14", e14); ("E14smoke", e14smoke);
     ("TIMING", bechamel);
   ]
 

@@ -680,6 +680,19 @@ module Make (N : Lattice.NUMERIC) = struct
 
   type key = string
 
+  (* Folding keys are long strings rebuilt per visit; interning them
+     into small ids (full-width string hash, see Cobegin_hash) makes
+     the worklist table int-keyed: revisit probes stop re-hashing and
+     re-comparing whole key strings. *)
+  module Key_pool = Cobegin_hash.Pool (struct
+    type t = key
+
+    let equal = String.equal
+    let hash = Cobegin_hash.hash_string
+  end)
+
+  module Key_tbl = Hashtbl.Make (Int)
+
   let apid_string apid =
     String.concat "." (List.map (fun (a, b) -> Printf.sprintf "%d:%d" a b) apid)
 
@@ -821,22 +834,23 @@ module Make (N : Lattice.NUMERIC) = struct
       | Some b -> b
       | None -> Budget.create ~max_configs ()
     in
-    let table : (key, config * int) Hashtbl.t = Hashtbl.create 256 in
+    let keys = Key_pool.create 256 in
+    let table : (config * int) Key_tbl.t = Key_tbl.create 256 in
     let queue = Queue.create () in
     let revisits = ref 0 and widenings = ref 0 in
     let finals = ref [] and errors = ref 0 in
     let iterations = ref 0 in
     let stop = ref None in
     let c0 = init ctx in
-    let k0 = key_of ~folding c0 in
-    Hashtbl.replace table k0 (c0, 0);
+    let k0 = Key_pool.intern keys (key_of ~folding c0) in
+    Key_tbl.replace table k0 (c0, 0);
     Queue.add k0 queue;
     while !stop = None && not (Queue.is_empty queue) do
       (match max_iterations with
       | Some fuel when !iterations >= fuel -> stop := Some (Budget.Fuel fuel)
       | _ -> (
           match
-            Budget.check budget ~configs:(Hashtbl.length table)
+            Budget.check budget ~configs:(Key_tbl.length table)
               ~transitions:!iterations
           with
           | Some r -> stop := Some r
@@ -844,42 +858,45 @@ module Make (N : Lattice.NUMERIC) = struct
       if !stop = None then begin
         incr iterations;
         let k = Queue.pop queue in
-        match Hashtbl.find_opt table k with
+        match Key_tbl.find_opt table k with
         | None -> ()
         | Some (c, _visits) ->
             if c.err then incr errors
             else if PM.is_empty c.procs then finals := c.store :: !finals
             else
+              (* stop the expansion as soon as the budget trips *)
               List.iter
                 (fun binding ->
-                  List.iter
-                    (fun c' ->
-                      let k' = key_of ~folding c' in
-                      match Hashtbl.find_opt table k' with
-                      | None -> (
-                          match
-                            Budget.config_guard budget
-                              ~configs:(Hashtbl.length table)
-                          with
-                          | Some r -> stop := Some r
-                          | None ->
-                              Hashtbl.replace table k' (c', 0);
-                              Queue.add k' queue)
-                      | Some (old_, v') ->
-                          incr revisits;
-                          let joined = join_config ~folding old_ c' in
-                          if not (config_leq joined old_) then begin
-                            let next =
-                              if v' >= widen_after then begin
-                                incr widenings;
-                                widen_config old_ joined
-                              end
-                              else joined
-                            in
-                            Hashtbl.replace table k' (next, v' + 1);
-                            Queue.add k' queue
-                          end)
-                    (fire ctx c binding))
+                  if !stop = None then
+                    List.iter
+                      (fun c' ->
+                        if !stop = None then
+                          let k' = Key_pool.intern keys (key_of ~folding c') in
+                          match Key_tbl.find_opt table k' with
+                          | None -> (
+                              match
+                                Budget.config_guard budget
+                                  ~configs:(Key_tbl.length table)
+                              with
+                              | Some r -> stop := Some r
+                              | None ->
+                                  Key_tbl.replace table k' (c', 0);
+                                  Queue.add k' queue)
+                          | Some (old_, v') ->
+                              incr revisits;
+                              let joined = join_config ~folding old_ c' in
+                              if not (config_leq joined old_) then begin
+                                let next =
+                                  if v' >= widen_after then begin
+                                    incr widenings;
+                                    widen_config old_ joined
+                                  end
+                                  else joined
+                                in
+                                Key_tbl.replace table k' (next, v' + 1);
+                                Queue.add k' queue
+                              end)
+                      (fire ctx c binding))
                 (enabled_shapes ctx c)
       end
     done;
@@ -887,7 +904,7 @@ module Make (N : Lattice.NUMERIC) = struct
       status = Budget.status_of !stop;
       stats =
         {
-          abstract_configs = Hashtbl.length table;
+          abstract_configs = Key_tbl.length table;
           revisits = !revisits;
           widenings = !widenings;
           finals = List.length !finals;

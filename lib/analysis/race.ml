@@ -127,12 +127,13 @@ let find ?(max_configs = 200_000) ?budget ctx : result =
       List.iter
         (fun p ->
           let c', _ = Step.fire ctx c p in
-          if not (Tbl.mem visited c') then
+          let d' = Config.digest c' in
+          if not (Tbl.mem_digest visited d') then
             match Budget.config_guard budget ~configs:(Tbl.length visited)
             with
             | Some r -> if !trunc = None then trunc := Some r
             | None ->
-                Tbl.add visited c' ();
+                Tbl.add_digest visited d' ();
                 Queue.add c' queue)
         enabled
     end

@@ -121,7 +121,8 @@ let explore ?(max_configs = 1_000_000) ?budget ?stats ctx : Space.result =
                             else None)
                           earlier))
                 in
-                (match Space.ConfigTbl.find_opt visited c' with
+                let d' = Config.digest c' in
+                (match Space.ConfigTbl.find_digest visited d' with
                 | None -> (
                     match
                       Budget.config_guard budget
@@ -129,16 +130,17 @@ let explore ?(max_configs = 1_000_000) ?budget ?stats ctx : Space.result =
                     with
                     | Some r -> stop := Some r
                     | None ->
-                        Space.ConfigTbl.add visited c' sleep';
+                        Space.ConfigTbl.add_digest visited d' sleep';
                         Queue.add (c', sleep') queue)
                 | Some recorded ->
                     (* revisit with strictly fewer sleepers: re-expand *)
                     if not (PidSet.subset recorded sleep') then begin
                       let merged = PidSet.inter recorded sleep' in
-                      Space.ConfigTbl.add visited c' merged;
+                      Space.ConfigTbl.add_digest visited d' merged;
                       Queue.add (c', merged) queue
                     end);
-                expand (p :: earlier) rest
+                (* stop firing siblings once the budget stops the run *)
+                if !stop = None then expand (p :: earlier) rest
           in
           expand [] awake
     end)

@@ -31,17 +31,23 @@ type result = {
   log : Step.events;
 }
 
-(* Visited sets are keyed by the canonical representation, computed once
-   per configuration — [Config.repr] is pure data, so polymorphic hashing
-   and equality apply. *)
+(* Visited sets are keyed by the hash-consed digest (Config.digest):
+   interned component ids with a precomputed full-width hash, so probes
+   cost a few int comparisons instead of deep structural equality on
+   the canonical representation.  The [_digest] variants let engines
+   compute the digest once per configuration and thread it through a
+   mem/add or find/add pair. *)
 module ConfigTbl = struct
-  type 'a t = (Config.repr, 'a) Hashtbl.t
+  type 'a t = 'a Config.Digest_tbl.t
 
-  let create n : 'a t = Hashtbl.create n
-  let mem tbl c = Hashtbl.mem tbl (Config.repr c)
-  let add tbl c v = Hashtbl.replace tbl (Config.repr c) v
-  let length = Hashtbl.length
-  let find_opt tbl c = Hashtbl.find_opt tbl (Config.repr c)
+  let create n : 'a t = Config.Digest_tbl.create n
+  let mem tbl c = Config.Digest_tbl.mem tbl (Config.digest c)
+  let add tbl c v = Config.Digest_tbl.replace tbl (Config.digest c) v
+  let length = Config.Digest_tbl.length
+  let find_opt tbl c = Config.Digest_tbl.find_opt tbl (Config.digest c)
+  let mem_digest = Config.Digest_tbl.mem
+  let add_digest tbl d v = Config.Digest_tbl.replace tbl d v
+  let find_digest = Config.Digest_tbl.find_opt
 end
 
 (* [expand c] returns the processes to fire at [c]; it must return a
@@ -76,22 +82,29 @@ let explore ?(max_configs = 1_000_000) ?budget ctx ~expand : result =
           match Step.enabled_processes ctx c with
           | [] -> deadlocks := c :: !deadlocks
           | _ ->
-              List.iter
-                (fun p ->
-                  incr transitions;
-                  let c', evs = Step.fire ctx c p in
-                  accesses := evs.Step.accesses :: !accesses;
-                  allocs := evs.Step.allocs :: !allocs;
-                  if not (ConfigTbl.mem visited c') then
-                    match
-                      Budget.config_guard budget
-                        ~configs:(ConfigTbl.length visited)
-                    with
-                    | Some r -> stop := Some r
-                    | None ->
-                        ConfigTbl.add visited c' ();
-                        Queue.add c' queue)
-                (expand c))
+              (* break out of the expansion as soon as the budget stops
+                 the run: the remaining successors must not fire, or
+                 transitions and event logs inflate past the stop *)
+              let rec fire_each = function
+                | [] -> ()
+                | p :: rest ->
+                    incr transitions;
+                    let c', evs = Step.fire ctx c p in
+                    accesses := evs.Step.accesses :: !accesses;
+                    allocs := evs.Step.allocs :: !allocs;
+                    let d' = Config.digest c' in
+                    (if not (ConfigTbl.mem_digest visited d') then
+                       match
+                         Budget.config_guard budget
+                           ~configs:(ConfigTbl.length visited)
+                       with
+                       | Some r -> stop := Some r
+                       | None ->
+                           ConfigTbl.add_digest visited d' ();
+                           Queue.add c' queue);
+                    if !stop = None then fire_each rest
+              in
+              fire_each (expand c))
   done;
   {
     status = Budget.status_of !stop;

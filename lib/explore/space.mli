@@ -30,16 +30,22 @@ type result = {
   log : Step.events;  (** merged instrumentation of every transition *)
 }
 
-(** Visited sets keyed by the canonical configuration representation
-    (computed once per configuration). *)
+(** Visited sets keyed by the hash-consed configuration digest
+    ({!Config.digest}): O(1) probes with full-width precomputed hashes.
+    The [_digest] variants take a digest computed once by the caller and
+    threaded through, saving the second serialization of a mem/add or
+    find/add pair. *)
 module ConfigTbl : sig
-  type 'a t
+  type 'a t = 'a Config.Digest_tbl.t
 
   val create : int -> 'a t
   val mem : 'a t -> Config.t -> bool
   val add : 'a t -> Config.t -> 'a -> unit
   val length : 'a t -> int
   val find_opt : 'a t -> Config.t -> 'a option
+  val mem_digest : 'a t -> Config.digest -> bool
+  val add_digest : 'a t -> Config.digest -> 'a -> unit
+  val find_digest : 'a t -> Config.digest -> 'a option
 end
 
 val explore :

@@ -48,12 +48,13 @@ let search ?(max_configs = 200_000) ctx ~(pred : Config.t -> bool) :
          List.iter
            (fun p ->
              let c', _ = Step.fire ctx c p in
+             let d' = Config.digest c' in
              if
-               (not (ConfigTbl.mem visited c'))
+               (not (ConfigTbl.mem_digest visited d'))
                && ConfigTbl.length visited < max_configs
              then begin
-               ConfigTbl.add visited c' ();
-               ConfigTbl.add parents c' (c, p.Proc.pid);
+               ConfigTbl.add_digest visited d' ();
+               ConfigTbl.add_digest parents d' (c, p.Proc.pid);
                Queue.add c' queue
              end)
            (Step.enabled_processes ctx c)

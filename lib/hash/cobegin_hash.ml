@@ -1,0 +1,77 @@
+(* Full-width structural hashing.  [Hashtbl.hash] stops after ~10
+   meaningful nodes; the folds here visit every node, so structurally
+   distinct values of any size almost never collide.  The mixer is the
+   boost::hash_combine recurrence with a 60-bit slice of 2^64/phi,
+   masked to stay non-negative on 64-bit natives. *)
+
+let gold = 0x9e3779b97f4a7c1
+
+let combine h k = (h lxor (k + gold + (h lsl 6) + (h lsr 2))) land max_int
+
+let hash_int k = combine 0x2b1 k
+let hash_bool b = if b then 0x5bd1e995 else 0x2e35a7cd
+
+let hash_string s =
+  (* djb2 over every byte, then the length so "" and "\000" differ *)
+  let h = ref 5381 in
+  String.iter (fun c -> h := ((!h * 33) + Char.code c) land max_int) s;
+  combine (String.length s) !h
+
+let hash_list hash_elt l =
+  List.fold_left (fun h x -> combine h (hash_elt x)) (hash_int (List.length l)) l
+
+let hash_option hash_elt = function
+  | None -> 0x4f
+  | Some x -> combine 0x536f6d65 (hash_elt x)
+
+let hash_int_array a =
+  Array.fold_left combine (hash_int (Array.length a)) a
+
+module Pool (H : Hashtbl.HashedType) = struct
+  module T = Hashtbl.Make (H)
+
+  type t = { tbl : int T.t; mutable next : int }
+
+  let create n = { tbl = T.create n; next = 0 }
+
+  let intern p k =
+    match T.find_opt p.tbl k with
+    | Some id -> id
+    | None ->
+        let id = p.next in
+        p.next <- id + 1;
+        T.add p.tbl k id;
+        id
+
+  let size p = p.next
+end
+
+module Phys_memo = struct
+  (* Buckets are keyed by the (truncated) generic hash — cheap and
+     stable on immutable values — and scanned with [==].  Structurally
+     equal but physically distinct keys therefore share a bucket and
+     miss, which is safe.  Buckets are capped so a pathological key
+     distribution degrades to misses, not to linear scans. *)
+  let bucket_cap = 8
+
+  type ('k, 'v) t = { tbl : (int, ('k * 'v) list) Hashtbl.t; limit : int }
+
+  let create ?(limit = 1 lsl 17) n = { tbl = Hashtbl.create n; limit }
+
+  let find m k =
+    match Hashtbl.find_opt m.tbl (Hashtbl.hash k) with
+    | None -> None
+    | Some entries ->
+        List.find_map
+          (fun (k', v) -> if k == k' then Some v else None)
+          entries
+
+  let add m k v =
+    if Hashtbl.length m.tbl >= m.limit then Hashtbl.reset m.tbl;
+    let h = Hashtbl.hash k in
+    let old =
+      match Hashtbl.find_opt m.tbl h with Some l -> l | None -> []
+    in
+    let old = if List.length old >= bucket_cap then [] else old in
+    Hashtbl.replace m.tbl h ((k, v) :: old)
+end

@@ -1,0 +1,58 @@
+(** Full-width structural hashing and hash-consing primitives.
+
+    OCaml's generic [Hashtbl.hash] inspects at most ~10 meaningful nodes
+    of its argument, so deep canonical representations (configuration
+    reprs, Petri markings, abstract-machine keys) degenerate into
+    collision chains on anything bigger than a toy program.  This module
+    provides explicit full-width folds — every node of the value
+    contributes to the hash — plus the two building blocks of the
+    interning layer: sequential-id {!Pool}s keyed by structural equality
+    and best-effort physical-identity {!Phys_memo}s. *)
+
+val combine : int -> int -> int
+(** [combine h k] mixes [k] into the running hash [h] (boost-style,
+    full native-int width, always non-negative). *)
+
+val hash_int : int -> int
+(** Mix a single integer through {!combine} (avalanches nearby ints). *)
+
+val hash_bool : bool -> int
+
+val hash_string : string -> int
+(** Folds over {e every} byte of the string. *)
+
+val hash_list : ('a -> int) -> 'a list -> int
+(** Folds over every element; the length is mixed in, so a prefix never
+    hashes like the whole. *)
+
+val hash_option : ('a -> int) -> 'a option -> int
+
+val hash_int_array : int array -> int
+(** Full fold over the array — the replacement for
+    [Hashtbl.hash (Array.to_list m)] truncated at ~10 elements. *)
+
+(** Hash-consing pool: assigns small sequential ids to structurally
+    distinct keys.  Two keys receive the same id iff they are equal per
+    [H.equal]; ids are never reused, so id equality is a sound and
+    complete proxy for structural equality of the interned values. *)
+module Pool (H : Hashtbl.HashedType) : sig
+  type t
+
+  val create : int -> t
+  val intern : t -> H.t -> int
+  val size : t -> int
+  (** Number of distinct keys interned so far (= the next fresh id). *)
+end
+
+(** Best-effort memoization keyed by {e physical} identity.  A hit
+    requires the exact same heap value ([==]); a miss is always safe —
+    the caller falls back to structural interning.  Buckets are capped
+    and the table is reset past [limit] entries, so the memo never
+    grows without bound. *)
+module Phys_memo : sig
+  type ('k, 'v) t
+
+  val create : ?limit:int -> int -> ('k, 'v) t
+  val find : ('k, 'v) t -> 'k -> 'v option
+  val add : ('k, 'v) t -> 'k -> 'v -> unit
+end

@@ -30,11 +30,15 @@ let pp_stats ppf s =
   Format.fprintf ppf "states=%d edges=%d deadlocks=%d" s.states s.edges
     s.deadlocks
 
+(* Full-width marking hash: every place's token count contributes.
+   The generic [Hashtbl.hash (Array.to_list m)] it replaces inspected
+   only the first ~10 places, so markings of any real net collapsed
+   into collision chains. *)
 module MarkingTbl = Hashtbl.Make (struct
   type t = Net.marking
 
   let equal = ( = )
-  let hash (m : Net.marking) = Hashtbl.hash (Array.to_list m)
+  let hash (m : Net.marking) = Cobegin_hash.hash_int_array m
 end)
 
 (* Generic exploration parameterized by the expansion strategy: [expand m]
@@ -67,21 +71,25 @@ let explore ?(max_states = 10_000_000) ?budget net ~expand =
         let m = Queue.pop queue in
         if Net.is_deadlock net m then deadlocks := m :: !deadlocks
         else begin
-          let to_fire = expand m in
-          List.iter
-            (fun t ->
-              incr edges;
-              let m' = Net.fire m t in
-              if not (MarkingTbl.mem visited m') then
-                match
-                  Budget.config_guard budget
-                    ~configs:(MarkingTbl.length visited)
-                with
-                | Some r -> stop := Some r
-                | None ->
-                    MarkingTbl.add visited m' ();
-                    Queue.add m' queue)
-            to_fire
+          (* stop firing the remaining transitions once the budget
+             stops the run (mirrors Space.explore) *)
+          let rec fire_each = function
+            | [] -> ()
+            | t :: rest ->
+                incr edges;
+                let m' = Net.fire m t in
+                (if not (MarkingTbl.mem visited m') then
+                   match
+                     Budget.config_guard budget
+                       ~configs:(MarkingTbl.length visited)
+                   with
+                   | Some r -> stop := Some r
+                   | None ->
+                       MarkingTbl.add visited m' ();
+                       Queue.add m' queue);
+                if !stop = None then fire_each rest
+          in
+          fire_each (expand m)
         end
   done;
   {

@@ -13,13 +13,8 @@ module PidMap = Map.Make (struct
   let compare = Value.compare_pid
 end)
 
-module CounterMap = Map.Make (struct
-  type t = Value.pid * int (* (pid, site) *)
-
-  let compare (p1, s1) (p2, s2) =
-    let c = Value.compare_pid p1 p2 in
-    if c <> 0 then c else Int.compare s1 s2
-  end)
+(* Defined in Intern so the interner can memoize whole counter maps. *)
+module CounterMap = Intern.CounterMap
 
 type t = {
   procs : Proc.t PidMap.t;
@@ -69,8 +64,59 @@ let repr c =
     r_error = c.error;
   }
 
-let equal a b = repr a = repr b
-let hash c = Hashtbl.hash (repr c)
+(* Hash-consed digest: every component interned to a small id with a
+   full-width precomputed hash (see intern.mli).  Digest equality is
+   equivalent to repr equality, at the cost of comparing a handful of
+   ints instead of deep lists. *)
+type digest = {
+  d_procs : int array; (* interned Proc reprs, in pid order *)
+  d_store : int;
+  d_counters : int;
+  d_error : int;
+  d_hash : int; (* precomputed full-width hash of the tuple *)
+}
+
+let digest c =
+  let st = Intern.global () in
+  let d_procs =
+    Array.of_list
+      (List.rev
+         (PidMap.fold
+            (fun _ p acc -> Intern.proc_id st p :: acc)
+            c.procs []))
+  in
+  let d_store = Intern.store_id st c.store in
+  let d_counters = Intern.counters_id st c.counters in
+  let d_error = Intern.error_id st c.error in
+  let d_hash =
+    Cobegin_hash.combine
+      (Cobegin_hash.hash_int_array d_procs)
+      (Cobegin_hash.combine d_store
+         (Cobegin_hash.combine d_counters d_error))
+  in
+  { d_procs; d_store; d_counters; d_error; d_hash }
+
+let digest_equal a b =
+  a.d_hash = b.d_hash && a.d_store = b.d_store
+  && a.d_counters = b.d_counters && a.d_error = b.d_error
+  &&
+  let n = Array.length a.d_procs in
+  n = Array.length b.d_procs
+  &&
+  let rec eq i = i >= n || (a.d_procs.(i) = b.d_procs.(i) && eq (i + 1)) in
+  eq 0
+
+let digest_hash d = d.d_hash
+
+module Digest_tbl = Hashtbl.Make (struct
+  type t = digest
+
+  let equal = digest_equal
+  let hash = digest_hash
+end)
+
+let equal a b = digest_equal (digest a) (digest b)
+let hash c = (digest c).d_hash
 
 let pp ppf c =
   Format.fprintf ppf "@[<v>%a@ store: %a%a@]"

@@ -44,6 +44,35 @@ type repr
 (** Canonical representation: pure data with structural equality. *)
 
 val repr : t -> repr
+
+type digest = {
+  d_procs : int array;  (** interned {!Proc.repr} ids, in pid order *)
+  d_store : int;  (** interned {!Store.repr} id *)
+  d_counters : int;  (** interned counter-map id *)
+  d_error : int;  (** -1, or the interned error string id *)
+  d_hash : int;  (** precomputed full-width hash of the tuple *)
+}
+(** Hash-consed identity (see {!Intern}): a flat int tuple such that
+    [digest_equal (digest a) (digest b)] iff [repr a = repr b].
+    Components are interned incrementally — a one-process step
+    re-serializes only the changed process and the store when written;
+    the untouched components hit the physical-identity memo. *)
+
+val digest : t -> digest
+(** Intern against the process-wide default interner
+    ({!Intern.global}).  Cost: O(changed components) plus O(#procs) to
+    assemble the tuple. *)
+
+val digest_equal : digest -> digest -> bool
+val digest_hash : digest -> int
+
+module Digest_tbl : Hashtbl.S with type key = digest
+(** The specialized visited-set table every state-folding client keys
+    by: hashing reads the precomputed [d_hash], equality compares a
+    handful of ints. *)
+
 val equal : t -> t -> bool
 val hash : t -> int
+(** Both go through {!digest} (full-width, memoized). *)
+
 val pp : Format.formatter -> t -> unit

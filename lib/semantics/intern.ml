@@ -1,0 +1,147 @@
+(* Hash-consed interning of configuration components (see intern.mli).
+
+   Layout: one Pool per component kind, keyed by the component's
+   canonical representation under a full-width structural hash, fronted
+   by a physical-identity memo.  Successor configurations share the
+   untouched components physically (Config updates are functional
+   record updates), so the memo turns the per-step interning cost into
+   "changed components only". *)
+
+module H = Cobegin_hash
+
+module CounterMap = Map.Make (struct
+  type t = Value.pid * int (* (pid, site) *)
+
+  let compare (p1, s1) (p2, s2) =
+    let c = Value.compare_pid p1 p2 in
+    if c <> 0 then c else Int.compare s1 s2
+end)
+
+(* --- full-width hashes over canonical representations --- *)
+
+let hash_pid (p : Value.pid) =
+  H.hash_list (fun (cob, idx) -> H.combine cob idx) p
+
+let hash_loc (l : Value.loc) =
+  H.combine
+    (hash_pid l.Value.l_pid)
+    (H.combine l.Value.l_site (H.combine l.Value.l_seq l.Value.l_off))
+
+let hash_value = function
+  | Value.Vint n -> H.combine 0x1 (H.hash_int n)
+  | Value.Vbool b -> H.combine 0x2 (H.hash_bool b)
+  | Value.Vloc l -> H.combine 0x3 (hash_loc l)
+  | Value.Vfun f -> H.combine 0x4 (H.hash_string f)
+
+let hash_env_bindings bs =
+  H.hash_list (fun (x, l) -> H.combine (H.hash_string x) (hash_loc l)) bs
+
+let hash_item_repr = function
+  | Proc.Rstmt label -> H.combine 0x21 (H.hash_int label)
+  | Proc.Rpop bs -> H.combine 0x22 (hash_env_bindings bs)
+  | Proc.Rret (tag, bs) ->
+      H.combine 0x23 (H.combine (H.hash_string tag) (hash_env_bindings bs))
+  | Proc.Rjoin (cob, children) ->
+      H.combine 0x24 (H.combine cob (H.hash_list hash_pid children))
+
+let hash_proc_repr (r : Proc.repr) =
+  H.combine
+    (hash_pid r.Proc.r_pid)
+    (H.combine
+       (hash_env_bindings r.Proc.r_env)
+       (H.combine
+          (H.hash_list hash_item_repr r.Proc.r_stack)
+          (H.hash_string r.Proc.r_pstr)))
+
+let hash_store_repr bs =
+  H.hash_list (fun (l, v) -> H.combine (hash_loc l) (hash_value v)) bs
+
+let hash_counter_bindings bs =
+  H.hash_list
+    (fun ((pid, site), n) -> H.combine (hash_pid pid) (H.combine site n))
+    bs
+
+(* --- pools --- *)
+
+module Proc_pool = H.Pool (struct
+  type t = Proc.repr
+
+  let equal = ( = )
+  let hash = hash_proc_repr
+end)
+
+module Store_pool = H.Pool (struct
+  type t = (Value.loc * Value.t) list
+
+  let equal = ( = )
+  let hash = hash_store_repr
+end)
+
+module Counter_pool = H.Pool (struct
+  type t = ((Value.pid * int) * int) list
+
+  let equal = ( = )
+  let hash = hash_counter_bindings
+end)
+
+module String_pool = H.Pool (struct
+  type t = string
+
+  let equal = String.equal
+  let hash = H.hash_string
+end)
+
+type state = {
+  procs : Proc_pool.t;
+  proc_memo : (Proc.t, int) H.Phys_memo.t;
+  stores : Store_pool.t;
+  store_memo : (Store.t, int) H.Phys_memo.t;
+  counters : Counter_pool.t;
+  counter_memo : (int CounterMap.t, int) H.Phys_memo.t;
+  errors : String_pool.t;
+}
+
+let create () =
+  {
+    procs = Proc_pool.create 1024;
+    proc_memo = H.Phys_memo.create 1024;
+    stores = Store_pool.create 1024;
+    store_memo = H.Phys_memo.create 1024;
+    counters = Counter_pool.create 64;
+    counter_memo = H.Phys_memo.create 64;
+    errors = String_pool.create 16;
+  }
+
+let the_global = lazy (create ())
+let global () = Lazy.force the_global
+
+let proc_id st (p : Proc.t) =
+  match H.Phys_memo.find st.proc_memo p with
+  | Some id -> id
+  | None ->
+      let id = Proc_pool.intern st.procs (Proc.repr p) in
+      H.Phys_memo.add st.proc_memo p id;
+      id
+
+let store_id st (s : Store.t) =
+  match H.Phys_memo.find st.store_memo s with
+  | Some id -> id
+  | None ->
+      let id = Store_pool.intern st.stores (Store.repr s) in
+      H.Phys_memo.add st.store_memo s id;
+      id
+
+let counters_id st (m : int CounterMap.t) =
+  match H.Phys_memo.find st.counter_memo m with
+  | Some id -> id
+  | None ->
+      let id = Counter_pool.intern st.counters (CounterMap.bindings m) in
+      H.Phys_memo.add st.counter_memo m id;
+      id
+
+let error_id st = function
+  | None -> -1
+  | Some msg -> String_pool.intern st.errors msg
+
+let distinct_procs st = Proc_pool.size st.procs
+let distinct_stores st = Store_pool.size st.stores

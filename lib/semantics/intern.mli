@@ -1,0 +1,60 @@
+(** Hash-consed interning of configuration components.
+
+    The exploration engines fold states through their canonical
+    representations — deep nested lists that OCaml's generic hash
+    truncates after ~10 nodes.  This layer interns each component of a
+    configuration ({!Proc.repr}, {!Store.repr}, the allocation-counter
+    map, the error marker) into a small integer id with a {e full-width}
+    structural hash, so a whole configuration collapses to a flat int
+    tuple ({!Config.digest}) whose equality and hashing are O(#procs).
+
+    Interning is incremental: each component is first looked up in a
+    physical-identity memo, so a one-process step re-serializes only the
+    changed process (and the store, when it was written) — the untouched
+    processes and counter map are physically shared by the successor and
+    hit the memo in O(1).
+
+    Invariants:
+    - id equality is equivalent to structural equality of the canonical
+      representation ([proc_id a = proc_id b] iff
+      [Proc.repr a = Proc.repr b], and likewise for the other pools);
+    - ids are never reused, so digests remain valid for the lifetime of
+      the interner that produced them;
+    - the memos are best-effort: a memo miss falls back to structural
+      interning and can never produce a wrong id. *)
+
+module CounterMap : Map.S with type key = Value.pid * int
+(** The allocation-counter map, keyed by (pid, site).  Defined here (and
+    re-exported by {!Config}) so the interner can memoize whole counter
+    maps by physical identity. *)
+
+type state
+(** An interner: pools of interned components plus their memos. *)
+
+val create : unit -> state
+
+val global : unit -> state
+(** The process-wide default interner used by {!Config.digest}.  Ids
+    from distinct [state]s are not comparable; stick to one. *)
+
+val proc_id : state -> Proc.t -> int
+val store_id : state -> Store.t -> int
+val counters_id : state -> int CounterMap.t -> int
+val error_id : state -> string option -> int
+(** [-1] for [None]; interned string ids (≥ 0) for [Some _]. *)
+
+val distinct_procs : state -> int
+val distinct_stores : state -> int
+(** Pool sizes, for instrumentation and the E14 bench. *)
+
+(** {2 Full-width hashes over canonical representations}
+
+    Exposed for the intern pools themselves and for clients that hash
+    representation fragments directly (tests, the Petri substrate). *)
+
+val hash_pid : Value.pid -> int
+val hash_loc : Value.loc -> int
+val hash_value : Value.t -> int
+val hash_proc_repr : Proc.repr -> int
+val hash_store_repr : (Value.loc * Value.t) list -> int
+val hash_counter_bindings : ((Value.pid * int) * int) list -> int

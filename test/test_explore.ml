@@ -42,6 +42,20 @@ let count_tests =
         check_bool "partial stats returned" true
           (r.Space.stats.Space.configurations > 0
           && r.Space.stats.Space.configurations <= 3));
+    case "truncation stops the expansion mid-flight (pinned counts)"
+      (fun () ->
+        (* regression: the engine used to keep firing the remaining
+           successors of the current expansion after the configuration
+           guard tripped, inflating transitions and the event log past
+           the stop.  Deterministic BFS order makes the exact counts at
+           the truncation point stable. *)
+        let r = explore_full ~max_configs:5 Cobegin_models.Figures.fig5 in
+        check_bool "truncated" true
+          (r.Space.status = Budget.Truncated (Budget.Configs 5));
+        check_int "configurations pinned at the budget" 5
+          r.Space.stats.Space.configurations;
+        check_int "transitions stop with the guard" 4
+          r.Space.stats.Space.transitions);
   ]
 
 let all_figures_agree =

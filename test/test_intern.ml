@@ -1,0 +1,159 @@
+(* Hash-consed digests (Intern / Config.digest): equality semantics
+   across interleavings, digest-vs-repr cardinality, distribution of the
+   full-width hash, and the truncated-generic-hash regressions. *)
+
+open Cobegin_semantics
+open Helpers
+
+let diamond_src =
+  "proc main() { var x = 0; var y = 0; cobegin { x = 1; } { y = 2; } \
+   coend; }"
+
+(* Step through the sequential prefix until several processes run. *)
+let rec advance ctx c =
+  match Step.enabled_processes ctx c with
+  | [ p ] when Config.num_procs c = 1 -> advance ctx (fst (Step.fire ctx c p))
+  | ps -> (c, ps)
+
+let fire_pid ctx c pid =
+  let p =
+    List.find
+      (fun (q : Proc.t) -> q.Proc.pid = pid)
+      (Step.enabled_processes ctx c)
+  in
+  fst (Step.fire ctx c p)
+
+(* Manual BFS that keys the visited set by [Config.repr] (ground truth)
+   and inserts every newly visited configuration's digest on the side:
+   equal cardinality means digests are injective on distinct reprs. *)
+let bfs_digests src =
+  let ctx = ctx_of src in
+  let reprs = Hashtbl.create 64 in
+  let digests = Config.Digest_tbl.create 64 in
+  let queue = Queue.create () in
+  let visit c =
+    let r = Config.repr c in
+    if not (Hashtbl.mem reprs r) then begin
+      Hashtbl.replace reprs r ();
+      Config.Digest_tbl.replace digests (Config.digest c) ();
+      Queue.add c queue
+    end
+  in
+  visit (Step.init ctx);
+  while not (Queue.is_empty queue) do
+    let c = Queue.pop queue in
+    List.iter
+      (fun p -> visit (fst (Step.fire ctx c p)))
+      (Step.enabled_processes ctx c)
+  done;
+  ( Hashtbl.length reprs,
+    Config.Digest_tbl.length digests,
+    Config.Digest_tbl.fold (fun d () acc -> d :: acc) digests [] )
+
+let digest_tests =
+  [
+    case "two interleavings of independent writes reach equal digests"
+      (fun () ->
+        let ctx = ctx_of diamond_src in
+        let c, ps = advance ctx (Step.init ctx) in
+        match ps with
+        | p1 :: p2 :: _ ->
+            let c12 = fire_pid ctx (fire_pid ctx c p1.Proc.pid) p2.Proc.pid in
+            let c21 = fire_pid ctx (fire_pid ctx c p2.Proc.pid) p1.Proc.pid in
+            check_bool "reprs equal (ground truth)" true
+              (Config.repr c12 = Config.repr c21);
+            check_bool "digests equal" true
+              (Config.digest_equal (Config.digest c12) (Config.digest c21));
+            check_int "hashes equal"
+              (Config.digest_hash (Config.digest c12))
+              (Config.digest_hash (Config.digest c21));
+            check_bool "Config.equal agrees" true (Config.equal c12 c21)
+        | _ -> Alcotest.fail "expected two forked processes");
+    case "digest cardinality matches repr cardinality (fig5, peterson)"
+      (fun () ->
+        List.iter
+          (fun (name, src) ->
+            let nr, nd, _ = bfs_digests src in
+            check_int (name ^ " cardinality") nr nd)
+          [
+            ("fig5", Cobegin_models.Figures.fig5);
+            ("peterson", Cobegin_models.Protocols.peterson);
+            ("phil-2", Cobegin_models.Philosophers.program ~rounds:1 2);
+          ]);
+    case "interning is idempotent across re-serialization" (fun () ->
+        let ctx = ctx_of diamond_src in
+        let c0 = Step.init ctx in
+        let st = Intern.create () in
+        List.iter
+          (fun p ->
+            check_int "same proc id" (Intern.proc_id st p)
+              (Intern.proc_id st p))
+          (Config.processes c0);
+        check_int "same store id"
+          (Intern.store_id st c0.Config.store)
+          (Intern.store_id st c0.Config.store);
+        check_int "error None is -1" (-1) (Intern.error_id st None);
+        check_bool "pools stay small" true (Intern.distinct_procs st <= 1))
+  ]
+
+let distribution_tests =
+  [
+    case "full-width hash spreads the philosophers state space" (fun () ->
+        let _, n, digests =
+          bfs_digests (Cobegin_models.Philosophers.program 3)
+        in
+        let m =
+          let rec up k = if k >= 2 * n then k else up (2 * k) in
+          up 64
+        in
+        let buckets = Array.make m 0 in
+        List.iter
+          (fun d ->
+            let i = Config.digest_hash d land (m - 1) in
+            buckets.(i) <- buckets.(i) + 1)
+          digests;
+        let worst = Array.fold_left max 0 buckets in
+        (* at load factor <= 1/2 a healthy hash keeps chains tiny; the
+           truncated generic hash produced chains of hundreds here *)
+        check_bool
+          (Printf.sprintf "max bucket %d <= 8 over %d states" worst n)
+          true (worst <= 8));
+    case "marking hash is sensitive beyond the generic-hash horizon"
+      (fun () ->
+        let a = Array.make 20 1 in
+        let b = Array.copy a in
+        b.(15) <- 2;
+        check_bool "generic hash collides (the bug)" true
+          (Hashtbl.hash (Array.to_list a) = Hashtbl.hash (Array.to_list b));
+        check_bool "full-width hash differs" true
+          (Cobegin_hash.hash_int_array a <> Cobegin_hash.hash_int_array b));
+  ]
+
+let repr_audit_tests =
+  [
+    case "statement labels stay unique across the coarsened corpus"
+      (fun () ->
+        List.iter
+          (fun (name, src) ->
+            let p = Cobegin_trans.Coarsen.program (parse src) in
+            let ls = Cobegin_lang.Ast.labels p in
+            check_int
+              (name ^ ": labels unique after coarsening")
+              (List.length ls)
+              (List.length (List.sort_uniq compare ls)))
+          Cobegin_models.Corpus.all);
+    case "pending returns distinguish call site and destination" (fun () ->
+        let open Cobegin_lang in
+        let mk ~site ~dest =
+          Proc.item_repr (Proc.Iret { dest; saved_env = Env.empty; site })
+        in
+        check_bool "sites distinguish" true
+          (mk ~site:1 ~dest:None <> mk ~site:2 ~dest:None);
+        check_bool "destinations distinguish" true
+          (mk ~site:1 ~dest:(Some (Ast.Lvar "x"))
+          <> mk ~site:1 ~dest:(Some (Ast.Lvar "y")));
+        check_bool "missing vs present destination" true
+          (mk ~site:1 ~dest:None <> mk ~site:1 ~dest:(Some (Ast.Lvar "x"))));
+  ]
+
+let suite = digest_tests @ distribution_tests @ repr_audit_tests

@@ -8,6 +8,7 @@ let () =
       ("trans", Test_trans.suite);
       ("footprint", Test_footprint.suite);
       ("explore", Test_explore.suite);
+      ("intern", Test_intern.suite);
       ("budget", Test_budget.suite);
       ("protocols", Test_protocols.suite);
       ("petri", Test_petri.suite);
