@@ -569,6 +569,58 @@ let e14smoke () =
   end;
   row "philosophers-2: %d configurations, engines agree@." digest.l_configs
 
+(* --- E15: telemetry overhead and per-stage wall time ---
+
+   Two claims, as JSON rows: (a) with telemetry disabled (the default)
+   the metric guards cost nothing measurable — philosophers throughput
+   with and without counters enabled; (b) the pipeline's span recorder
+   decomposes a run into per-stage wall seconds.  Uses wall clock
+   (Unix.gettimeofday), not Sys.time: spans measure wall time too. *)
+
+let e15 () =
+  section "E15" "Telemetry: disabled-mode overhead and per-stage spans";
+  let module Metrics = Cobegin_obs.Metrics in
+  let wall f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let src = Philosophers.program ~rounds:2 3 in
+  let run () = Space.full (Step.make_ctx (parse src)) in
+  let was_enabled = Metrics.enabled () in
+  List.iter
+    (fun enabled ->
+      Metrics.set_enabled enabled;
+      ignore (run ());
+      (* warm-up *)
+      let r, t = wall run in
+      row
+        "{\"workload\": \"philosophers-3 (2 rounds)\", \"telemetry\": \
+         \"%s\", \"configurations\": %d, \"transitions\": %d, \"wall_s\": \
+         %.4f}@."
+        (if enabled then "enabled" else "disabled")
+        r.Space.stats.Space.configurations r.Space.stats.Space.transitions t)
+    [ false; true ];
+  Metrics.set_enabled was_enabled;
+  List.iter
+    (fun (name, src) ->
+      let spans = Cobegin_obs.Span.create () in
+      let options =
+        { Pipeline.default_options with find_races = true; lint = true }
+      in
+      let report = Pipeline.analyze ~options ~spans (parse src) in
+      row "{\"workload\": \"%s\", \"stage_wall_s\": {%s}}@." name
+        (String.concat ", "
+           (List.map
+              (fun (stage, dur) ->
+                Printf.sprintf "\"%s\": %.6f" stage dur)
+              report.Pipeline.telemetry)))
+    [
+      ("fig2", Figures.fig2);
+      ("fig8", Figures.fig8);
+      ("example8", Figures.example8);
+    ]
+
 (* --- Bechamel timings: one per experiment family --- *)
 
 let bechamel () =
@@ -641,7 +693,7 @@ let experiments =
     ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
     ("E12", e12); ("E13", e13); ("E14", e14); ("E14smoke", e14smoke);
-    ("TIMING", bechamel);
+    ("E15", e15); ("TIMING", bechamel);
   ]
 
 let () =

@@ -45,13 +45,58 @@ let read_program path =
   | Sys_error e -> Error e
 
 (* The truncation banner and the exit-code convention shared by every
-   analysis subcommand. *)
-let report_status status =
+   analysis subcommand.  The banner carries the wall time and the peak
+   heap so a truncated run is diagnosable from the CLI alone. *)
+let report_status ~t0 status =
   match status with
   | Budget.Complete -> ()
   | Budget.Truncated reason ->
-      Format.eprintf "TRUNCATED (%s) — results below are partial@."
+      let elapsed = Unix.gettimeofday () -. t0 in
+      (* Gc.stat, not quick_stat: the OCaml 5 runtime leaves quick_stat's
+         top_heap_words at 0 until a major collection has run, and one
+         full stat at the end of a truncated run is cheap *)
+      let peak_mb =
+        float_of_int ((Gc.stat ()).Gc.top_heap_words * (Sys.word_size / 8))
+        /. (1024. *. 1024.)
+      in
+      Format.eprintf
+        "TRUNCATED (%s) — results below are partial (elapsed %.1fs, peak \
+         heap %.1f MB)@."
         (Budget.reason_to_string reason)
+        elapsed peak_mb
+
+(* --- telemetry plumbing (--trace / --metrics / --progress) --- *)
+
+module Obs = Cobegin_obs
+
+(* Intern-pool sizes for probe samples: injected here because Cobegin_obs
+   sits below Cobegin_semantics in the library graph. *)
+let telemetry_pools () =
+  let st = Cobegin_semantics.Intern.global () in
+  [
+    ("procs", Cobegin_semantics.Intern.distinct_procs st);
+    ("stores", Cobegin_semantics.Intern.distinct_stores st);
+  ]
+
+let make_probe ~progress =
+  if progress then
+    Some (Obs.Probe.make ~pools:telemetry_pools Obs.Probe.stderr_sink)
+  else None
+
+(* Final metrics snapshot, stamped with the run's wall time and peak
+   heap, as one JSON object. *)
+let write_metrics path ~t0 =
+  Obs.Metrics.set
+    (Obs.Metrics.gauge "run.elapsed_ms")
+    (int_of_float ((Unix.gettimeofday () -. t0) *. 1000.));
+  (* Gc.stat: quick_stat's top_heap_words stays 0 until a major GC *)
+  Obs.Metrics.set
+    (Obs.Metrics.gauge "run.peak_heap_words")
+    (Gc.stat ()).Gc.top_heap_words;
+  let oc = open_out path in
+  output_string oc (Obs.Metrics.to_json (Obs.Metrics.snapshot ()));
+  output_char oc '\n';
+  close_out oc
 
 let exit_code ?(stage_failures = []) ?(static_findings = false) status =
   if stage_failures <> [] then 3
@@ -178,6 +223,32 @@ let heap_words_of_mb mb =
   (* OCaml heap words: 8 bytes each on 64-bit *)
   mb * 1024 * 1024 / (Sys.word_size / 8)
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace-event JSON file with one span per \
+           pipeline stage.  Load it in chrome://tracing or Perfetto.")
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Enable telemetry counters and write the final metrics \
+           snapshot (counters, gauges, histograms) as JSON.")
+
+let progress_arg =
+  Arg.(
+    value & flag
+    & info [ "progress" ]
+        ~doc:
+          "Emit live progress heartbeats on stderr (frontier size, \
+           visited count, rate, heap, budget headroom).")
+
 let mk_options engine domain folding coarsen inline races lint max_configs
     max_transitions timeout_s max_heap_mb =
   let engine =
@@ -204,7 +275,7 @@ let options_term =
     $ max_transitions_arg $ timeout_arg $ max_heap_mb_arg)
 
 let analyze_cmd =
-  let run file options lint_only =
+  let run file options lint_only trace metrics progress =
     match read_program file with
     | Error e ->
         Format.eprintf "%s@." e;
@@ -220,12 +291,24 @@ let analyze_cmd =
           if r.Cobegin_static.Lint.findings <> [] then 4 else 0
         end
         else begin
-          let report = Pipeline.analyze ~options prog in
+          let t0 = Unix.gettimeofday () in
+          if metrics <> None then Obs.Metrics.set_enabled true;
+          let spans =
+            match trace with
+            | None -> None
+            | Some _ -> Some (Obs.Span.create ())
+          in
+          let probe = make_probe ~progress in
+          let report = Pipeline.analyze ~options ?spans ?probe prog in
           Format.printf "%a@." Pipeline.pp_report report;
           List.iter
             (fun f -> Format.eprintf "%a@." Pipeline.pp_stage_failure f)
             report.Pipeline.stage_failures;
-          report_status report.Pipeline.status;
+          (match (trace, spans) with
+          | Some path, Some t -> Obs.Span.write_trace t path
+          | _ -> ());
+          Option.iter (fun path -> write_metrics path ~t0) metrics;
+          report_status ~t0 report.Pipeline.status;
           let static_findings =
             match report.Pipeline.static with
             | Some r -> r.Cobegin_static.Lint.findings <> []
@@ -237,35 +320,51 @@ let analyze_cmd =
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Run the full analysis pipeline on a program.")
-    Term.(const run $ file_arg $ options_term $ lint_only_arg)
+    Term.(
+      const run $ file_arg $ options_term $ lint_only_arg $ trace_arg
+      $ metrics_arg $ progress_arg)
 
 let explore_cmd =
-  let run file coarsen max_configs max_transitions timeout_s max_heap_mb =
+  let run file coarsen max_configs max_transitions timeout_s max_heap_mb
+      metrics progress =
     match read_program file with
     | Error e ->
         Format.eprintf "%s@." e;
         1
     | Ok prog ->
+        let t0 = Unix.gettimeofday () in
+        if metrics <> None then Obs.Metrics.set_enabled true;
+        let probe = make_probe ~progress in
         let prog =
           if coarsen then Cobegin_trans.Coarsen.program prog else prog
         in
         let ctx = Cobegin_semantics.Step.make_ctx prog in
-        (* a fresh budget per engine run so the counters start at zero *)
+        (* a fresh budget per engine run so the counters start at zero;
+           the probe follows the budget of the engine currently running *)
         let budget () =
-          Budget.create ~max_configs ?max_transitions ?timeout_s
-            ?max_heap_words:(Option.map heap_words_of_mb max_heap_mb)
-            ()
+          let b =
+            Budget.create ~max_configs ?max_transitions ?timeout_s
+              ?max_heap_words:(Option.map heap_words_of_mb max_heap_mb)
+              ()
+          in
+          Option.iter (fun p -> Obs.Probe.set_budget p b) probe;
+          b
         in
-        let full = Cobegin_explore.Space.full ~budget:(budget ()) ctx in
+        let full =
+          Cobegin_explore.Space.full ~budget:(budget ()) ?probe ctx
+        in
         let stats = Cobegin_explore.Stubborn.new_stats () in
         let stub =
-          Cobegin_explore.Stubborn.explore ~budget:(budget ()) ~stats ctx
+          Cobegin_explore.Stubborn.explore ~budget:(budget ()) ?probe ~stats
+            ctx
         in
         Format.printf "full:     %a@." Cobegin_explore.Space.pp_stats
           full.Cobegin_explore.Space.stats;
         Format.printf "stubborn: %a@." Cobegin_explore.Space.pp_stats
           stub.Cobegin_explore.Space.stats;
-        let slp = Cobegin_explore.Sleep.explore ~budget:(budget ()) ctx in
+        let slp =
+          Cobegin_explore.Sleep.explore ~budget:(budget ()) ?probe ctx
+        in
         Format.printf "sleep:    %a@." Cobegin_explore.Space.pp_stats
           slp.Cobegin_explore.Space.stats;
         Format.printf
@@ -281,7 +380,8 @@ let explore_cmd =
           Format.printf "final stores agree: %b@."
             (Cobegin_explore.Space.final_store_reprs full
             = Cobegin_explore.Space.final_store_reprs stub);
-        report_status status;
+        Option.iter (fun path -> write_metrics path ~t0) metrics;
+        report_status ~t0 status;
         exit_code status
   in
   Cmd.v
@@ -289,32 +389,39 @@ let explore_cmd =
        ~doc:"Compare full and stubborn-set state-space generation.")
     Term.(
       const run $ file_arg $ coarsen_arg $ max_configs_arg
-      $ max_transitions_arg $ timeout_arg $ max_heap_mb_arg)
+      $ max_transitions_arg $ timeout_arg $ max_heap_mb_arg $ metrics_arg
+      $ progress_arg)
 
 let races_cmd =
-  let run file max_configs max_transitions timeout_s max_heap_mb =
+  let run file max_configs max_transitions timeout_s max_heap_mb metrics
+      progress =
     match read_program file with
     | Error e ->
         Format.eprintf "%s@." e;
         1
     | Ok prog ->
+        let t0 = Unix.gettimeofday () in
+        if metrics <> None then Obs.Metrics.set_enabled true;
         let ctx = Cobegin_semantics.Step.make_ctx prog in
         let budget =
           Budget.create ~max_configs ?max_transitions ?timeout_s
             ?max_heap_words:(Option.map heap_words_of_mb max_heap_mb)
             ()
         in
-        let result = Cobegin_analysis.Race.find ~budget ctx in
+        let probe = make_probe ~progress in
+        Option.iter (fun p -> Obs.Probe.set_budget p budget) probe;
+        let result = Cobegin_analysis.Race.find ~budget ?probe ctx in
         Format.printf "%a@." Cobegin_analysis.Race.pp
           result.Cobegin_analysis.Race.races;
-        report_status result.Cobegin_analysis.Race.status;
+        Option.iter (fun path -> write_metrics path ~t0) metrics;
+        report_status ~t0 result.Cobegin_analysis.Race.status;
         exit_code result.Cobegin_analysis.Race.status
   in
   Cmd.v
     (Cmd.info "races" ~doc:"Detect access anomalies by co-enabledness.")
     Term.(
       const run $ file_arg $ max_configs_arg $ max_transitions_arg
-      $ timeout_arg $ max_heap_mb_arg)
+      $ timeout_arg $ max_heap_mb_arg $ metrics_arg $ progress_arg)
 
 let parallel_cmd =
   let run file options =
@@ -323,6 +430,7 @@ let parallel_cmd =
         Format.eprintf "%s@." e;
         1
     | Ok prog ->
+        let t0 = Unix.gettimeofday () in
         let report = Pipeline.analyze ~options prog in
         let par = Pipeline.parallelization report in
         Format.printf "%a@." Cobegin_apps.Parallelize.pp_report par;
@@ -330,7 +438,7 @@ let parallel_cmd =
           (fun f ->
             Format.eprintf "%a@." Pipeline.pp_stage_failure f)
           report.Pipeline.stage_failures;
-        report_status report.Pipeline.status;
+        report_status ~t0 report.Pipeline.status;
         exit_code ~stage_failures:report.Pipeline.stage_failures
           report.Pipeline.status
   in

@@ -36,6 +36,7 @@ type summary = {
   abstract_configs : int;
   revisits : int;
   widenings : int;
+  max_frontier : int;
   finals : int;
   errors : int;
   status : Budget.status;
@@ -53,16 +54,17 @@ let pp_summary ppf s =
     s.status
 
 let analyze ?(domain = Intervals) ?(folding = Machine.Control) ?widen_after
-    ?max_configs ?budget ?max_iterations ?(k_pstring = 8)
+    ?max_configs ?budget ?max_iterations ?probe ?(k_pstring = 8)
     ?(max_call_depth = 64) (prog : Cobegin_lang.Ast.program) : summary =
-  let pack ~abstract_configs ~revisits ~widenings ~finals ~errors ~status
-      ~log =
+  let pack ~abstract_configs ~revisits ~widenings ~max_frontier ~finals
+      ~errors ~status ~log =
     {
       domain;
       folding;
       abstract_configs;
       revisits;
       widenings;
+      max_frontier;
       finals;
       errors;
       status;
@@ -75,53 +77,53 @@ let analyze ?(domain = Intervals) ?(folding = Machine.Control) ?widen_after
       let ctx = M.make_ctx ~params:{ M.k_pstring; max_call_depth } prog in
       let r =
         M.explore ~folding ?widen_after ?max_configs ?budget ?max_iterations
-          ctx
+          ?probe ctx
       in
       pack ~abstract_configs:r.M.stats.M.abstract_configs
         ~revisits:r.M.stats.M.revisits ~widenings:r.M.stats.M.widenings
-        ~finals:r.M.stats.M.finals ~errors:r.M.stats.M.errors
-        ~status:r.M.status ~log:r.M.log
+        ~max_frontier:r.M.stats.M.max_frontier ~finals:r.M.stats.M.finals
+        ~errors:r.M.stats.M.errors ~status:r.M.status ~log:r.M.log
   | Constants ->
       let module M = Const_machine in
       let ctx = M.make_ctx ~params:{ M.k_pstring; max_call_depth } prog in
       let r =
         M.explore ~folding ?widen_after ?max_configs ?budget ?max_iterations
-          ctx
+          ?probe ctx
       in
       pack ~abstract_configs:r.M.stats.M.abstract_configs
         ~revisits:r.M.stats.M.revisits ~widenings:r.M.stats.M.widenings
-        ~finals:r.M.stats.M.finals ~errors:r.M.stats.M.errors
-        ~status:r.M.status ~log:r.M.log
+        ~max_frontier:r.M.stats.M.max_frontier ~finals:r.M.stats.M.finals
+        ~errors:r.M.stats.M.errors ~status:r.M.status ~log:r.M.log
   | Signs ->
       let module M = Sign_machine in
       let ctx = M.make_ctx ~params:{ M.k_pstring; max_call_depth } prog in
       let r =
         M.explore ~folding ?widen_after ?max_configs ?budget ?max_iterations
-          ctx
+          ?probe ctx
       in
       pack ~abstract_configs:r.M.stats.M.abstract_configs
         ~revisits:r.M.stats.M.revisits ~widenings:r.M.stats.M.widenings
-        ~finals:r.M.stats.M.finals ~errors:r.M.stats.M.errors
-        ~status:r.M.status ~log:r.M.log
+        ~max_frontier:r.M.stats.M.max_frontier ~finals:r.M.stats.M.finals
+        ~errors:r.M.stats.M.errors ~status:r.M.status ~log:r.M.log
   | Parities ->
       let module M = Parity_machine in
       let ctx = M.make_ctx ~params:{ M.k_pstring; max_call_depth } prog in
       let r =
         M.explore ~folding ?widen_after ?max_configs ?budget ?max_iterations
-          ctx
+          ?probe ctx
       in
       pack ~abstract_configs:r.M.stats.M.abstract_configs
         ~revisits:r.M.stats.M.revisits ~widenings:r.M.stats.M.widenings
-        ~finals:r.M.stats.M.finals ~errors:r.M.stats.M.errors
-        ~status:r.M.status ~log:r.M.log
+        ~max_frontier:r.M.stats.M.max_frontier ~finals:r.M.stats.M.finals
+        ~errors:r.M.stats.M.errors ~status:r.M.status ~log:r.M.log
   | Interval_parity ->
       let module M = Int_parity_machine in
       let ctx = M.make_ctx ~params:{ M.k_pstring; max_call_depth } prog in
       let r =
         M.explore ~folding ?widen_after ?max_configs ?budget ?max_iterations
-          ctx
+          ?probe ctx
       in
       pack ~abstract_configs:r.M.stats.M.abstract_configs
         ~revisits:r.M.stats.M.revisits ~widenings:r.M.stats.M.widenings
-        ~finals:r.M.stats.M.finals ~errors:r.M.stats.M.errors
-        ~status:r.M.status ~log:r.M.log
+        ~max_frontier:r.M.stats.M.max_frontier ~finals:r.M.stats.M.finals
+        ~errors:r.M.stats.M.errors ~status:r.M.status ~log:r.M.log

@@ -23,6 +23,7 @@ type summary = {
   abstract_configs : int;  (** distinct abstract configurations *)
   revisits : int;  (** joins into an existing key *)
   widenings : int;
+  max_frontier : int;  (** peak size of the worklist *)
   finals : int;  (** abstract final stores *)
   errors : int;  (** possible runtime failures (may-analysis) *)
   status : Budget.status;  (** [Truncated _] when a budget fired *)
@@ -38,6 +39,7 @@ val analyze :
   ?max_configs:int ->
   ?budget:Budget.t ->
   ?max_iterations:int ->
+  ?probe:Cobegin_obs.Probe.t ->
   ?k_pstring:int ->
   ?max_call_depth:int ->
   Cobegin_lang.Ast.program ->
@@ -46,4 +48,5 @@ val analyze :
     widening after 3 revisits, k_pstring = 8, call depth 64.
     [budget] (which subsumes [max_configs]) and [max_iterations] (the
     fixpoint fuel) bound the run; exhaustion never raises — the summary
-    comes back with its partial counts and [status = Truncated _]. *)
+    comes back with its partial counts and [status = Truncated _].
+    [probe] is ticked once per worklist pop. *)

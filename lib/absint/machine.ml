@@ -21,6 +21,16 @@ open Cobegin_domains
 
 type folding = Exact | Control | Clan
 
+(* Telemetry handles: defined once outside the functor so every numeric
+   domain's machine shares the same registered counters.  No-ops (one
+   branch) while telemetry is disabled. *)
+module Obs_metrics = Cobegin_obs.Metrics
+module Obs_probe = Cobegin_obs.Probe
+
+let m_widenings = Obs_metrics.counter "machine.widenings"
+let m_fold_hits = Obs_metrics.counter "machine.fold_hits"
+let g_abs_frontier = Obs_metrics.gauge "machine.frontier"
+
 let pp_folding ppf f =
   Format.pp_print_string ppf
     (match f with Exact -> "exact" | Control -> "control" | Clan -> "clan")
@@ -804,6 +814,7 @@ module Make (N : Lattice.NUMERIC) = struct
     abstract_configs : int;
     revisits : int; (* joins into an existing key *)
     widenings : int;
+    max_frontier : int; (* peak size of the worklist *)
     finals : int;
     errors : int;
   }
@@ -828,7 +839,7 @@ module Make (N : Lattice.NUMERIC) = struct
      table accumulated so far is still a valid under-approximation of
      the abstract graph and the log a valid (partial) instrumentation. *)
   let explore ?(folding = Control) ?(widen_after = 3)
-      ?(max_configs = 100_000) ?budget ?max_iterations ctx : result =
+      ?(max_configs = 100_000) ?budget ?max_iterations ?probe ctx : result =
     let budget =
       match budget with
       | Some b -> b
@@ -837,7 +848,7 @@ module Make (N : Lattice.NUMERIC) = struct
     let keys = Key_pool.create 256 in
     let table : (config * int) Key_tbl.t = Key_tbl.create 256 in
     let queue = Queue.create () in
-    let revisits = ref 0 and widenings = ref 0 in
+    let revisits = ref 0 and widenings = ref 0 and max_frontier = ref 0 in
     let finals = ref [] and errors = ref 0 in
     let iterations = ref 0 in
     let stop = ref None in
@@ -856,6 +867,14 @@ module Make (N : Lattice.NUMERIC) = struct
           | Some r -> stop := Some r
           | None -> ()));
       if !stop = None then begin
+        (match probe with
+        | None -> ()
+        | Some p ->
+            Obs_probe.tick p ~configurations:(Key_tbl.length table)
+              ~frontier:(Queue.length queue) ~transitions:!iterations);
+        if Obs_metrics.enabled () then
+          Obs_metrics.set g_abs_frontier (Queue.length queue);
+        max_frontier := max !max_frontier (Queue.length queue);
         incr iterations;
         let k = Queue.pop queue in
         match Key_tbl.find_opt table k with
@@ -884,11 +903,13 @@ module Make (N : Lattice.NUMERIC) = struct
                                   Queue.add k' queue)
                           | Some (old_, v') ->
                               incr revisits;
+                              Obs_metrics.incr m_fold_hits;
                               let joined = join_config ~folding old_ c' in
                               if not (config_leq joined old_) then begin
                                 let next =
                                   if v' >= widen_after then begin
                                     incr widenings;
+                                    Obs_metrics.incr m_widenings;
                                     widen_config old_ joined
                                   end
                                   else joined
@@ -907,6 +928,7 @@ module Make (N : Lattice.NUMERIC) = struct
           abstract_configs = Key_tbl.length table;
           revisits = !revisits;
           widenings = !widenings;
+          max_frontier = !max_frontier;
           finals = List.length !finals;
           errors = !errors;
         };

@@ -11,6 +11,13 @@
 open Cobegin_lang
 open Cobegin_semantics
 open Cobegin_explore
+module Metrics = Cobegin_obs.Metrics
+module Probe = Cobegin_obs.Probe
+
+(* Telemetry: process pairs examined for conflicts vs pairs that produced
+   at least one anomaly.  No-ops (one branch) while telemetry is off. *)
+let m_pairs_scanned = Metrics.counter "race.pairs_scanned"
+let m_pairs_confirmed = Metrics.counter "race.pairs_confirmed"
 
 type race = {
   stmt1 : int;
@@ -56,7 +63,7 @@ type result = { races : RaceSet.t; status : Budget.status }
    The scan degrades gracefully: when the configuration budget fires it
    stops admitting new configurations but still scans everything already
    queued, so the reported races are those of a reachable prefix. *)
-let find ?(max_configs = 200_000) ?budget ctx : result =
+let find ?(max_configs = 200_000) ?budget ?probe ctx : result =
   let budget =
     match budget with Some b -> b | None -> Budget.create ~max_configs ()
   in
@@ -80,6 +87,11 @@ let find ?(max_configs = 200_000) ?budget ctx : result =
     | Some r -> stop := Some r
     | None -> ());
     if !stop = None then begin
+    (match probe with
+    | None -> ()
+    | Some p ->
+        Probe.tick p ~configurations:(Tbl.length visited)
+          ~frontier:(Queue.length queue) ~transitions:!steps);
     incr steps;
     let c = Queue.pop queue in
     if not (Config.is_error c) then begin
@@ -108,6 +120,11 @@ let find ?(max_configs = 200_000) ?budget ctx : result =
                 let w1 = f1.Step.fwrites and w2 = f2.Step.fwrites in
                 let r1 = f1.Step.freads and r2 = f2.Step.freads in
                 let module LS = Value.LocSet in
+                Metrics.incr m_pairs_scanned;
+                let ww = LS.inter w1 w2 in
+                let rw = LS.union (LS.inter w1 r2) (LS.inter w2 r1) in
+                if not (LS.is_empty ww && LS.is_empty rw) then
+                  Metrics.incr m_pairs_confirmed;
                 let add ~ww locs =
                   LS.iter
                     (fun loc ->
@@ -118,8 +135,8 @@ let find ?(max_configs = 200_000) ?budget ctx : result =
                           !races)
                     locs
                 in
-                add ~ww:true (LS.inter w1 w2);
-                add ~ww:false (LS.union (LS.inter w1 r2) (LS.inter w2 r1)))
+                add ~ww:true ww;
+                add ~ww:false rw)
               rest;
             pairs rest
       in

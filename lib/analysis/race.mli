@@ -32,10 +32,16 @@ type result = {
       (** [Truncated _] when the scan covered only a reachable prefix *)
 }
 
-val find : ?max_configs:int -> ?budget:Budget.t -> Step.ctx -> result
+val find :
+  ?max_configs:int ->
+  ?budget:Budget.t ->
+  ?probe:Cobegin_obs.Probe.t ->
+  Step.ctx ->
+  result
 (** Scan every reachable configuration for co-enabled conflicting
     pairs.  At budget exhaustion the scan finishes the configurations
-    already discovered and reports the races of that prefix. *)
+    already discovered and reports the races of that prefix.  [probe]
+    is ticked once per worklist pop. *)
 
 val pp_race : Format.formatter -> race -> unit
 val pp : Format.formatter -> RaceSet.t -> unit

@@ -98,3 +98,57 @@ let check t ~configs ~transitions =
             | _ -> None))
 
 let status_of = function None -> Complete | Some r -> Truncated r
+
+let reason_label = function
+  | Configs _ -> "configs"
+  | Transitions _ -> "transitions"
+  | Deadline _ -> "deadline_s"
+  | Heap_words _ -> "heap_words"
+  | Fuel _ -> "fuel"
+
+type headroom = { h_reason : reason; h_consumed : float; h_limit : float }
+
+(* Introspection for progress probes and users: consumed-vs-limit per
+   configured dimension, without reaching into the internals.  The
+   counter entries mirror [check] exactly: an entry with
+   [h_consumed >= h_limit] is one [check] would fire on (clock and heap
+   are re-sampled here, so those entries reflect "now", not the last
+   sampled probe).  Reads no mutable state — never perturbs the
+   sampling cadence. *)
+let snapshot t ~configs ~transitions =
+  List.filter_map Fun.id
+    [
+      Option.map
+        (fun m ->
+          {
+            h_reason = Configs m;
+            h_consumed = float_of_int configs;
+            h_limit = float_of_int m;
+          })
+        t.max_configs;
+      Option.map
+        (fun m ->
+          {
+            h_reason = Transitions m;
+            h_consumed = float_of_int transitions;
+            h_limit = float_of_int m;
+          })
+        t.max_transitions;
+      Option.map
+        (fun d ->
+          {
+            h_reason = Deadline t.timeout_s;
+            h_consumed =
+              max 0. (Unix.gettimeofday () -. (d -. t.timeout_s));
+            h_limit = t.timeout_s;
+          })
+        t.deadline;
+      Option.map
+        (fun m ->
+          {
+            h_reason = Heap_words m;
+            h_consumed = float_of_int (Gc.quick_stat ()).Gc.heap_words;
+            h_limit = float_of_int m;
+          })
+        t.max_heap_words;
+    ]

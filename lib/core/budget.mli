@@ -73,3 +73,21 @@ val check : t -> configs:int -> transitions:int -> reason option
 
 val status_of : reason option -> status
 (** [None -> Complete], [Some r -> Truncated r]. *)
+
+val reason_label : reason -> string
+(** Stable short label for machine-readable output: ["configs"],
+    ["transitions"], ["deadline_s"], ["heap_words"], ["fuel"]. *)
+
+type headroom = {
+  h_reason : reason;  (** the limit kind, carrying its limit value *)
+  h_consumed : float;
+  h_limit : float;
+}
+
+val snapshot : t -> configs:int -> transitions:int -> headroom list
+(** One entry per configured limit, consumed vs limit, so progress
+    probes and users can report headroom without reaching into the
+    internals.  Counter entries mirror {!check}: [h_consumed >= h_limit]
+    exactly when [check] (called with the same [configs]/[transitions])
+    would return that reason; the clock and heap entries are re-sampled
+    at the call.  Never perturbs the sampling cadence of {!check}. *)

@@ -26,6 +26,7 @@ open Cobegin_explore
 open Cobegin_absint
 open Cobegin_analysis
 open Cobegin_apps
+module Span = Cobegin_obs.Span
 
 type engine =
   | Concrete_full (* ordinary state-space generation *)
@@ -71,6 +72,7 @@ let budget_of_options (o : options) =
 type exploration_stats = {
   configurations : int;
   transitions : int; (* 0 for abstract engines *)
+  max_frontier : int; (* peak worklist size *)
   finals : int;
   deadlocks : int; (* 0 for abstract engines *)
   errors : int;
@@ -96,6 +98,9 @@ type report = {
   races : Race.RaceSet.t option;
   critical : Critical.conflicts;
   static : Cobegin_static.Lint.result option; (* when [lint] was set *)
+  telemetry : (string * float) list;
+      (* per-stage wall seconds, in completion order; empty unless a span
+         recorder was passed to [analyze] *)
 }
 
 let load_source src =
@@ -125,19 +130,20 @@ let empty_log =
 
 (* Run the chosen engine under [budget], returning stats, the unified
    log, and the completion status. *)
-let run_engine ~budget (opts : options) prog :
+let run_engine ~budget ?probe (opts : options) prog :
     exploration_stats * Event.log * Budget.status =
   match opts.engine with
   | Concrete_full | Concrete_stubborn ->
       let ctx = Step.make_ctx prog in
       let result =
         match opts.engine with
-        | Concrete_full -> Space.full ~budget ctx
-        | _ -> Stubborn.explore ~budget ctx
+        | Concrete_full -> Space.full ~budget ?probe ctx
+        | _ -> Stubborn.explore ~budget ?probe ctx
       in
       ( {
           configurations = result.Space.stats.Space.configurations;
           transitions = result.Space.stats.Space.transitions;
+          max_frontier = result.Space.stats.Space.max_frontier;
           finals = result.Space.stats.Space.finals;
           deadlocks = result.Space.stats.Space.deadlocks;
           errors = result.Space.stats.Space.errors;
@@ -145,10 +151,11 @@ let run_engine ~budget (opts : options) prog :
         Event.of_concrete result.Space.log,
         result.Space.status )
   | Abstract (domain, folding) ->
-      let summary = Analyzer.analyze ~domain ~folding ~budget prog in
+      let summary = Analyzer.analyze ~domain ~folding ~budget ?probe prog in
       ( {
           configurations = summary.Analyzer.abstract_configs;
           transitions = 0;
+          max_frontier = summary.Analyzer.max_frontier;
           finals = summary.Analyzer.finals;
           deadlocks = 0;
           errors = summary.Analyzer.errors;
@@ -158,17 +165,28 @@ let run_engine ~budget (opts : options) prog :
 
 (* [stage_hook] is an instrumentation/fault-injection seam: it is called
    with the stage name inside each guard, so tests can force a stage to
-   crash and observe the diagnostic. *)
-let analyze ?(options = default_options) ?(stage_hook = fun _ -> ())
-    (prog : Ast.program) : report =
+   crash and observe the diagnostic.  [spans] records one wall-clock span
+   per stage (nested under whatever span is already open in the
+   recorder); [probe] is ticked by the engines and the race scan, with
+   the pipeline's budget attached for headroom reporting. *)
+let analyze ?(options = default_options) ?(stage_hook = fun _ -> ()) ?spans
+    ?probe (prog : Ast.program) : report =
   Check.check_exn prog;
   let prog = transform options prog in
   let budget = budget_of_options options in
+  Option.iter (fun p -> Cobegin_obs.Probe.set_budget p budget) probe;
+  (* only the spans completed by this call end up in [report.telemetry]:
+     a reusable recorder may already hold events from earlier runs *)
+  let pre_events =
+    match spans with None -> 0 | Some t -> Span.event_count t
+  in
   let failures = ref [] in
   let stage name ~default f =
     try
       stage_hook name;
-      f ()
+      match spans with
+      | None -> f ()
+      | Some t -> Span.with_span t name f
     with e ->
       failures :=
         { stage = name; diagnostic = Printexc.to_string e } :: !failures;
@@ -188,13 +206,14 @@ let analyze ?(options = default_options) ?(stage_hook = fun _ -> ())
         ( {
             configurations = 0;
             transitions = 0;
+            max_frontier = 0;
             finals = 0;
             deadlocks = 0;
             errors = 0;
           },
           empty_log,
           Budget.Complete )
-      (fun () -> run_engine ~budget options prog)
+      (fun () -> run_engine ~budget ?probe options prog)
   in
   let side_effects =
     stage "side-effects" ~default:[] (fun () ->
@@ -221,7 +240,7 @@ let analyze ?(options = default_options) ?(stage_hook = fun _ -> ())
             stage "races"
               ~default:
                 { Race.races = Race.RaceSet.empty; status = Budget.Complete }
-              (fun () -> Race.find ~budget (Step.make_ctx prog))
+              (fun () -> Race.find ~budget ?probe (Step.make_ctx prog))
           in
           (Some r.Race.races, Budget.combine status r.Race.status)
       | Abstract _ -> (None, status)
@@ -230,6 +249,12 @@ let analyze ?(options = default_options) ?(stage_hook = fun _ -> ())
   let critical =
     stage "critical" ~default:Critical.no_conflicts (fun () ->
         Critical.of_program prog)
+  in
+  let telemetry =
+    match spans with
+    | None -> []
+    | Some t ->
+        List.filteri (fun i _ -> i >= pre_events) (Span.durations t)
   in
   {
     program = prog;
@@ -246,10 +271,11 @@ let analyze ?(options = default_options) ?(stage_hook = fun _ -> ())
     races;
     critical;
     static;
+    telemetry;
   }
 
-let analyze_source ?options ?stage_hook src =
-  analyze ?options ?stage_hook (load_source src)
+let analyze_source ?options ?stage_hook ?spans ?probe src =
+  analyze ?options ?stage_hook ?spans ?probe (load_source src)
 
 (* Parallelization report for segment-shaped programs (Figure 8). *)
 let parallelization (r : report) : Parallelize.report =
@@ -257,14 +283,16 @@ let parallelization (r : report) : Parallelize.report =
 
 let pp_stats ppf (s : exploration_stats) =
   Format.fprintf ppf
-    "configurations=%d transitions=%d finals=%d deadlocks=%d errors=%d"
-    s.configurations s.transitions s.finals s.deadlocks s.errors
+    "configurations=%d transitions=%d max_frontier=%d finals=%d deadlocks=%d \
+     errors=%d"
+    s.configurations s.transitions s.max_frontier s.finals s.deadlocks
+    s.errors
 
 let pp_report ppf (r : report) =
   Format.fprintf ppf
     "@[<v>engine: %a@ %a@ status: %a%a@ @ critical references: %a@ @ side \
      effects:@ %a@ @ parallel dependences:@ %a@ @ lifetimes:@ %a@ @ \
-     placement:@ %a@ @ deallocation plan:@ %a%a%a@]"
+     placement:@ %a@ @ deallocation plan:@ %a%a%a%a@]"
     pp_engine r.engine_used pp_stats r.stats Budget.pp_status r.status
     (fun ppf -> function
       | [] -> ()
@@ -286,3 +314,12 @@ let pp_report ppf (r : report) =
           Format.fprintf ppf "@ @ static lints:@ %a" Cobegin_static.Lint.pp
             static)
     r.static
+    (fun ppf -> function
+      | [] -> ()
+      | telemetry ->
+          Format.fprintf ppf "@ @ telemetry (stage wall seconds):";
+          List.iter
+            (fun (name, dur) ->
+              Format.fprintf ppf "@   %-14s %.6f" name dur)
+            telemetry)
+    r.telemetry

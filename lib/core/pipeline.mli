@@ -58,6 +58,7 @@ val budget_of_options : options -> Budget.t
 type exploration_stats = {
   configurations : int;
   transitions : int;  (** 0 for abstract engines *)
+  max_frontier : int;  (** peak worklist size during the engine run *)
   finals : int;
   deadlocks : int;  (** 0 for abstract engines *)
   errors : int;
@@ -90,6 +91,9 @@ type report = {
   static : Cobegin_static.Lint.result option;
       (** when [lint] was set; the lints run before exploration and are
           not governed by the budget *)
+  telemetry : (string * float) list;
+      (** wall seconds per pipeline stage, in completion order; empty
+          unless a span recorder was passed to {!analyze} *)
 }
 
 val load_source : string -> Ast.program
@@ -102,16 +106,34 @@ val load_source : string -> Ast.program
 val load_file : string -> Ast.program
 
 val analyze :
-  ?options:options -> ?stage_hook:(string -> unit) -> Ast.program -> report
+  ?options:options ->
+  ?stage_hook:(string -> unit) ->
+  ?spans:Cobegin_obs.Span.t ->
+  ?probe:Cobegin_obs.Probe.t ->
+  Ast.program ->
+  report
 (** Run the pipeline.  Never raises on budget exhaustion — check
     [report.status] — and never aborts on an analysis-stage crash —
     check [report.stage_failures].  [stage_hook] is called with each
     stage's name just before the stage body runs; an exception it
     raises is attributed to that stage (a fault-injection seam used by
-    the tests). *)
+    the tests).
+
+    Telemetry: when [spans] is given, every stage runs under a
+    wall-clock span named after it, and [report.telemetry] lists the
+    per-stage durations of this call (a reusable recorder keeps earlier
+    events for trace export but they do not leak into the report).
+    When [probe] is given the engines and the race scan tick it once
+    per worklist pop, and the pipeline attaches its budget so heartbeat
+    samples report headroom. *)
 
 val analyze_source :
-  ?options:options -> ?stage_hook:(string -> unit) -> string -> report
+  ?options:options ->
+  ?stage_hook:(string -> unit) ->
+  ?spans:Cobegin_obs.Span.t ->
+  ?probe:Cobegin_obs.Probe.t ->
+  string ->
+  report
 
 val parallelization : report -> Parallelize.report
 (** Shasha–Snir conflict/delay/parallelization report for programs whose

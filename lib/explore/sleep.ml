@@ -20,6 +20,12 @@
 
 open Cobegin_semantics
 module LS = Value.LocSet
+module Metrics = Cobegin_obs.Metrics
+module Probe = Cobegin_obs.Probe
+
+(* Telemetry: transitions skipped because the process slept.  No-op (one
+   branch) while telemetry is disabled. *)
+let m_pruned = Metrics.counter "sleep.pruned"
 
 (* Independence of two concrete footprints: no location conflicts. *)
 let independent (f1 : Step.footprint) (f2 : Step.footprint) =
@@ -38,7 +44,8 @@ let new_stats () = { pruned_by_sleep = 0; explored_transitions = 0 }
    revisit with a *smaller* sleep set must be re-expanded (standard sleep
    set algorithm), which we approximate by re-expanding when the recorded
    set is not a subset of the new one. *)
-let explore ?(max_configs = 1_000_000) ?budget ?stats ctx : Space.result =
+let explore ?(max_configs = 1_000_000) ?budget ?probe ?stats ctx :
+    Space.result =
   let budget =
     match budget with Some b -> b | None -> Budget.create ~max_configs ()
   in
@@ -65,6 +72,12 @@ let explore ?(max_configs = 1_000_000) ?budget ?stats ctx : Space.result =
     with
     | Some r -> stop := Some r
     | None -> (
+    (match probe with
+    | None -> ()
+    | Some p ->
+        Probe.tick p
+          ~configurations:(Space.ConfigTbl.length visited)
+          ~frontier:(Queue.length queue) ~transitions:!transitions);
     max_frontier := max !max_frontier (Queue.length queue);
     let c, sleep = Queue.pop queue in
     if Config.is_error c then errors := c :: !errors
@@ -84,6 +97,8 @@ let explore ?(max_configs = 1_000_000) ?budget ?stats ctx : Space.result =
               s.pruned_by_sleep <-
                 s.pruned_by_sleep + (List.length chosen - List.length awake))
             stats;
+          if Metrics.enabled () then
+            Metrics.add m_pruned (List.length chosen - List.length awake);
           (* if everything chosen is asleep the state is fully covered by
              earlier permutations: nothing to do *)
           let footprints =

@@ -23,8 +23,10 @@ val independent : Step.footprint -> Step.footprint -> bool
 val explore :
   ?max_configs:int ->
   ?budget:Budget.t ->
+  ?probe:Cobegin_obs.Probe.t ->
   ?stats:stats ->
   Step.ctx ->
   Space.result
 (** Persistent-set + sleep-set exploration.  Stops cleanly at budget
-    exhaustion and returns the partial result (see {!Space.explore}). *)
+    exhaustion and returns the partial result (see {!Space.explore});
+    [probe] is ticked once per worklist pop. *)

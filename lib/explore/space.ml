@@ -12,6 +12,17 @@
        the input of the section-5 analyses.  *)
 
 open Cobegin_semantics
+module Metrics = Cobegin_obs.Metrics
+module Probe = Cobegin_obs.Probe
+
+(* Telemetry handles: process-global, shared with Sleep (same loop
+   shape) and no-ops (one branch) while telemetry is disabled. *)
+let m_expansions = Metrics.counter "space.expansions"
+let m_transitions = Metrics.counter "space.transitions"
+let m_digest_hits = Metrics.counter "space.digest_hits"
+let m_admitted = Metrics.counter "space.admitted"
+let g_frontier = Metrics.gauge "space.frontier"
+let g_visited = Metrics.gauge "space.visited"
 
 type stats = {
   configurations : int;
@@ -54,7 +65,7 @@ end
    subset of the enabled processes, and must be non-empty whenever some
    process is enabled.  Exhausting the budget stops the generation
    cleanly: everything visited so far is returned, tagged truncated. *)
-let explore ?(max_configs = 1_000_000) ?budget ctx ~expand : result =
+let explore ?(max_configs = 1_000_000) ?budget ?probe ctx ~expand : result =
   let budget =
     match budget with Some b -> b | None -> Budget.create ~max_configs ()
   in
@@ -74,6 +85,17 @@ let explore ?(max_configs = 1_000_000) ?budget ctx ~expand : result =
     with
     | Some r -> stop := Some r
     | None -> (
+        (match probe with
+        | None -> ()
+        | Some p ->
+            Probe.tick p
+              ~configurations:(ConfigTbl.length visited)
+              ~frontier:(Queue.length queue) ~transitions:!transitions);
+        Metrics.incr m_expansions;
+        if Metrics.enabled () then begin
+          Metrics.set g_frontier (Queue.length queue);
+          Metrics.set g_visited (ConfigTbl.length visited)
+        end;
         max_frontier := max !max_frontier (Queue.length queue);
         let c = Queue.pop queue in
         if Config.is_error c then errors := c :: !errors
@@ -89,17 +111,21 @@ let explore ?(max_configs = 1_000_000) ?budget ctx ~expand : result =
                 | [] -> ()
                 | p :: rest ->
                     incr transitions;
+                    Metrics.incr m_transitions;
                     let c', evs = Step.fire ctx c p in
                     accesses := evs.Step.accesses :: !accesses;
                     allocs := evs.Step.allocs :: !allocs;
                     let d' = Config.digest c' in
-                    (if not (ConfigTbl.mem_digest visited d') then
+                    (if ConfigTbl.mem_digest visited d' then
+                       Metrics.incr m_digest_hits
+                     else
                        match
                          Budget.config_guard budget
                            ~configs:(ConfigTbl.length visited)
                        with
                        | Some r -> stop := Some r
                        | None ->
+                           Metrics.incr m_admitted;
                            ConfigTbl.add_digest visited d' ();
                            Queue.add c' queue);
                     if !stop = None then fire_each rest
@@ -128,8 +154,8 @@ let explore ?(max_configs = 1_000_000) ?budget ctx ~expand : result =
   }
 
 (* Ordinary (full interleaving) generation. *)
-let full ?max_configs ?budget ctx =
-  explore ?max_configs ?budget ctx ~expand:(fun c ->
+let full ?max_configs ?budget ?probe ctx =
+  explore ?max_configs ?budget ?probe ctx ~expand:(fun c ->
       Step.enabled_processes ctx c)
 
 (* Canonical multiset of final stores, for strategy comparisons. *)

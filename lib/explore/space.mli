@@ -51,6 +51,7 @@ end
 val explore :
   ?max_configs:int ->
   ?budget:Budget.t ->
+  ?probe:Cobegin_obs.Probe.t ->
   Step.ctx ->
   expand:(Config.t -> Proc.t list) ->
   result
@@ -60,9 +61,16 @@ val explore :
     process is enabled.  When [budget] is given it governs the run
     ([max_configs] is then ignored); otherwise [max_configs] (default
     one million) bounds the visited set.  Never raises on exhaustion:
-    the partial result comes back with [status = Truncated _]. *)
+    the partial result comes back with [status = Truncated _].  When
+    [probe] is given it is ticked once per worklist pop — the same
+    cadence as [Budget.check] — so long runs emit live progress. *)
 
-val full : ?max_configs:int -> ?budget:Budget.t -> Step.ctx -> result
+val full :
+  ?max_configs:int ->
+  ?budget:Budget.t ->
+  ?probe:Cobegin_obs.Probe.t ->
+  Step.ctx ->
+  result
 (** Ordinary (full interleaving) generation. *)
 
 val final_store_reprs : result -> (Value.loc * Value.t) list list

@@ -21,6 +21,14 @@
    collapses the interleaving of local prefixes entirely. *)
 
 open Cobegin_semantics
+module Metrics = Cobegin_obs.Metrics
+
+(* Telemetry: size distribution of the chosen persistent sets, plus the
+   totals the reduction ratio is computed from.  No-ops (one branch)
+   while telemetry is disabled. *)
+let h_set_size = Metrics.histogram "stubborn.set_size"
+let m_enabled_total = Metrics.counter "stubborn.enabled_total"
+let m_chosen_total = Metrics.counter "stubborn.chosen_total"
 
 type reduction_stats = {
   mutable singleton_expansions : int; (* steps where one process sufficed *)
@@ -47,6 +55,11 @@ let choose_expansion ?stats mctx ctx (c : Config.t) : Proc.t list =
   | [ _ ] ->
       Option.iter (fun s -> s.singleton_expansions <- s.singleton_expansions + 1)
         stats;
+      if Metrics.enabled () then begin
+        Metrics.observe h_set_size 1;
+        Metrics.add m_enabled_total 1;
+        Metrics.add m_chosen_total 1
+      end;
       enabled
   | _ ->
       let procs = Array.of_list (Config.processes c) in
@@ -152,10 +165,15 @@ let choose_expansion ?stats mctx ctx (c : Config.t) : Proc.t list =
             s.singleton_expansions <- s.singleton_expansions + 1
           else s.component_expansions <- s.component_expansions + 1)
         stats;
+      if Metrics.enabled () then begin
+        Metrics.observe h_set_size (List.length chosen);
+        Metrics.add m_enabled_total (List.length enabled);
+        Metrics.add m_chosen_total (List.length chosen)
+      end;
       chosen
 
 (* Stubborn-set exploration of a program. *)
-let explore ?max_configs ?budget ?stats ctx : Space.result =
+let explore ?max_configs ?budget ?probe ?stats ctx : Space.result =
   let mctx = Mayaccess.make_ctx ctx.Step.prog in
-  Space.explore ?max_configs ?budget ctx
+  Space.explore ?max_configs ?budget ?probe ctx
     ~expand:(choose_expansion ?stats mctx ctx)

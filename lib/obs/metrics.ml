@@ -1,0 +1,199 @@
+(* Process-global registry of named counters, gauges and log-scale
+   histograms.  Handles are created once (module-initialization time in
+   the engines) and mutated from hot loops; every mutation is guarded by
+   a single flag test, so with telemetry disabled a hot loop pays one
+   predictable branch and allocates nothing. *)
+
+type counter = { c_name : string; mutable c_value : int }
+type gauge = { g_name : string; mutable g_value : int }
+
+(* Log-scale buckets: bucket 0 holds values <= 0, bucket b >= 1 holds
+   [2^(b-1), 2^b).  63 buckets cover the whole int range. *)
+let num_buckets = 64
+
+type histogram = {
+  h_name : string;
+  h_buckets : int array;
+  mutable h_count : int;
+  mutable h_sum : int;
+  mutable h_max : int;
+}
+
+let enabled_flag = ref false
+let enabled () = !enabled_flag
+let set_enabled b = enabled_flag := b
+
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 32
+let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 32
+let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 32
+
+let counter name =
+  match Hashtbl.find_opt counters name with
+  | Some c -> c
+  | None ->
+      let c = { c_name = name; c_value = 0 } in
+      Hashtbl.replace counters name c;
+      c
+
+let gauge name =
+  match Hashtbl.find_opt gauges name with
+  | Some g -> g
+  | None ->
+      let g = { g_name = name; g_value = 0 } in
+      Hashtbl.replace gauges name g;
+      g
+
+let histogram name =
+  match Hashtbl.find_opt histograms name with
+  | Some h -> h
+  | None ->
+      let h =
+        {
+          h_name = name;
+          h_buckets = Array.make num_buckets 0;
+          h_count = 0;
+          h_sum = 0;
+          h_max = 0;
+        }
+      in
+      Hashtbl.replace histograms name h;
+      h
+
+let incr c = if !enabled_flag then c.c_value <- c.c_value + 1
+
+let add c n =
+  if n < 0 then invalid_arg "Metrics.add: counters are monotonic";
+  if !enabled_flag then c.c_value <- c.c_value + n
+
+let counter_value c = c.c_value
+let set g v = if !enabled_flag then g.g_value <- v
+let gauge_value g = g.g_value
+
+let bucket_of v =
+  if v <= 0 then 0
+  else begin
+    let n = ref v and bits = ref 0 in
+    while !n <> 0 do
+      n := !n lsr 1;
+      Stdlib.incr bits
+    done;
+    min (num_buckets - 1) !bits
+  end
+
+let bucket_lower b = if b = 0 then 0 else 1 lsl (b - 1)
+
+let observe h v =
+  if !enabled_flag then begin
+    let b = bucket_of v in
+    h.h_buckets.(b) <- h.h_buckets.(b) + 1;
+    h.h_count <- h.h_count + 1;
+    h.h_sum <- h.h_sum + v;
+    if v > h.h_max then h.h_max <- v
+  end
+
+(* --- snapshots --- *)
+
+type histogram_snapshot = {
+  hs_count : int;
+  hs_sum : int;
+  hs_max : int;
+  hs_buckets : (int * int) list; (* (bucket lower bound, count), sparse *)
+}
+
+type snapshot = {
+  s_counters : (string * int) list;
+  s_gauges : (string * int) list;
+  s_histograms : (string * histogram_snapshot) list;
+}
+
+let by_name (a, _) (b, _) = String.compare a b
+
+let snapshot () =
+  let cs =
+    Hashtbl.fold (fun n c acc -> (n, c.c_value) :: acc) counters []
+    |> List.sort by_name
+  in
+  let gs =
+    Hashtbl.fold (fun n g acc -> (n, g.g_value) :: acc) gauges []
+    |> List.sort by_name
+  in
+  let hs =
+    Hashtbl.fold
+      (fun n h acc ->
+        let buckets = ref [] in
+        for b = num_buckets - 1 downto 0 do
+          if h.h_buckets.(b) > 0 then
+            buckets := (bucket_lower b, h.h_buckets.(b)) :: !buckets
+        done;
+        ( n,
+          {
+            hs_count = h.h_count;
+            hs_sum = h.h_sum;
+            hs_max = h.h_max;
+            hs_buckets = !buckets;
+          } )
+        :: acc)
+      histograms []
+    |> List.sort by_name
+  in
+  { s_counters = cs; s_gauges = gs; s_histograms = hs }
+
+(* Zero every value; registrations (and handles already held by the
+   engines) stay valid. *)
+let reset () =
+  Hashtbl.iter (fun _ c -> c.c_value <- 0) counters;
+  Hashtbl.iter (fun _ g -> g.g_value <- 0) gauges;
+  Hashtbl.iter
+    (fun _ h ->
+      Array.fill h.h_buckets 0 num_buckets 0;
+      h.h_count <- 0;
+      h.h_sum <- 0;
+      h.h_max <- 0)
+    histograms
+
+let to_json (s : snapshot) =
+  let buf = Buffer.create 1024 in
+  let fields kind emit entries =
+    Buffer.add_string buf kind;
+    Buffer.add_string buf ":{";
+    List.iteri
+      (fun i (name, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Obs_json.escape_into buf name;
+        Buffer.add_char buf ':';
+        emit v)
+      entries;
+    Buffer.add_char buf '}'
+  in
+  Buffer.add_char buf '{';
+  fields "\"counters\"" (fun v -> Buffer.add_string buf (string_of_int v))
+    s.s_counters;
+  Buffer.add_char buf ',';
+  fields "\"gauges\"" (fun v -> Buffer.add_string buf (string_of_int v))
+    s.s_gauges;
+  Buffer.add_char buf ',';
+  fields "\"histograms\""
+    (fun h ->
+      Printf.bprintf buf "{\"count\":%d,\"sum\":%d,\"max\":%d,\"buckets\":{"
+        h.hs_count h.hs_sum h.hs_max;
+      List.iteri
+        (fun i (lower, n) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Printf.bprintf buf "\"%d\":%d" lower n)
+        h.hs_buckets;
+      Buffer.add_string buf "}}")
+    s.s_histograms;
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+let pp ppf (s : snapshot) =
+  let line name v = Format.fprintf ppf "@ %-32s %d" name v in
+  Format.fprintf ppf "@[<v>";
+  List.iter (fun (n, v) -> line n v) s.s_counters;
+  List.iter (fun (n, v) -> line n v) s.s_gauges;
+  List.iter
+    (fun (n, h) ->
+      Format.fprintf ppf "@ %-32s count=%d sum=%d max=%d" n h.hs_count
+        h.hs_sum h.hs_max)
+    s.s_histograms;
+  Format.fprintf ppf "@]"

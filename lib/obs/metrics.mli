@@ -1,0 +1,77 @@
+(** Process-global registry of named counters, gauges and log-scale
+    histograms.
+
+    Engines create handles once (at module-initialization time) with
+    {!counter}/{!gauge}/{!histogram} — creation is memoized by name, so
+    the same name always yields the same handle, including across
+    functor instantiations — and mutate them from hot loops with
+    {!incr}/{!add}/{!set}/{!observe}.  Every mutation is guarded by one
+    flag test: with telemetry disabled (the default) a hot loop pays a
+    single predictable branch per call site and allocates nothing.
+
+    The registry is process-global on purpose: it matches the
+    process-wide intern pools and visited sets it instruments, and it
+    lets [coanalyze --metrics] collect everything the run touched
+    without threading a context through every engine. *)
+
+type counter
+type gauge
+type histogram
+
+val enabled : unit -> bool
+
+val set_enabled : bool -> unit
+(** Telemetry master switch; starts disabled. *)
+
+val counter : string -> counter
+(** Find or create the counter registered under this name. *)
+
+val gauge : string -> gauge
+val histogram : string -> histogram
+
+val incr : counter -> unit
+(** One branch when disabled. *)
+
+val add : counter -> int -> unit
+(** Counters are monotonic.
+    @raise Invalid_argument on a negative increment (even disabled). *)
+
+val counter_value : counter -> int
+val set : gauge -> int -> unit
+val gauge_value : gauge -> int
+
+val observe : histogram -> int -> unit
+(** Log-scale bucketing: values [<= 0] land in bucket 0; value [v > 0]
+    lands in the bucket whose lower bound is the largest power of two
+    [<= v]. *)
+
+val bucket_of : int -> int
+val bucket_lower : int -> int
+(** Exposed for tests: [bucket_lower (bucket_of v) <= v] for [v > 0]. *)
+
+type histogram_snapshot = {
+  hs_count : int;
+  hs_sum : int;
+  hs_max : int;
+  hs_buckets : (int * int) list;
+      (** (bucket lower bound, count), ascending, empty buckets
+          omitted *)
+}
+
+type snapshot = {
+  s_counters : (string * int) list;  (** sorted by name *)
+  s_gauges : (string * int) list;
+  s_histograms : (string * histogram_snapshot) list;
+}
+
+val snapshot : unit -> snapshot
+(** Every registered instrument, values as of now, sorted by name. *)
+
+val reset : unit -> unit
+(** Zero every value.  Handles already held by engines stay valid. *)
+
+val to_json : snapshot -> string
+(** One JSON object:
+    [{"counters":{..},"gauges":{..},"histograms":{..}}]. *)
+
+val pp : Format.formatter -> snapshot -> unit

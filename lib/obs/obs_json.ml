@@ -1,0 +1,32 @@
+(* Minimal JSON emission helpers shared by the telemetry sinks.  The
+   subsystem emits JSON but never parses it, so a Buffer-based escaper
+   is all we need — no external dependency. *)
+
+let escape_into buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let string s =
+  let buf = Buffer.create (String.length s + 2) in
+  escape_into buf s;
+  Buffer.contents buf
+
+(* Floats must stay valid JSON: no [nan], no [inf], and always a
+   leading digit (printf %g already guarantees that). *)
+let float f =
+  if Float.is_nan f then "0"
+  else if f = Float.infinity then "1e308"
+  else if f = Float.neg_infinity then "-1e308"
+  else Printf.sprintf "%.6g" f

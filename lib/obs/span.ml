@@ -1,0 +1,100 @@
+(* Nestable wall-clock spans.  A recorder keeps a stack of open spans
+   (each new span's parent is the span below it) and a list of completed
+   events; the export is Chrome trace-event JSON, loadable in
+   chrome://tracing and Perfetto.
+
+   The clock is injectable so tests can drive a deterministic one;
+   timestamps are relative to the recorder's creation. *)
+
+type event = {
+  ev_name : string;
+  ev_id : int;
+  ev_parent : int; (* -1 for a root span *)
+  ev_start : float; (* seconds since recorder creation *)
+  ev_dur : float; (* seconds *)
+}
+
+type span = int
+
+type t = {
+  clock : unit -> float;
+  t0 : float;
+  mutable next_id : int;
+  mutable open_spans : (int * string * float) list; (* innermost first *)
+  mutable completed : event list; (* reverse completion order *)
+  mutable n_completed : int;
+}
+
+let create ?(clock = Unix.gettimeofday) () =
+  {
+    clock;
+    t0 = clock ();
+    next_id = 0;
+    open_spans = [];
+    completed = [];
+    n_completed = 0;
+  }
+
+let enter t name =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  t.open_spans <- (id, name, t.clock () -. t.t0) :: t.open_spans;
+  id
+
+(* Closing a span also closes any span still open inside it (tolerant
+   of mismatched nesting); exiting a span that is not open is a no-op. *)
+let exit t id =
+  if List.exists (fun (id', _, _) -> id' = id) t.open_spans then begin
+    let now = t.clock () -. t.t0 in
+    let rec pop = function
+      | [] -> []
+      | (id', name, start) :: rest ->
+          let parent = match rest with (p, _, _) :: _ -> p | [] -> -1 in
+          t.completed <-
+            {
+              ev_name = name;
+              ev_id = id';
+              ev_parent = parent;
+              ev_start = start;
+              ev_dur = now -. start;
+            }
+            :: t.completed;
+          t.n_completed <- t.n_completed + 1;
+          if id' = id then rest else pop rest
+    in
+    t.open_spans <- pop t.open_spans
+  end
+
+let with_span t name f =
+  let s = enter t name in
+  Fun.protect ~finally:(fun () -> exit t s) f
+
+let events t = List.rev t.completed
+let event_count t = t.n_completed
+let durations t = List.map (fun ev -> (ev.ev_name, ev.ev_dur)) (events t)
+
+(* Chrome trace-event format: complete ("ph":"X") events, microsecond
+   timestamps.  The parent id rides in "args" — the viewers nest by
+   time inclusion, tools can use the explicit link. *)
+let to_trace_json t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  List.iteri
+    (fun i ev ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf "{\"name\":";
+      Obs_json.escape_into buf ev.ev_name;
+      Printf.bprintf buf
+        ",\"cat\":\"cobegin\",\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":%s,\"dur\":%s,\"args\":{\"id\":%d,\"parent\":%d}}"
+        (Obs_json.float (ev.ev_start *. 1e6))
+        (Obs_json.float (ev.ev_dur *. 1e6))
+        ev.ev_id ev.ev_parent)
+    (events t);
+  Buffer.add_string buf "]}";
+  Buffer.contents buf
+
+let write_trace t path =
+  let oc = open_out path in
+  output_string oc (to_trace_json t);
+  output_char oc '\n';
+  close_out oc

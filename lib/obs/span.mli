@@ -1,0 +1,51 @@
+(** Nestable wall-clock spans, exported as Chrome trace-event JSON.
+
+    A recorder ({!t}) keeps a stack of open spans; each {!enter} links
+    the new span to the one currently innermost, so the export carries a
+    thread of parent ids.  {!to_trace_json} produces the trace-event
+    format loadable in [chrome://tracing] and Perfetto.
+
+    The clock is injectable ({!create}) so tests drive a deterministic
+    one; timestamps are relative to the recorder's creation. *)
+
+type t
+(** A span recorder. *)
+
+type span
+(** An open span handle. *)
+
+type event = {
+  ev_name : string;
+  ev_id : int;  (** ids are sequential in {!enter} order *)
+  ev_parent : int;  (** the enclosing span's id, or [-1] for a root *)
+  ev_start : float;  (** seconds since recorder creation *)
+  ev_dur : float;  (** seconds *)
+}
+
+val create : ?clock:(unit -> float) -> unit -> t
+(** Default clock: [Unix.gettimeofday]. *)
+
+val enter : t -> string -> span
+
+val exit : t -> span -> unit
+(** Closes the span and anything still open inside it.  Exiting a span
+    that is not open is a no-op. *)
+
+val with_span : t -> string -> (unit -> 'a) -> 'a
+(** [enter]/[exit] around [f], exception-safe. *)
+
+val events : t -> event list
+(** Completed spans, in completion order. *)
+
+val event_count : t -> int
+
+val durations : t -> (string * float) list
+(** [(name, seconds)] of the completed spans, completion order. *)
+
+val to_trace_json : t -> string
+(** The completed spans as one Chrome trace-event JSON object
+    ([{"traceEvents":[...]}]); timestamps and durations in
+    microseconds, complete ("ph":"X") events. *)
+
+val write_trace : t -> string -> unit
+(** [write_trace t path] writes {!to_trace_json} to [path]. *)

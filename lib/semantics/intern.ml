@@ -8,6 +8,12 @@
    "changed components only". *)
 
 module H = Cobegin_hash
+module Metrics = Cobegin_obs.Metrics
+
+(* Telemetry: hit rate of the physical-identity memo in front of the
+   pools.  No-ops (one branch) while telemetry is disabled. *)
+let m_memo_hits = Metrics.counter "intern.memo_hits"
+let m_memo_misses = Metrics.counter "intern.memo_misses"
 
 module CounterMap = Map.Make (struct
   type t = Value.pid * int (* (pid, site) *)
@@ -117,24 +123,33 @@ let global () = Lazy.force the_global
 
 let proc_id st (p : Proc.t) =
   match H.Phys_memo.find st.proc_memo p with
-  | Some id -> id
+  | Some id ->
+      Metrics.incr m_memo_hits;
+      id
   | None ->
+      Metrics.incr m_memo_misses;
       let id = Proc_pool.intern st.procs (Proc.repr p) in
       H.Phys_memo.add st.proc_memo p id;
       id
 
 let store_id st (s : Store.t) =
   match H.Phys_memo.find st.store_memo s with
-  | Some id -> id
+  | Some id ->
+      Metrics.incr m_memo_hits;
+      id
   | None ->
+      Metrics.incr m_memo_misses;
       let id = Store_pool.intern st.stores (Store.repr s) in
       H.Phys_memo.add st.store_memo s id;
       id
 
 let counters_id st (m : int CounterMap.t) =
   match H.Phys_memo.find st.counter_memo m with
-  | Some id -> id
+  | Some id ->
+      Metrics.incr m_memo_hits;
+      id
   | None ->
+      Metrics.incr m_memo_misses;
       let id = Counter_pool.intern st.counters (CounterMap.bindings m) in
       H.Phys_memo.add st.counter_memo m id;
       id

@@ -139,6 +139,64 @@ let status_tests =
           (Budget.status_to_string (Budget.Truncated (Budget.Configs 3))));
   ]
 
+let snapshot_tests =
+  [
+    case "one headroom entry per configured limit" (fun () ->
+        let b = Budget.create ~max_configs:100 ~max_transitions:50 () in
+        let hs = Budget.snapshot b ~configs:10 ~transitions:20 in
+        check_int "two entries" 2 (List.length hs);
+        let by r =
+          List.find (fun h -> h.Budget.h_reason = r) hs
+        in
+        let c = by (Budget.Configs 100) in
+        check_bool "configs consumed" true (c.Budget.h_consumed = 10.);
+        check_bool "configs limit" true (c.Budget.h_limit = 100.);
+        let t = by (Budget.Transitions 50) in
+        check_bool "transitions consumed" true (t.Budget.h_consumed = 20.);
+        check_bool "transitions limit" true (t.Budget.h_limit = 50.));
+    case "unlimited budget has empty headroom" (fun () ->
+        check_int "no entries" 0
+          (List.length
+             (Budget.snapshot (Budget.unlimited ()) ~configs:1_000_000
+                ~transitions:1_000_000)));
+    case "counter entries saturate exactly when check fires" (fun () ->
+        let b = Budget.create ~max_configs:100 () in
+        List.iter
+          (fun configs ->
+            let h =
+              List.hd (Budget.snapshot b ~configs ~transitions:0)
+            in
+            let saturated = h.Budget.h_consumed >= h.Budget.h_limit in
+            let fires = Budget.check b ~configs ~transitions:0 <> None in
+            check_bool
+              (Printf.sprintf "agree at %d configs" configs)
+              fires saturated)
+          [ 0; 99; 100; 101 ]);
+    case "deadline entry tracks the wall clock" (fun () ->
+        let b = Budget.create ~timeout_s:3600.0 () in
+        let hs = Budget.snapshot b ~configs:0 ~transitions:0 in
+        match hs with
+        | [ h ] ->
+            (match h.Budget.h_reason with
+            | Budget.Deadline _ -> ()
+            | _ -> Alcotest.fail "expected a deadline entry");
+            check_bool "limit is the timeout" true
+              (h.Budget.h_limit = 3600.0);
+            check_bool "barely consumed" true
+              (h.Budget.h_consumed >= 0. && h.Budget.h_consumed < 60.)
+        | _ -> Alcotest.fail "expected exactly the deadline entry");
+    case "reason labels are stable" (fun () ->
+        List.iter
+          (fun (r, l) -> check_string l l (Budget.reason_label r))
+          [
+            (Budget.Configs 1, "configs");
+            (Budget.Transitions 1, "transitions");
+            (Budget.Deadline 1.0, "deadline_s");
+            (Budget.Heap_words 1, "heap_words");
+            (Budget.Fuel 1, "fuel");
+          ]);
+  ]
+
 let suite =
   truncation_tests @ monotonicity_tests @ deadline_tests
-  @ stage_isolation_tests @ status_tests
+  @ stage_isolation_tests @ status_tests @ snapshot_tests

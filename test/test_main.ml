@@ -17,4 +17,5 @@ let () =
       ("static", Test_static.suite);
       ("apps", Test_apps.suite);
       ("pipeline", Test_pipeline.suite);
+      ("obs", Test_obs.suite);
     ]

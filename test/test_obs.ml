@@ -1,0 +1,426 @@
+(* Telemetry (lib/obs): spans nest and export valid Chrome trace JSON,
+   counters are monotone and reset cleanly, histograms bucket on the
+   log scale, probes fire on the configured cadence under a fake clock,
+   and — the contract the engines rely on — everything is a cheap no-op
+   while telemetry is disabled. *)
+
+open Helpers
+module Metrics = Cobegin_obs.Metrics
+module Span = Cobegin_obs.Span
+module Probe = Cobegin_obs.Probe
+
+(* A minimal JSON validity checker (the container ships no JSON
+   library): recursive descent over the grammar, accepting iff the whole
+   input is one well-formed value. *)
+let json_valid (s : string) : bool =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let skip_ws () =
+    while
+      !pos < n
+      && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      incr pos
+    done
+  in
+  let fail = ref false in
+  let expect c =
+    if !pos < n && s.[!pos] = c then incr pos else fail := true
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' -> obj ()
+    | Some '[' -> arr ()
+    | Some '"' -> str ()
+    | Some ('t' | 'f' | 'n') -> keyword ()
+    | Some ('-' | '0' .. '9') -> number ()
+    | _ -> fail := true
+  and obj () =
+    expect '{';
+    skip_ws ();
+    if peek () = Some '}' then incr pos
+    else begin
+      let continue = ref true in
+      while !continue && not !fail do
+        skip_ws ();
+        str ();
+        skip_ws ();
+        expect ':';
+        value ();
+        skip_ws ();
+        match peek () with
+        | Some ',' -> incr pos
+        | Some '}' ->
+            incr pos;
+            continue := false
+        | _ ->
+            fail := true;
+            continue := false
+      done
+    end
+  and arr () =
+    expect '[';
+    skip_ws ();
+    if peek () = Some ']' then incr pos
+    else begin
+      let continue = ref true in
+      while !continue && not !fail do
+        value ();
+        skip_ws ();
+        match peek () with
+        | Some ',' -> incr pos
+        | Some ']' ->
+            incr pos;
+            continue := false
+        | _ ->
+            fail := true;
+            continue := false
+      done
+    end
+  and str () =
+    expect '"';
+    let closed = ref false in
+    while (not !closed) && not !fail do
+      if !pos >= n then fail := true
+      else
+        match s.[!pos] with
+        | '"' ->
+            incr pos;
+            closed := true
+        | '\\' -> pos := !pos + 2
+        | c when Char.code c < 0x20 -> fail := true
+        | _ -> incr pos
+    done
+  and keyword () =
+    let kw w =
+      if !pos + String.length w <= n && String.sub s !pos (String.length w) = w
+      then pos := !pos + String.length w
+      else fail := true
+    in
+    match peek () with
+    | Some 't' -> kw "true"
+    | Some 'f' -> kw "false"
+    | _ -> kw "null"
+  and number () =
+    if peek () = Some '-' then incr pos;
+    let digits = ref 0 in
+    let eat_digits () =
+      while
+        !pos < n && match s.[!pos] with '0' .. '9' -> true | _ -> false
+      do
+        incr pos;
+        incr digits
+      done
+    in
+    eat_digits ();
+    if !digits = 0 then fail := true;
+    if peek () = Some '.' then begin
+      incr pos;
+      digits := 0;
+      eat_digits ();
+      if !digits = 0 then fail := true
+    end;
+    match peek () with
+    | Some ('e' | 'E') ->
+        incr pos;
+        (match peek () with Some ('+' | '-') -> incr pos | _ -> ());
+        digits := 0;
+        eat_digits ();
+        if !digits = 0 then fail := true
+    | _ -> ()
+  in
+  value ();
+  skip_ws ();
+  (not !fail) && !pos = n
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec at i = i + nn <= nh && (String.sub haystack i nn = needle || at (i + 1)) in
+  at 0
+
+(* Run [f] with telemetry enabled and fresh values, restoring the
+   disabled default afterwards so other suites see pristine state. *)
+let with_metrics f =
+  Metrics.reset ();
+  Metrics.set_enabled true;
+  Fun.protect ~finally:(fun () ->
+      Metrics.set_enabled false;
+      Metrics.reset ())
+    f
+
+let span_tests =
+  [
+    case "spans nest: parent ids follow the open stack" (fun () ->
+        let now = ref 0.0 in
+        let t = Span.create ~clock:(fun () -> !now) () in
+        let outer = Span.enter t "outer" in
+        now := 1.0;
+        let inner = Span.enter t "inner" in
+        now := 2.0;
+        Span.exit t inner;
+        now := 5.0;
+        Span.exit t outer;
+        let evs = Span.events t in
+        check_int "two events" 2 (List.length evs);
+        let inner_ev = List.nth evs 0 and outer_ev = List.nth evs 1 in
+        check_string "inner first (completion order)" "inner"
+          inner_ev.Span.ev_name;
+        check_string "outer second" "outer" outer_ev.Span.ev_name;
+        check_int "inner's parent is outer" outer_ev.Span.ev_id
+          inner_ev.Span.ev_parent;
+        check_int "outer is a root" (-1) outer_ev.Span.ev_parent;
+        check_bool "inner duration" true (inner_ev.Span.ev_dur = 1.0);
+        check_bool "outer duration" true (outer_ev.Span.ev_dur = 5.0));
+    case "exit closes the spans still open inside" (fun () ->
+        let now = ref 0.0 in
+        let t = Span.create ~clock:(fun () -> !now) () in
+        let outer = Span.enter t "outer" in
+        let _inner = Span.enter t "inner" in
+        now := 3.0;
+        Span.exit t outer;
+        check_int "both completed" 2 (Span.event_count t);
+        (* closing again is a no-op *)
+        Span.exit t outer;
+        check_int "still two" 2 (Span.event_count t));
+    case "with_span records even when f raises" (fun () ->
+        let t = Span.create ~clock:(fun () -> 0.0) () in
+        (try Span.with_span t "boom" (fun () -> failwith "x")
+         with Failure _ -> ());
+        check_int "recorded" 1 (Span.event_count t);
+        check_string "named" "boom"
+          (List.hd (Span.events t)).Span.ev_name);
+    case "trace export is valid JSON carrying every span" (fun () ->
+        let now = ref 0.0 in
+        let t = Span.create ~clock:(fun () -> !now) () in
+        Span.with_span t "parse \"quoted\"" (fun () ->
+            now := 0.5;
+            Span.with_span t "explore" (fun () -> now := 1.5));
+        let json = Span.to_trace_json t in
+        check_bool "valid JSON" true (json_valid json);
+        check_bool "has traceEvents" true (contains json "\"traceEvents\"");
+        List.iter
+          (fun name -> check_bool name true (contains json name))
+          [ "explore"; "ph" ]);
+    case "durations lists completed spans in completion order" (fun () ->
+        let now = ref 0.0 in
+        let t = Span.create ~clock:(fun () -> !now) () in
+        Span.with_span t "a" (fun () -> now := 2.0);
+        Span.with_span t "b" (fun () -> now := 3.0);
+        match Span.durations t with
+        | [ ("a", da); ("b", db) ] ->
+            check_bool "a took 2s" true (da = 2.0);
+            check_bool "b took 1s" true (db = 1.0)
+        | _ -> Alcotest.fail "wrong shape");
+  ]
+
+let metrics_tests =
+  [
+    case "counters are monotone and reset to zero" (fun () ->
+        with_metrics (fun () ->
+            let c = Metrics.counter "test.counter" in
+            Metrics.incr c;
+            Metrics.incr c;
+            Metrics.add c 3;
+            check_int "5 after 2 incr + add 3" 5 (Metrics.counter_value c);
+            (try
+               Metrics.add c (-1);
+               Alcotest.fail "negative add must raise"
+             with Invalid_argument _ -> ());
+            Metrics.reset ();
+            check_int "reset" 0 (Metrics.counter_value c);
+            (* the handle survives the reset *)
+            Metrics.incr c;
+            check_int "live after reset" 1 (Metrics.counter_value c)));
+    case "find-or-create: same name, same handle" (fun () ->
+        with_metrics (fun () ->
+            let a = Metrics.counter "test.shared" in
+            let b = Metrics.counter "test.shared" in
+            Metrics.incr a;
+            check_int "visible through both" 1 (Metrics.counter_value b)));
+    case "histogram buckets on the log scale" (fun () ->
+        check_int "0 -> bucket 0" 0 (Metrics.bucket_of 0);
+        check_int "1 -> lower 1" 1 (Metrics.bucket_lower (Metrics.bucket_of 1));
+        check_int "2 -> lower 2" 2 (Metrics.bucket_lower (Metrics.bucket_of 2));
+        check_int "3 -> lower 2" 2 (Metrics.bucket_lower (Metrics.bucket_of 3));
+        check_int "4 -> lower 4" 4 (Metrics.bucket_lower (Metrics.bucket_of 4));
+        check_int "1000 -> lower 512" 512
+          (Metrics.bucket_lower (Metrics.bucket_of 1000));
+        with_metrics (fun () ->
+            let h = Metrics.histogram "test.hist" in
+            List.iter (Metrics.observe h) [ 1; 2; 3; 4; 1000 ];
+            let snap = Metrics.snapshot () in
+            let hs = List.assoc "test.hist" snap.Metrics.s_histograms in
+            check_int "count" 5 hs.Metrics.hs_count;
+            check_int "sum" 1010 hs.Metrics.hs_sum;
+            check_int "max" 1000 hs.Metrics.hs_max;
+            check_int "bucket 2 holds 2 and 3" 2
+              (List.assoc 2 hs.Metrics.hs_buckets);
+            check_int "bucket 512 holds 1000" 1
+              (List.assoc 512 hs.Metrics.hs_buckets)));
+    case "snapshot JSON is valid" (fun () ->
+        with_metrics (fun () ->
+            Metrics.incr (Metrics.counter "test.c");
+            Metrics.set (Metrics.gauge "test.g") 7;
+            Metrics.observe (Metrics.histogram "test.h") 42;
+            check_bool "valid" true
+              (json_valid (Metrics.to_json (Metrics.snapshot ())))));
+    case "disabled: mutations are no-ops and allocate nothing" (fun () ->
+        Metrics.set_enabled false;
+        Metrics.reset ();
+        let c = Metrics.counter "test.noop" in
+        let g = Metrics.gauge "test.noop.g" in
+        let h = Metrics.histogram "test.noop.h" in
+        let before = Gc.minor_words () in
+        for i = 1 to 100_000 do
+          Metrics.incr c;
+          Metrics.set g i;
+          Metrics.observe h i
+        done;
+        let allocated = Gc.minor_words () -. before in
+        check_int "counter untouched" 0 (Metrics.counter_value c);
+        check_int "gauge untouched" 0 (Metrics.gauge_value g);
+        (* 300k guarded no-ops must not allocate per call; leave slack
+           for the Gc.minor_words calls themselves *)
+        check_bool
+          (Printf.sprintf "allocation-free (%.0f words)" allocated)
+          true (allocated < 1_000.));
+  ]
+
+let probe_tests =
+  [
+    case "fires every N configurations" (fun () ->
+        let fired = ref [] in
+        let p =
+          Probe.make ~every_configs:100 ~every_s:1e9
+            ~clock:(fun () -> 0.0)
+            (fun s -> fired := s.Probe.p_configurations :: !fired)
+        in
+        for c = 1 to 350 do
+          Probe.tick p ~configurations:c ~frontier:1 ~transitions:(2 * c)
+        done;
+        check_int "three samples" 3 (Probe.fired p);
+        check_bool "at 100/200/300" true
+          (List.rev !fired = [ 100; 200; 300 ]));
+    case "fires on elapsed time under a fake clock" (fun () ->
+        let now = ref 0.0 in
+        let fired = ref 0 in
+        let p =
+          Probe.make ~every_configs:max_int ~every_s:10.0 ~check_every:1
+            ~clock:(fun () -> !now)
+            (fun _ -> incr fired)
+        in
+        Probe.tick p ~configurations:1 ~frontier:1 ~transitions:1;
+        check_int "not yet" 0 !fired;
+        now := 11.0;
+        Probe.tick p ~configurations:2 ~frontier:1 ~transitions:2;
+        check_int "fired once" 1 !fired;
+        now := 15.0;
+        Probe.tick p ~configurations:3 ~frontier:1 ~transitions:3;
+        check_int "interval restarts at the last firing" 1 !fired;
+        now := 21.5;
+        Probe.tick p ~configurations:4 ~frontier:1 ~transitions:4;
+        check_int "fired again" 2 !fired);
+    case "samples carry rate, pools and budget headroom" (fun () ->
+        let captured = ref None in
+        let b = Budget.create ~max_configs:1000 () in
+        let p =
+          Probe.make ~every_configs:10 ~every_s:1e9
+            ~clock:
+              (let now = ref 0.0 in
+               fun () ->
+                 now := !now +. 1.0;
+                 !now)
+            ~pools:(fun () -> [ ("widgets", 7) ])
+            ~budget:b
+            (fun s -> captured := Some s)
+        in
+        Probe.tick p ~configurations:50 ~frontier:5 ~transitions:100;
+        match !captured with
+        | None -> Alcotest.fail "no sample"
+        | Some s ->
+            check_bool "rate positive" true (s.Probe.p_rate > 0.);
+            check_bool "pools injected" true
+              (s.Probe.p_pools = [ ("widgets", 7) ]);
+            check_bool "headroom has the configs limit" true
+              (List.exists
+                 (fun h ->
+                   h.Budget.h_consumed = 50. && h.Budget.h_limit = 1000.)
+                 s.Probe.p_headroom);
+            check_bool "sample JSON valid" true
+              (json_valid (Probe.sample_to_json s)));
+    case "jsonl sink writes one valid object per line" (fun () ->
+        let path = Filename.temp_file "obs" ".jsonl" in
+        let oc = open_out path in
+        let p =
+          Probe.make ~every_configs:10 ~every_s:1e9
+            ~clock:(fun () -> 0.0)
+            (Probe.jsonl_sink oc)
+        in
+        for c = 1 to 30 do
+          Probe.tick p ~configurations:c ~frontier:1 ~transitions:c
+        done;
+        close_out oc;
+        let ic = open_in path in
+        let lines = ref [] in
+        (try
+           while true do
+             lines := input_line ic :: !lines
+           done
+         with End_of_file -> ());
+        close_in ic;
+        Sys.remove path;
+        check_int "three lines" 3 (List.length !lines);
+        List.iter
+          (fun l -> check_bool "line valid" true (json_valid l))
+          !lines);
+  ]
+
+let pipeline_tests =
+  [
+    case "pipeline spans cover every stage; report carries max_frontier"
+      (fun () ->
+        let open Cobegin_core in
+        let spans = Span.create () in
+        let options =
+          { Pipeline.default_options with find_races = true }
+        in
+        let report =
+          Pipeline.analyze ~options ~spans
+            (parse Cobegin_models.Figures.fig2)
+        in
+        let stages = List.map fst report.Pipeline.telemetry in
+        List.iter
+          (fun s ->
+            check_bool ("stage " ^ s) true (List.mem s stages))
+          [ "exploration"; "side-effects"; "dependences"; "races" ];
+        check_bool "max_frontier populated" true
+          (report.Pipeline.stats.Pipeline.max_frontier >= 1);
+        check_bool "trace from pipeline spans is valid JSON" true
+          (json_valid (Span.to_trace_json spans)));
+    case "a reused recorder reports only the new run's stages" (fun () ->
+        let open Cobegin_core in
+        let spans = Span.create () in
+        let prog = parse Cobegin_models.Figures.fig2 in
+        let r1 = Pipeline.analyze ~spans prog in
+        let r2 = Pipeline.analyze ~spans prog in
+        check_int "same stage count both runs"
+          (List.length r1.Pipeline.telemetry)
+          (List.length r2.Pipeline.telemetry);
+        check_int "recorder accumulated both"
+          (2 * List.length r1.Pipeline.telemetry)
+          (Span.event_count spans));
+    case "engines tick a probe during exploration" (fun () ->
+        let open Cobegin_explore in
+        let fired = ref 0 in
+        let p =
+          Probe.make ~every_configs:10 ~every_s:1e9 (fun _ -> incr fired)
+        in
+        let r = Space.full ~probe:p (ctx_of Cobegin_models.Figures.fig5) in
+        check_bool "explored something" true
+          (r.Space.stats.Space.configurations > 20);
+        check_bool "probe fired" true (!fired > 0));
+  ]
+
+let suite = span_tests @ metrics_tests @ probe_tests @ pipeline_tests
