@@ -621,6 +621,102 @@ let e15 () =
       ("example8", Figures.example8);
     ]
 
+(* --- E16: multi-domain exploration — speedup and count agreement ---
+
+   The parallel engine must be a drop-in for Space.full: on a complete
+   run the configuration/transition counts, the terminal counts and the
+   final-store multiset are schedule-independent and identical to the
+   sequential engine's (max_frontier is the one schedule-dependent
+   stat, so it is excluded from the agreement predicate).  Speedups are
+   reported, not asserted: they depend on the host's core count
+   (Domain.recommended_domain_count), and a single-core CI runner
+   legitimately shows <= 1x. *)
+
+let e16_agree (seq : Space.result) (par : Space.result) =
+  let s = seq.Space.stats and p = par.Space.stats in
+  s.Space.configurations = p.Space.configurations
+  && s.Space.transitions = p.Space.transitions
+  && s.Space.finals = p.Space.finals
+  && s.Space.deadlocks = p.Space.deadlocks
+  && s.Space.errors = p.Space.errors
+  && Space.final_store_reprs seq = Space.final_store_reprs par
+
+(* Sequential-vs-parallel agreement over the whole corpus; returns the
+   mismatching names. *)
+let e16_corpus_check ~jobs =
+  List.filter_map
+    (fun (name, src) ->
+      let ctx = Step.make_ctx (parse src) in
+      let seq = Space.full ctx in
+      let par = Parallel.full ~jobs ctx in
+      if e16_agree seq par then None else Some name)
+    Corpus.all
+
+let e16 () =
+  section "E16" "Multi-domain exploration: speedup and count agreement";
+  row "host: %d recommended domains@." (Domain.recommended_domain_count ());
+  List.iter
+    (fun jobs ->
+      let mismatches = e16_corpus_check ~jobs in
+      row "corpus agreement (jobs=%d): %d/%d models%s@." jobs
+        (List.length Corpus.all - List.length mismatches)
+        (List.length Corpus.all)
+        (match mismatches with
+        | [] -> ""
+        | l -> " — MISMATCH: " ^ String.concat ", " l))
+    [ 2; 4 ];
+  let wall f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  row "%-20s %10s %6s %10s %9s %16s@." "workload" "configs" "jobs"
+    "wall (s)" "speedup" "peak heap (MW)";
+  List.iter
+    (fun (label, rounds, n) ->
+      let src = Philosophers.program ~rounds n in
+      let ctx () = Step.make_ctx (parse src) in
+      Gc.compact ();
+      let seq, t1 = wall (fun () -> Space.full (ctx ())) in
+      (* top_heap_words is monotone across the process, so each row's
+         peak is really "peak so far" — comparable within a workload
+         only as an upper bound *)
+      let peak () = float_of_int (Gc.quick_stat ()).Gc.top_heap_words /. 1e6 in
+      row "%-20s %10d %6d %10.3f %8s %16.1f@." label
+        seq.Space.stats.Space.configurations 1 t1 "1.00x" (peak ());
+      List.iter
+        (fun jobs ->
+          Gc.compact ();
+          let par, tp = wall (fun () -> Parallel.full ~jobs (ctx ())) in
+          row "%-20s %10d %6d %10.3f %7.2fx %16.1f%s@." label
+            par.Space.stats.Space.configurations jobs tp
+            (if tp > 0. then t1 /. tp else Float.infinity)
+            (peak ())
+            (if e16_agree seq par then "" else "  COUNT MISMATCH"))
+        [ 2; 4; 8 ])
+    [
+      ("phil-2 (3 rounds)", 3, 2);
+      ("phil-3", 1, 3);
+      ("phil-3 (2 rounds)", 2, 3);
+    ]
+
+(* CI smoke variant: the agreement gate only — nonzero exit when any
+   corpus model diverges between the sequential and parallel engines.
+   Deliberately no speedup assertion: a single-core runner can't show
+   one. *)
+let e16smoke () =
+  section "E16smoke" "sequential vs parallel count agreement (CI gate)";
+  List.iter
+    (fun jobs ->
+      match e16_corpus_check ~jobs with
+      | [] ->
+          row "jobs=%d: all %d corpus models agree@." jobs
+            (List.length Corpus.all)
+      | l ->
+          row "jobs=%d: DIVERGENCE on: %s@." jobs (String.concat ", " l);
+          exit 1)
+    [ 2; 4 ]
+
 (* --- Bechamel timings: one per experiment family --- *)
 
 let bechamel () =
@@ -693,7 +789,7 @@ let experiments =
     ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
     ("E12", e12); ("E13", e13); ("E14", e14); ("E14smoke", e14smoke);
-    ("E15", e15); ("TIMING", bechamel);
+    ("E15", e15); ("E16", e16); ("E16smoke", e16smoke); ("TIMING", bechamel);
   ]
 
 let () =

@@ -223,6 +223,16 @@ let heap_words_of_mb mb =
   (* OCaml heap words: 8 bytes each on 64-bit *)
   mb * 1024 * 1024 / (Sys.word_size / 8)
 
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Explore on $(docv) OCaml domains (concrete full engine only; \
+           default 1 = the sequential engine).  Complete runs produce the \
+           same configuration/transition counts and final stores as the \
+           sequential engine.")
+
 let trace_arg =
   Arg.(
     value
@@ -250,7 +260,7 @@ let progress_arg =
            visited count, rate, heap, budget headroom).")
 
 let mk_options engine domain folding coarsen inline races lint max_configs
-    max_transitions timeout_s max_heap_mb =
+    max_transitions timeout_s max_heap_mb jobs =
   let engine =
     match engine with
     | Pipeline.Abstract _ -> Pipeline.Abstract (domain, folding)
@@ -266,13 +276,14 @@ let mk_options engine domain folding coarsen inline races lint max_configs
     max_heap_words = Option.map heap_words_of_mb max_heap_mb;
     find_races = races;
     lint;
+    jobs = max 1 jobs;
   }
 
 let options_term =
   Term.(
     const mk_options $ engine_arg $ domain_arg $ folding_arg $ coarsen_arg
     $ inline_arg $ races_arg $ lint_arg $ max_configs_arg
-    $ max_transitions_arg $ timeout_arg $ max_heap_mb_arg)
+    $ max_transitions_arg $ timeout_arg $ max_heap_mb_arg $ jobs_arg)
 
 let analyze_cmd =
   let run file options lint_only trace metrics progress =
@@ -326,7 +337,7 @@ let analyze_cmd =
 
 let explore_cmd =
   let run file coarsen max_configs max_transitions timeout_s max_heap_mb
-      metrics progress =
+      jobs metrics progress =
     match read_program file with
     | Error e ->
         Format.eprintf "%s@." e;
@@ -341,11 +352,11 @@ let explore_cmd =
         let ctx = Cobegin_semantics.Step.make_ctx prog in
         (* a fresh budget per engine run so the counters start at zero;
            the probe follows the budget of the engine currently running *)
-        let budget () =
+        let budget ?(shared = false) () =
           let b =
             Budget.create ~max_configs ?max_transitions ?timeout_s
               ?max_heap_words:(Option.map heap_words_of_mb max_heap_mb)
-              ()
+              ~shared ()
           in
           Option.iter (fun p -> Obs.Probe.set_budget p b) probe;
           b
@@ -367,6 +378,18 @@ let explore_cmd =
         in
         Format.printf "sleep:    %a@." Cobegin_explore.Space.pp_stats
           slp.Cobegin_explore.Space.stats;
+        let par =
+          if jobs > 1 then begin
+            let p =
+              Cobegin_explore.Parallel.full ~jobs
+                ~budget:(budget ~shared:true ()) ?probe ctx
+            in
+            Format.printf "parallel (%d domains): %a@." jobs
+              Cobegin_explore.Space.pp_stats p.Cobegin_explore.Space.stats;
+            Some p
+          end
+          else None
+        in
         Format.printf
           "stubborn expansions: singleton=%d component=%d full=%d@."
           stats.Cobegin_explore.Stubborn.singleton_expansions
@@ -374,12 +397,28 @@ let explore_cmd =
         let status =
           Budget.combine full.Cobegin_explore.Space.status
             (Budget.combine stub.Cobegin_explore.Space.status
-               slp.Cobegin_explore.Space.status)
+               (Budget.combine slp.Cobegin_explore.Space.status
+                  (match par with
+                  | Some p -> p.Cobegin_explore.Space.status
+                  | None -> Budget.Complete)))
         in
-        if Budget.is_complete status then
+        if Budget.is_complete status then begin
           Format.printf "final stores agree: %b@."
             (Cobegin_explore.Space.final_store_reprs full
             = Cobegin_explore.Space.final_store_reprs stub);
+          match par with
+          | None -> ()
+          | Some p ->
+              let s = full.Cobegin_explore.Space.stats
+              and q = p.Cobegin_explore.Space.stats in
+              Format.printf "sequential/parallel agree: %b@."
+                (s.Cobegin_explore.Space.configurations
+                 = q.Cobegin_explore.Space.configurations
+                && s.Cobegin_explore.Space.transitions
+                   = q.Cobegin_explore.Space.transitions
+                && Cobegin_explore.Space.final_store_reprs full
+                   = Cobegin_explore.Space.final_store_reprs p)
+        end;
         Option.iter (fun path -> write_metrics path ~t0) metrics;
         report_status ~t0 status;
         exit_code status
@@ -389,8 +428,8 @@ let explore_cmd =
        ~doc:"Compare full and stubborn-set state-space generation.")
     Term.(
       const run $ file_arg $ coarsen_arg $ max_configs_arg
-      $ max_transitions_arg $ timeout_arg $ max_heap_mb_arg $ metrics_arg
-      $ progress_arg)
+      $ max_transitions_arg $ timeout_arg $ max_heap_mb_arg $ jobs_arg
+      $ metrics_arg $ progress_arg)
 
 let races_cmd =
   let run file max_configs max_transitions timeout_s max_heap_mb metrics

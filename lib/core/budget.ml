@@ -42,11 +42,13 @@ type t = {
   timeout_s : float; (* the relative limit, for reporting *)
   max_heap_words : int option;
   check_every : int;
-  mutable ticks : int;
+  ticks : int Atomic.t;
+  shared : bool; (* consulted concurrently from several domains *)
+  trip : reason option Atomic.t; (* shared mode: the one recorded reason *)
 }
 
 let create ?max_configs ?max_transitions ?timeout_s ?max_heap_words
-    ?(check_every = 256) () =
+    ?(check_every = 256) ?(shared = false) () =
   {
     max_configs;
     max_transitions;
@@ -55,47 +57,71 @@ let create ?max_configs ?max_transitions ?timeout_s ?max_heap_words
     timeout_s = Option.value timeout_s ~default:0.;
     max_heap_words;
     check_every = max 1 check_every;
-    ticks = 0;
+    ticks = Atomic.make 0;
+    shared;
+    trip = Atomic.make None;
   }
 
 let unlimited () = create ()
 
+let is_shared t = t.shared
+let tripped t = Atomic.get t.trip
+
+(* Shared mode: latch the first reason observed by any domain.  The CAS
+   succeeds exactly once per budget, so every subsequent caller — on any
+   domain, from [check] or [config_guard] — reports the single recorded
+   reason instead of racing to a different one. *)
+let latch t r =
+  if Atomic.compare_and_set t.trip None (Some r) then r
+  else match Atomic.get t.trip with Some r' -> r' | None -> r
+
 let config_guard t ~configs =
-  match t.max_configs with
-  | Some m when configs >= m -> Some (Configs m)
-  | _ -> None
+  if t.shared && Atomic.get t.trip <> None then Atomic.get t.trip
+  else
+    match t.max_configs with
+    | Some m when configs >= m ->
+        Some (if t.shared then latch t (Configs m) else Configs m)
+    | _ -> None
 
 let check t ~configs ~transitions =
-  let counters =
-    match t.max_configs with
-    | Some m when configs >= m -> Some (Configs m)
-    | _ -> (
-        match t.max_transitions with
-        | Some m when transitions >= m -> Some (Transitions m)
-        | _ -> None)
-  in
-  match counters with
-  | Some _ as r -> r
-  | None ->
-      (* clock and GC probes on the sampling period; tick 0 is sampled
-         so a zero deadline truncates before any work *)
-      let sampled = t.ticks mod t.check_every = 0 in
-      t.ticks <- t.ticks + 1;
-      if not sampled then None
-      else
-        let timed_out =
-          match t.deadline with
-          | Some d when Unix.gettimeofday () >= d ->
-              Some (Deadline t.timeout_s)
-          | _ -> None
-        in
-        (match timed_out with
-        | Some _ as r -> r
-        | None -> (
-            match t.max_heap_words with
-            | Some m when (Gc.quick_stat ()).Gc.heap_words >= m ->
-                Some (Heap_words m)
-            | _ -> None))
+  if t.shared && Atomic.get t.trip <> None then Atomic.get t.trip
+  else
+    let counters =
+      match t.max_configs with
+      | Some m when configs >= m -> Some (Configs m)
+      | _ -> (
+          match t.max_transitions with
+          | Some m when transitions >= m -> Some (Transitions m)
+          | _ -> None)
+    in
+    let raw =
+      match counters with
+      | Some _ as r -> r
+      | None ->
+          (* clock and GC probes on the sampling period; tick 0 is
+             sampled so a zero deadline truncates before any work *)
+          let sampled =
+            Atomic.fetch_and_add t.ticks 1 mod t.check_every = 0
+          in
+          if not sampled then None
+          else
+            let timed_out =
+              match t.deadline with
+              | Some d when Unix.gettimeofday () >= d ->
+                  Some (Deadline t.timeout_s)
+              | _ -> None
+            in
+            (match timed_out with
+            | Some _ as r -> r
+            | None -> (
+                match t.max_heap_words with
+                | Some m when (Gc.quick_stat ()).Gc.heap_words >= m ->
+                    Some (Heap_words m)
+                | _ -> None))
+    in
+    match raw with
+    | Some r when t.shared -> Some (latch t r)
+    | r -> r
 
 let status_of = function None -> Complete | Some r -> Truncated r
 

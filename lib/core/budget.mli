@@ -53,13 +53,28 @@ val create :
   ?timeout_s:float ->
   ?max_heap_words:int ->
   ?check_every:int ->
+  ?shared:bool ->
   unit ->
   t
 (** Omitted limits are unlimited.  [timeout_s] is relative to the call;
     the deadline instant is fixed here.  [check_every] (default 256)
-    is the sampling period for the clock and GC probes. *)
+    is the sampling period for the clock and GC probes.
+
+    [shared] (default false) makes the budget safe to consult from
+    several OCaml domains at once: the sampling counter is atomic and
+    the first exhaustion reason any domain observes is latched with a
+    compare-and-set, so truncation {e fires once} — every later
+    {!check}/{!config_guard} on any domain reports that single recorded
+    reason instead of racing to a different one. *)
 
 val unlimited : unit -> t
+
+val is_shared : t -> bool
+
+val tripped : t -> reason option
+(** Shared mode: the latched exhaustion reason, once some domain
+    tripped a limit; [None] before that (and always in non-shared
+    mode, where no latching happens). *)
 
 val config_guard : t -> configs:int -> reason option
 (** Enqueue-side guard: [Some (Configs limit)] when [configs] has

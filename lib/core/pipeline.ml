@@ -50,6 +50,7 @@ type options = {
   max_heap_words : int option; (* GC major-heap watermark *)
   find_races : bool; (* co-enabledness race scan (concrete engines) *)
   lint : bool; (* static concurrency lints (budget-free pre-stage) *)
+  jobs : int; (* exploration domains; 1 = sequential engine *)
 }
 
 let default_options =
@@ -63,11 +64,16 @@ let default_options =
     max_heap_words = None;
     find_races = false;
     lint = false;
+    jobs = 1;
   }
 
+(* Multi-domain runs get a shared-mode budget: atomic sampling counter
+   plus a CAS-latched first reason, so truncation fires once across
+   the worker domains. *)
 let budget_of_options (o : options) =
   Budget.create ~max_configs:o.max_configs ?max_transitions:o.max_transitions
-    ?timeout_s:o.timeout_s ?max_heap_words:o.max_heap_words ()
+    ?timeout_s:o.timeout_s ?max_heap_words:o.max_heap_words
+    ~shared:(o.jobs > 1) ()
 
 type exploration_stats = {
   configurations : int;
@@ -137,7 +143,13 @@ let run_engine ~budget ?probe (opts : options) prog :
       let ctx = Step.make_ctx prog in
       let result =
         match opts.engine with
-        | Concrete_full -> Space.full ~budget ?probe ctx
+        | Concrete_full ->
+            (* jobs > 1 runs the multi-domain engine; jobs <= 1 is the
+               sequential engine, byte-for-byte.  The stubborn strategy
+               keeps mutable selection state, so it stays sequential
+               whatever [jobs] says. *)
+            if opts.jobs > 1 then Parallel.full ~jobs:opts.jobs ~budget ?probe ctx
+            else Space.full ~budget ?probe ctx
         | _ -> Stubborn.explore ~budget ?probe ctx
       in
       ( {

@@ -46,14 +46,24 @@ type options = {
   lint : bool;
       (** run the static concurrency lints ({!Cobegin_static.Lint}) as a
           budget-free pre-stage *)
+  jobs : int;
+      (** exploration domains.  [1] (the default) runs the sequential
+          engine; [> 1] runs {!Cobegin_explore.Parallel} for the
+          concrete full engine — complete runs produce identical
+          counts and terminal multisets, see the engine's docs.  The
+          stubborn strategy and the abstract engines stay sequential
+          regardless. *)
 }
 
 val default_options : options
 (** Concrete full engine, no transforms, 500k configuration budget, no
-    transition/time/heap limits, no race scan, no static lints. *)
+    transition/time/heap limits, no race scan, no static lints, one
+    exploration domain. *)
 
 val budget_of_options : options -> Budget.t
-(** The budget {!analyze} runs under, fresh each call. *)
+(** The budget {!analyze} runs under, fresh each call.  Created in
+    shared (multi-domain) mode when [jobs > 1], so truncation latches
+    a single reason across the worker domains. *)
 
 type exploration_stats = {
   configurations : int;

@@ -1,0 +1,300 @@
+(* Multi-domain state-space generation (OCaml 5 domains).
+
+   Same contract as Space.explore — breadth-ish generation of the
+   configuration graph under a pluggable expansion strategy — but the
+   work is spread over [jobs] domains:
+
+     - the visited set is sharded: [num_shards] mutex-protected
+       Digest_tbl shards, a configuration's shard picked by its
+       full-width digest hash, so admission of distinct configurations
+       almost never contends on the same lock;
+     - each worker owns a mutex-protected work queue and steals from
+       the others (round-robin scan) when its own runs dry;
+     - global progress — admitted configurations, fired transitions,
+       queued frontier, the truncation latch — lives in Atomic cells.
+
+   Determinism: for a run that COMPLETES, every reachable configuration
+   is admitted exactly once (the shard mutex serializes the
+   mem/guard/add sequence), and expansion is a pure function of the
+   configuration, so the visited set, the configuration and transition
+   counts and the terminal-configuration multisets are independent of
+   the schedule — identical to the sequential engine's.  The terminal
+   lists are sorted by configuration digest after the join so even
+   their order is reproducible.  Two caveats, both documented in the
+   mli: [max_frontier] is schedule-dependent (a parallel frontier
+   peaks differently), and the event log's order is a per-worker
+   concatenation, not the sequential BFS order (the log is a multiset
+   for the section-5 analyses, which are order-insensitive).
+
+   Truncated runs are a best effort: the budget latch (Budget shared
+   mode) guarantees the truncation fires once with one recorded
+   reason, but which configurations got admitted before the trip is
+   schedule-dependent, and admission can overshoot the configuration
+   budget by at most one per in-flight domain (the guard reads the
+   global count outside its own shard's critical section). *)
+
+open Cobegin_semantics
+module Metrics = Cobegin_obs.Metrics
+module Probe = Cobegin_obs.Probe
+
+let m_transitions = Metrics.counter "parallel.transitions"
+let m_digest_hits = Metrics.counter "parallel.digest_hits"
+let m_admitted = Metrics.counter "parallel.admitted"
+let m_steals = Metrics.counter "parallel.steals"
+let g_jobs = Metrics.gauge "parallel.jobs"
+
+(* Power of two so the shard index is a mask of the digest hash. *)
+let num_shards = 64
+
+type shard = { s_lock : Mutex.t; s_tbl : unit Config.Digest_tbl.t }
+
+let shard_of shards d =
+  shards.(Config.digest_hash d land (num_shards - 1))
+
+(* Per-worker deque (plain FIFO under a mutex; pops and steals both
+   take from the front — BFS-ish order, which keeps the frontier
+   shallow like the sequential engine's). *)
+type wq = { q_lock : Mutex.t; q : Config.t Queue.t }
+
+let wq_push w c = Mutex.protect w.q_lock (fun () -> Queue.add c w.q)
+let wq_pop w = Mutex.protect w.q_lock (fun () -> Queue.take_opt w.q)
+
+let rec atomic_max cell v =
+  let cur = Atomic.get cell in
+  if v > cur && not (Atomic.compare_and_set cell cur v) then
+    atomic_max cell v
+
+(* Per-worker accumulators: mutated only by the owning domain, read by
+   the main domain after the join. *)
+type acc = {
+  mutable finals : Config.t list;
+  mutable deadlocks : Config.t list;
+  mutable errors : Config.t list;
+  mutable evlogs : Step.events list; (* reverse firing order *)
+}
+
+let new_acc () = { finals = []; deadlocks = []; errors = []; evlogs = [] }
+
+(* Total order on digests, for schedule-independent terminal lists.
+   Compares the flat int tuple; two digests compare equal iff the
+   configurations have equal canonical representations. *)
+let digest_compare (a : Config.digest) (b : Config.digest) =
+  let c = Int.compare a.Config.d_store b.Config.d_store in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.Config.d_counters b.Config.d_counters in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.Config.d_error b.Config.d_error in
+      if c <> 0 then c
+      else
+        let pa = a.Config.d_procs and pb = b.Config.d_procs in
+        let c = Int.compare (Array.length pa) (Array.length pb) in
+        if c <> 0 then c
+        else
+          let rec go i =
+            if i >= Array.length pa then 0
+            else
+              let c = Int.compare pa.(i) pb.(i) in
+              if c <> 0 then c else go (i + 1)
+          in
+          go 0
+
+let sort_by_digest cs =
+  List.sort (fun a b -> digest_compare (Config.digest a) (Config.digest b)) cs
+
+let explore ?(max_configs = 1_000_000) ?budget ?probe ~jobs ctx ~expand :
+    Space.result =
+  if jobs <= 1 then Space.explore ~max_configs ?budget ?probe ctx ~expand
+  else begin
+    let budget =
+      match budget with
+      | Some b -> b
+      | None -> Budget.create ~max_configs ~shared:true ()
+    in
+    Metrics.set g_jobs jobs;
+    let shards =
+      Array.init num_shards (fun _ ->
+          { s_lock = Mutex.create (); s_tbl = Config.Digest_tbl.create 64 })
+    in
+    let queues =
+      Array.init jobs (fun _ -> { q_lock = Mutex.create (); q = Queue.create () })
+    in
+    let accs = Array.init jobs (fun _ -> new_acc ()) in
+    let admitted = Atomic.make 0 in
+    let transitions = Atomic.make 0 in
+    let pending = Atomic.make 0 in (* enqueued + in-process *)
+    let queued = Atomic.make 0 in (* enqueued only: the frontier *)
+    let max_frontier = Atomic.make 0 in
+    let stop : Budget.reason option Atomic.t = Atomic.make None in
+    let latch r =
+      ignore (Atomic.compare_and_set stop None (Some r) : bool)
+    in
+    (* Seed: admit the initial configuration on worker 0. *)
+    let c0 = Step.init ctx in
+    let d0 = Config.digest c0 in
+    Config.Digest_tbl.replace (shard_of shards d0).s_tbl d0 ();
+    Atomic.incr admitted;
+    Atomic.incr pending;
+    Atomic.incr queued;
+    atomic_max max_frontier 1;
+    wq_push queues.(0) c0;
+    let worker w () =
+      let acc = accs.(w) in
+      let my = queues.(w) in
+      (* Pop from my queue, else steal; spin (cpu_relax) while work is
+         still in flight elsewhere; return None when the whole run is
+         drained (pending = 0) or stopped. *)
+      let rec next () =
+        if Atomic.get stop <> None then None
+        else
+          match wq_pop my with
+          | Some c ->
+              Atomic.decr queued;
+              Some c
+          | None ->
+              let rec scan k =
+                if k >= jobs then None
+                else
+                  match wq_pop queues.((w + k) mod jobs) with
+                  | Some c ->
+                      Atomic.decr queued;
+                      Metrics.incr m_steals;
+                      Some c
+                  | None -> scan (k + 1)
+              in
+              (match scan 1 with
+              | Some c -> Some c
+              | None ->
+                  if Atomic.get pending = 0 then None
+                  else begin
+                    Domain.cpu_relax ();
+                    next ()
+                  end)
+      in
+      let process c =
+        if Config.is_error c then acc.errors <- c :: acc.errors
+        else if Config.all_terminated c then acc.finals <- c :: acc.finals
+        else
+          match Step.enabled_processes ctx c with
+          | [] -> acc.deadlocks <- c :: acc.deadlocks
+          | _ ->
+              let rec fire_each = function
+                | [] -> ()
+                | p :: rest ->
+                    Atomic.incr transitions;
+                    Metrics.incr m_transitions;
+                    let c', evs = Step.fire ctx c p in
+                    acc.evlogs <- evs :: acc.evlogs;
+                    let d' = Config.digest c' in
+                    let shard = shard_of shards d' in
+                    let verdict =
+                      Mutex.protect shard.s_lock (fun () ->
+                          if Config.Digest_tbl.mem shard.s_tbl d' then `Dup
+                          else
+                            match
+                              Budget.config_guard budget
+                                ~configs:(Atomic.get admitted)
+                            with
+                            | Some r -> `Stop r
+                            | None ->
+                                Config.Digest_tbl.replace shard.s_tbl d' ();
+                                Atomic.incr admitted;
+                                `Fresh)
+                    in
+                    (match verdict with
+                    | `Dup -> Metrics.incr m_digest_hits
+                    | `Stop r -> latch r
+                    | `Fresh ->
+                        Metrics.incr m_admitted;
+                        Atomic.incr pending;
+                        atomic_max max_frontier
+                          (Atomic.fetch_and_add queued 1 + 1);
+                        wq_push my c');
+                    if Atomic.get stop = None then fire_each rest
+              in
+              fire_each (expand c)
+      in
+      let rec loop () =
+        if Atomic.get stop = None then begin
+          (if w = 0 then
+             match probe with
+             | None -> ()
+             | Some p ->
+                 Probe.tick p
+                   ~configurations:(Atomic.get admitted)
+                   ~frontier:(Atomic.get queued)
+                   ~transitions:(Atomic.get transitions));
+          match
+            Budget.check budget ~configs:(Atomic.get admitted)
+              ~transitions:(Atomic.get transitions)
+          with
+          | Some r -> latch r
+          | None -> (
+              match next () with
+              | None -> ()
+              | Some c ->
+                  process c;
+                  Atomic.decr pending;
+                  loop ())
+        end
+      in
+      loop ()
+    in
+    let domains = Array.init jobs (fun w -> Domain.spawn (worker w)) in
+    Array.iter Domain.join domains;
+    let finals = ref [] and deadlocks = ref [] and errors = ref [] in
+    Array.iter
+      (fun a ->
+        finals := a.finals @ !finals;
+        deadlocks := a.deadlocks @ !deadlocks;
+        errors := a.errors @ !errors)
+      accs;
+    (* Truncation drain, mirroring Space.explore: classify the
+       admitted-but-unpopped frontier so a Truncated report doesn't
+       undercount terminals.  Each configuration was admitted (and so
+       enqueued) exactly once, hence counted at most once here. *)
+    if Atomic.get stop <> None then
+      Array.iter
+        (fun wq ->
+          Queue.iter
+            (fun c ->
+              if Config.is_error c then errors := c :: !errors
+              else if Config.all_terminated c then finals := c :: !finals
+              else
+                match Step.enabled_processes ctx c with
+                | [] -> deadlocks := c :: !deadlocks
+                | _ -> ())
+            wq.q)
+        queues;
+    let finals = sort_by_digest !finals
+    and deadlocks = sort_by_digest !deadlocks
+    and errors = sort_by_digest !errors in
+    let logs =
+      List.concat_map (fun a -> List.rev a.evlogs) (Array.to_list accs)
+    in
+    {
+      Space.status = Budget.status_of (Atomic.get stop);
+      stats =
+        {
+          Space.configurations = Atomic.get admitted;
+          transitions = Atomic.get transitions;
+          max_frontier = Atomic.get max_frontier;
+          finals = List.length finals;
+          deadlocks = List.length deadlocks;
+          errors = List.length errors;
+        };
+      final_configs = finals;
+      deadlock_configs = deadlocks;
+      error_configs = errors;
+      log =
+        {
+          Step.accesses = List.concat_map (fun e -> e.Step.accesses) logs;
+          Step.allocs = List.concat_map (fun e -> e.Step.allocs) logs;
+        };
+    }
+  end
+
+let full ?max_configs ?budget ?probe ~jobs ctx =
+  explore ?max_configs ?budget ?probe ~jobs ctx ~expand:(fun c ->
+      Step.enabled_processes ctx c)

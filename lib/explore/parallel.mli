@@ -1,0 +1,58 @@
+(** Multi-domain state-space generation (OCaml 5 domains).
+
+    Drop-in parallel equivalent of {!Space.explore}: the visited set is
+    sharded into mutex-protected digest tables, each of [jobs] domains
+    owns a work queue and steals from the others when its own runs dry,
+    and global progress (admissions, transitions, the truncation latch)
+    lives in atomic cells.
+
+    {b Determinism.}  For a run that completes, the results are
+    bit-identical to the sequential engine's: every reachable
+    configuration is admitted exactly once, expansion is a pure function
+    of the configuration, so [configurations], [transitions],
+    [finals]/[deadlocks]/[errors] and the terminal-configuration
+    multisets do not depend on the schedule or on [jobs] — and the
+    terminal lists are digest-sorted after the join, so even their
+    order is reproducible.  Two schedule-dependent exceptions:
+    [max_frontier] (a parallel frontier peaks differently than a
+    sequential BFS queue), and the {e order} of the merged event log
+    (a per-worker concatenation; its multiset of events is
+    schedule-independent, which is what the order-insensitive
+    section-5 analyses consume).
+
+    Truncated runs are a best effort: the shared-budget latch
+    guarantees truncation fires once with one recorded reason, but
+    which configurations were admitted before the trip — and therefore
+    the partial counts — is schedule-dependent, unlike the sequential
+    engine.  The admitted-but-unexpanded frontier is still classified
+    into the terminal counts, exactly like {!Space.explore}. *)
+
+open Cobegin_semantics
+
+val explore :
+  ?max_configs:int ->
+  ?budget:Budget.t ->
+  ?probe:Cobegin_obs.Probe.t ->
+  jobs:int ->
+  Step.ctx ->
+  expand:(Config.t -> Proc.t list) ->
+  Space.result
+(** [explore ~jobs ctx ~expand] generates the configuration graph on
+    [jobs] domains.  [jobs <= 1] delegates to {!Space.explore} — the
+    sequential engine, byte-for-byte.  [expand] must be a {e pure}
+    function of the configuration (the full-interleaving expansion is;
+    strategies with mutable selection state, e.g. {!Sleep}, are not and
+    stay sequential).  When [budget] is omitted, one is created with
+    [max_configs] in shared (multi-domain) mode; a caller-supplied
+    budget should be created with [~shared:true] so truncation is
+    latched once across domains.  [probe] is ticked by worker 0 only
+    (probes are single-domain). *)
+
+val full :
+  ?max_configs:int ->
+  ?budget:Budget.t ->
+  ?probe:Cobegin_obs.Probe.t ->
+  jobs:int ->
+  Step.ctx ->
+  Space.result
+(** Ordinary (full interleaving) generation on [jobs] domains. *)

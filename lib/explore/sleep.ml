@@ -160,6 +160,20 @@ let explore ?(max_configs = 1_000_000) ?budget ?probe ?stats ctx :
           expand [] awake
     end)
   done;
+  (* On truncation, classify the admitted-but-unpopped frontier exactly
+     as the pop would have (no expansion, no new transitions), so a
+     Truncated report doesn't undercount terminals — mirrors
+     Space.explore. *)
+  if !stop <> None then
+    Queue.iter
+      (fun (c, _sleep) ->
+        if Config.is_error c then errors := c :: !errors
+        else if Config.all_terminated c then finals := c :: !finals
+        else
+          match Step.enabled_processes ctx c with
+          | [] -> deadlocks := c :: !deadlocks
+          | _ -> ())
+      queue;
   {
     Space.status = Budget.status_of !stop;
     stats =

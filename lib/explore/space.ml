@@ -132,6 +132,21 @@ let explore ?(max_configs = 1_000_000) ?budget ?probe ctx ~expand : result =
               in
               fire_each (expand c))
   done;
+  (* Budget truncation: the frontier still holds admitted configurations
+     that were never popped, so without this pass a Truncated report
+     undercounts finals/deadlocks/errors — every one of them counted as
+     a configuration but none as a terminal.  Classify them (no
+     expansion, no new transitions, no new admissions). *)
+  if !stop <> None then
+    Queue.iter
+      (fun c ->
+        if Config.is_error c then errors := c :: !errors
+        else if Config.all_terminated c then finals := c :: !finals
+        else
+          match Step.enabled_processes ctx c with
+          | [] -> deadlocks := c :: !deadlocks
+          | _ -> ())
+      queue;
   {
     status = Budget.status_of !stop;
     stats =
@@ -158,12 +173,23 @@ let full ?max_configs ?budget ?probe ctx =
   explore ?max_configs ?budget ?probe ctx ~expand:(fun c ->
       Step.enabled_processes ctx c)
 
-(* Canonical multiset of final stores, for strategy comparisons. *)
+(* Canonical set of final stores, for strategy comparisons.  Keyed on
+   the hash-consed store id — an int compare per element instead of
+   polymorphic [compare] over whole store representations, and immune
+   to any structural-compare/physical-sharing subtleties: id equality
+   is exactly structural equality of the canonical repr (Intern).  The
+   repr payload is kept for the caller; ids only order and dedup. *)
 let final_store_reprs (r : result) =
-  List.sort_uniq compare
-    (List.map (fun c -> Store.repr c.Config.store) r.final_configs)
+  let interner = Intern.global () in
+  List.map
+    (fun c -> (Intern.store_id interner c.Config.store, c.Config.store))
+    r.final_configs
+  |> List.sort_uniq (fun (i, _) (j, _) -> Int.compare i j)
+  |> List.map (fun (_, s) -> Store.repr s)
 
 let pp_stats ppf s =
   Format.fprintf ppf
-    "configurations=%d transitions=%d finals=%d deadlocks=%d errors=%d"
-    s.configurations s.transitions s.finals s.deadlocks s.errors
+    "configurations=%d transitions=%d max_frontier=%d finals=%d \
+     deadlocks=%d errors=%d"
+    s.configurations s.transitions s.max_frontier s.finals s.deadlocks
+    s.errors

@@ -61,7 +61,10 @@ val explore :
     process is enabled.  When [budget] is given it governs the run
     ([max_configs] is then ignored); otherwise [max_configs] (default
     one million) bounds the visited set.  Never raises on exhaustion:
-    the partial result comes back with [status = Truncated _].  When
+    the partial result comes back with [status = Truncated _], and the
+    admitted-but-unexpanded frontier is still {e classified} — terminal
+    configurations sitting in the queue count toward
+    [finals]/[deadlocks]/[errors] (without firing anything).  When
     [probe] is given it is ticked once per worklist pop — the same
     cadence as [Budget.check] — so long runs emit live progress. *)
 
@@ -74,7 +77,10 @@ val full :
 (** Ordinary (full interleaving) generation. *)
 
 val final_store_reprs : result -> (Value.loc * Value.t) list list
-(** Canonical sorted list of the distinct final stores — the
-    "result-configurations" used to compare strategies. *)
+(** Canonical list of the distinct final stores — the
+    "result-configurations" used to compare strategies.  Deduplicated
+    and ordered by hash-consed store id (first-intern order, stable
+    within a process), so comparing two runs' lists for equality is
+    meaningful in-process regardless of which engine produced them. *)
 
 val pp_stats : Format.formatter -> stats -> unit

@@ -30,20 +30,28 @@ let hash_int_array a =
 module Pool (H : Hashtbl.HashedType) = struct
   module T = Hashtbl.Make (H)
 
-  type t = { tbl : int T.t; mutable next : int }
+  (* The lookup is mutex-guarded so pools can be shared across OCaml 5
+     domains (the parallel exploration engine interns from every
+     worker).  Ids stay sequential — the mutex serializes assignment,
+     so the n-th distinct key interned process-wide gets id n-1 — and
+     stable: an id, once handed out, never changes or gets reused.
+     Uncontended lock/unlock costs a few nanoseconds, noise next to the
+     structural hash of the key. *)
+  type t = { lock : Mutex.t; tbl : int T.t; mutable next : int }
 
-  let create n = { tbl = T.create n; next = 0 }
+  let create n = { lock = Mutex.create (); tbl = T.create n; next = 0 }
 
   let intern p k =
-    match T.find_opt p.tbl k with
-    | Some id -> id
-    | None ->
-        let id = p.next in
-        p.next <- id + 1;
-        T.add p.tbl k id;
-        id
+    Mutex.protect p.lock (fun () ->
+        match T.find_opt p.tbl k with
+        | Some id -> id
+        | None ->
+            let id = p.next in
+            p.next <- id + 1;
+            T.add p.tbl k id;
+            id)
 
-  let size p = p.next
+  let size p = Mutex.protect p.lock (fun () -> p.next)
 end
 
 module Phys_memo = struct

@@ -34,7 +34,11 @@ val hash_int_array : int array -> int
 (** Hash-consing pool: assigns small sequential ids to structurally
     distinct keys.  Two keys receive the same id iff they are equal per
     [H.equal]; ids are never reused, so id equality is a sound and
-    complete proxy for structural equality of the interned values. *)
+    complete proxy for structural equality of the interned values.
+
+    Lookup is mutex-guarded, so a pool may be shared across OCaml 5
+    domains: ids stay sequential and stable no matter how many domains
+    intern concurrently. *)
 module Pool (H : Hashtbl.HashedType) : sig
   type t
 
@@ -48,7 +52,11 @@ end
     requires the exact same heap value ([==]); a miss is always safe —
     the caller falls back to structural interning.  Buckets are capped
     and the table is reset past [limit] entries, so the memo never
-    grows without bound. *)
+    grows without bound.
+
+    NOT domain-safe on its own: callers that share a memo across
+    domains must serialize [find]/[add] themselves (see {!Intern},
+    which guards each memo with the mutex of the pool behind it). *)
 module Phys_memo : sig
   type ('k, 'v) t
 

@@ -4,8 +4,14 @@
    a single flag test, so with telemetry disabled a hot loop pays one
    predictable branch and allocates nothing. *)
 
-type counter = { c_name : string; mutable c_value : int }
-type gauge = { g_name : string; mutable g_value : int }
+(* Counters and gauges are Atomic.t cells: the parallel engine mutates
+   them from every domain, and an atomic increment is lock-free and
+   still a couple of nanoseconds when uncontended.  Histograms keep
+   plain mutable fields — multi-word updates would need a lock on the
+   hot path — and are documented single-domain (the parallel engine
+   observes them only from worker 0 / after the join). *)
+type counter = { c_name : string; c_value : int Atomic.t }
+type gauge = { g_name : string; g_value : int Atomic.t }
 
 (* Log-scale buckets: bucket 0 holds values <= 0, bucket b >= 1 holds
    [2^(b-1), 2^b).  63 buckets cover the whole int range. *)
@@ -19,55 +25,65 @@ type histogram = {
   mutable h_max : int;
 }
 
-let enabled_flag = ref false
-let enabled () = !enabled_flag
-let set_enabled b = enabled_flag := b
+let enabled_flag = Atomic.make false
+let enabled () = Atomic.get enabled_flag
+let set_enabled b = Atomic.set enabled_flag b
+
+(* One registry lock serializes creation, snapshot and reset — all cold
+   paths (handles are created at module-initialization time; snapshots
+   bracket runs).  Hot-path mutations go through the handle, never the
+   tables, so they take no lock. *)
+let registry_lock = Mutex.create ()
 
 let counters : (string, counter) Hashtbl.t = Hashtbl.create 32
 let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 32
 let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 32
 
 let counter name =
-  match Hashtbl.find_opt counters name with
-  | Some c -> c
-  | None ->
-      let c = { c_name = name; c_value = 0 } in
-      Hashtbl.replace counters name c;
-      c
+  Mutex.protect registry_lock (fun () ->
+      match Hashtbl.find_opt counters name with
+      | Some c -> c
+      | None ->
+          let c = { c_name = name; c_value = Atomic.make 0 } in
+          Hashtbl.replace counters name c;
+          c)
 
 let gauge name =
-  match Hashtbl.find_opt gauges name with
-  | Some g -> g
-  | None ->
-      let g = { g_name = name; g_value = 0 } in
-      Hashtbl.replace gauges name g;
-      g
+  Mutex.protect registry_lock (fun () ->
+      match Hashtbl.find_opt gauges name with
+      | Some g -> g
+      | None ->
+          let g = { g_name = name; g_value = Atomic.make 0 } in
+          Hashtbl.replace gauges name g;
+          g)
 
 let histogram name =
-  match Hashtbl.find_opt histograms name with
-  | Some h -> h
-  | None ->
-      let h =
-        {
-          h_name = name;
-          h_buckets = Array.make num_buckets 0;
-          h_count = 0;
-          h_sum = 0;
-          h_max = 0;
-        }
-      in
-      Hashtbl.replace histograms name h;
-      h
+  Mutex.protect registry_lock (fun () ->
+      match Hashtbl.find_opt histograms name with
+      | Some h -> h
+      | None ->
+          let h =
+            {
+              h_name = name;
+              h_buckets = Array.make num_buckets 0;
+              h_count = 0;
+              h_sum = 0;
+              h_max = 0;
+            }
+          in
+          Hashtbl.replace histograms name h;
+          h)
 
-let incr c = if !enabled_flag then c.c_value <- c.c_value + 1
+let incr c =
+  if Atomic.get enabled_flag then ignore (Atomic.fetch_and_add c.c_value 1)
 
 let add c n =
   if n < 0 then invalid_arg "Metrics.add: counters are monotonic";
-  if !enabled_flag then c.c_value <- c.c_value + n
+  if Atomic.get enabled_flag then ignore (Atomic.fetch_and_add c.c_value n)
 
-let counter_value c = c.c_value
-let set g v = if !enabled_flag then g.g_value <- v
-let gauge_value g = g.g_value
+let counter_value c = Atomic.get c.c_value
+let set g v = if Atomic.get enabled_flag then Atomic.set g.g_value v
+let gauge_value g = Atomic.get g.g_value
 
 let bucket_of v =
   if v <= 0 then 0
@@ -83,7 +99,7 @@ let bucket_of v =
 let bucket_lower b = if b = 0 then 0 else 1 lsl (b - 1)
 
 let observe h v =
-  if !enabled_flag then begin
+  if Atomic.get enabled_flag then begin
     let b = bucket_of v in
     h.h_buckets.(b) <- h.h_buckets.(b) + 1;
     h.h_count <- h.h_count + 1;
@@ -109,47 +125,53 @@ type snapshot = {
 let by_name (a, _) (b, _) = String.compare a b
 
 let snapshot () =
-  let cs =
-    Hashtbl.fold (fun n c acc -> (n, c.c_value) :: acc) counters []
-    |> List.sort by_name
-  in
-  let gs =
-    Hashtbl.fold (fun n g acc -> (n, g.g_value) :: acc) gauges []
-    |> List.sort by_name
-  in
-  let hs =
-    Hashtbl.fold
-      (fun n h acc ->
-        let buckets = ref [] in
-        for b = num_buckets - 1 downto 0 do
-          if h.h_buckets.(b) > 0 then
-            buckets := (bucket_lower b, h.h_buckets.(b)) :: !buckets
-        done;
-        ( n,
-          {
-            hs_count = h.h_count;
-            hs_sum = h.h_sum;
-            hs_max = h.h_max;
-            hs_buckets = !buckets;
-          } )
-        :: acc)
-      histograms []
-    |> List.sort by_name
-  in
-  { s_counters = cs; s_gauges = gs; s_histograms = hs }
+  Mutex.protect registry_lock (fun () ->
+      let cs =
+        Hashtbl.fold
+          (fun n c acc -> (n, Atomic.get c.c_value) :: acc)
+          counters []
+        |> List.sort by_name
+      in
+      let gs =
+        Hashtbl.fold
+          (fun n g acc -> (n, Atomic.get g.g_value) :: acc)
+          gauges []
+        |> List.sort by_name
+      in
+      let hs =
+        Hashtbl.fold
+          (fun n h acc ->
+            let buckets = ref [] in
+            for b = num_buckets - 1 downto 0 do
+              if h.h_buckets.(b) > 0 then
+                buckets := (bucket_lower b, h.h_buckets.(b)) :: !buckets
+            done;
+            ( n,
+              {
+                hs_count = h.h_count;
+                hs_sum = h.h_sum;
+                hs_max = h.h_max;
+                hs_buckets = !buckets;
+              } )
+            :: acc)
+          histograms []
+        |> List.sort by_name
+      in
+      { s_counters = cs; s_gauges = gs; s_histograms = hs })
 
 (* Zero every value; registrations (and handles already held by the
    engines) stay valid. *)
 let reset () =
-  Hashtbl.iter (fun _ c -> c.c_value <- 0) counters;
-  Hashtbl.iter (fun _ g -> g.g_value <- 0) gauges;
-  Hashtbl.iter
-    (fun _ h ->
-      Array.fill h.h_buckets 0 num_buckets 0;
-      h.h_count <- 0;
-      h.h_sum <- 0;
-      h.h_max <- 0)
-    histograms
+  Mutex.protect registry_lock (fun () ->
+      Hashtbl.iter (fun _ c -> Atomic.set c.c_value 0) counters;
+      Hashtbl.iter (fun _ g -> Atomic.set g.g_value 0) gauges;
+      Hashtbl.iter
+        (fun _ h ->
+          Array.fill h.h_buckets 0 num_buckets 0;
+          h.h_count <- 0;
+          h.h_sum <- 0;
+          h.h_max <- 0)
+        histograms)
 
 let to_json (s : snapshot) =
   let buf = Buffer.create 1024 in

@@ -12,7 +12,15 @@
     The registry is process-global on purpose: it matches the
     process-wide intern pools and visited sets it instruments, and it
     lets [coanalyze --metrics] collect everything the run touched
-    without threading a context through every engine. *)
+    without threading a context through every engine.
+
+    Domain-safety: counters and gauges are atomic cells, safe to mutate
+    from any number of OCaml domains (increments are lock-free);
+    creation, {!snapshot} and {!reset} are serialized by a registry
+    mutex.  Histograms are the exception — their multi-word updates are
+    {e not} synchronized, so a histogram must only be observed from one
+    domain at a time (the parallel engine observes them from worker 0
+    or after the join). *)
 
 type counter
 type gauge

@@ -27,8 +27,8 @@ type result = {
 }
 
 let pp_stats ppf s =
-  Format.fprintf ppf "states=%d edges=%d deadlocks=%d" s.states s.edges
-    s.deadlocks
+  Format.fprintf ppf "states=%d edges=%d max_frontier=%d deadlocks=%d"
+    s.states s.edges s.max_frontier s.deadlocks
 
 (* Full-width marking hash: every place's token count contributes.
    The generic [Hashtbl.hash (Array.to_list m)] it replaces inspected
@@ -92,6 +92,13 @@ let explore ?(max_states = 10_000_000) ?budget net ~expand =
           fire_each (expand m)
         end
   done;
+  (* Classify the admitted-but-unpopped frontier on truncation, so a
+     Truncated report doesn't undercount deadlocks (no expansion, no
+     new edges — mirrors Space.explore). *)
+  if !stop <> None then
+    Queue.iter
+      (fun m -> if Net.is_deadlock net m then deadlocks := m :: !deadlocks)
+      queue;
   {
     status = Budget.status_of !stop;
     stats =

@@ -97,66 +97,90 @@ module String_pool = H.Pool (struct
   let hash = H.hash_string
 end)
 
+(* One mutex per component kind, guarding the memo and the pool lookup
+   together: the pools are themselves mutex-guarded (Cobegin_hash.Pool),
+   but the Phys_memo in front is a plain hashtable, and the memo-miss
+   path must publish (memo add) the id it interned atomically with
+   respect to other domains interning the same component.  The locks
+   nest strictly kind-mutex → pool-mutex, so there is no deadlock, and
+   ids stay sequential and stable: the pool assigns them under its own
+   lock in first-intern order. *)
 type state = {
+  proc_lock : Mutex.t;
   procs : Proc_pool.t;
   proc_memo : (Proc.t, int) H.Phys_memo.t;
+  store_lock : Mutex.t;
   stores : Store_pool.t;
   store_memo : (Store.t, int) H.Phys_memo.t;
+  counter_lock : Mutex.t;
   counters : Counter_pool.t;
   counter_memo : (int CounterMap.t, int) H.Phys_memo.t;
+  error_lock : Mutex.t;
   errors : String_pool.t;
 }
 
 let create () =
   {
+    proc_lock = Mutex.create ();
     procs = Proc_pool.create 1024;
     proc_memo = H.Phys_memo.create 1024;
+    store_lock = Mutex.create ();
     stores = Store_pool.create 1024;
     store_memo = H.Phys_memo.create 1024;
+    counter_lock = Mutex.create ();
     counters = Counter_pool.create 64;
     counter_memo = H.Phys_memo.create 64;
+    error_lock = Mutex.create ();
     errors = String_pool.create 16;
   }
 
-let the_global = lazy (create ())
-let global () = Lazy.force the_global
+(* Eager, not lazy: Lazy.force from several domains at once raises
+   [Lazy.Undefined] on the losers, and the parallel engine digests from
+   every worker. *)
+let the_global = create ()
+let global () = the_global
 
 let proc_id st (p : Proc.t) =
-  match H.Phys_memo.find st.proc_memo p with
-  | Some id ->
-      Metrics.incr m_memo_hits;
-      id
-  | None ->
-      Metrics.incr m_memo_misses;
-      let id = Proc_pool.intern st.procs (Proc.repr p) in
-      H.Phys_memo.add st.proc_memo p id;
-      id
+  Mutex.protect st.proc_lock (fun () ->
+      match H.Phys_memo.find st.proc_memo p with
+      | Some id ->
+          Metrics.incr m_memo_hits;
+          id
+      | None ->
+          Metrics.incr m_memo_misses;
+          let id = Proc_pool.intern st.procs (Proc.repr p) in
+          H.Phys_memo.add st.proc_memo p id;
+          id)
 
 let store_id st (s : Store.t) =
-  match H.Phys_memo.find st.store_memo s with
-  | Some id ->
-      Metrics.incr m_memo_hits;
-      id
-  | None ->
-      Metrics.incr m_memo_misses;
-      let id = Store_pool.intern st.stores (Store.repr s) in
-      H.Phys_memo.add st.store_memo s id;
-      id
+  Mutex.protect st.store_lock (fun () ->
+      match H.Phys_memo.find st.store_memo s with
+      | Some id ->
+          Metrics.incr m_memo_hits;
+          id
+      | None ->
+          Metrics.incr m_memo_misses;
+          let id = Store_pool.intern st.stores (Store.repr s) in
+          H.Phys_memo.add st.store_memo s id;
+          id)
 
 let counters_id st (m : int CounterMap.t) =
-  match H.Phys_memo.find st.counter_memo m with
-  | Some id ->
-      Metrics.incr m_memo_hits;
-      id
-  | None ->
-      Metrics.incr m_memo_misses;
-      let id = Counter_pool.intern st.counters (CounterMap.bindings m) in
-      H.Phys_memo.add st.counter_memo m id;
-      id
+  Mutex.protect st.counter_lock (fun () ->
+      match H.Phys_memo.find st.counter_memo m with
+      | Some id ->
+          Metrics.incr m_memo_hits;
+          id
+      | None ->
+          Metrics.incr m_memo_misses;
+          let id = Counter_pool.intern st.counters (CounterMap.bindings m) in
+          H.Phys_memo.add st.counter_memo m id;
+          id)
 
 let error_id st = function
   | None -> -1
-  | Some msg -> String_pool.intern st.errors msg
+  | Some msg ->
+      Mutex.protect st.error_lock (fun () ->
+          String_pool.intern st.errors msg)
 
 let distinct_procs st = Proc_pool.size st.procs
 let distinct_stores st = Store_pool.size st.stores

@@ -21,7 +21,14 @@
     - ids are never reused, so digests remain valid for the lifetime of
       the interner that produced them;
     - the memos are best-effort: a memo miss falls back to structural
-      interning and can never produce a wrong id. *)
+      interning and can never produce a wrong id.
+
+    Domain-safety: every [*_id] lookup is guarded by a per-component
+    mutex (covering the memo and the pool together), so one interner —
+    in particular {!global}, which is created eagerly at module
+    initialization — may be shared by any number of OCaml 5 domains.
+    Ids stay sequential and stable no matter how many domains intern
+    concurrently; the parallel exploration engine relies on this. *)
 
 module CounterMap : Map.S with type key = Value.pid * int
 (** The allocation-counter map, keyed by (pid, site).  Defined here (and

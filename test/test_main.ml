@@ -8,6 +8,7 @@ let () =
       ("trans", Test_trans.suite);
       ("footprint", Test_footprint.suite);
       ("explore", Test_explore.suite);
+      ("parallel", Test_parallel.suite);
       ("intern", Test_intern.suite);
       ("budget", Test_budget.suite);
       ("protocols", Test_protocols.suite);
