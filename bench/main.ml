@@ -717,6 +717,97 @@ let e16smoke () =
           exit 1)
     [ 2; 4 ]
 
+(* --- E17: checkpoint overhead and recovery cost ---
+
+   Two costs of the robustness layer, as JSON rows: (a) what cadenced
+   checkpointing adds to a clean exploration (cadence sweep: off, every
+   1s, every 100ms — the pop-count trigger is effectively disabled so
+   the wall clock drives the saves), and (b) what one injected worker
+   kill costs the supervised pipeline against an undisturbed run at the
+   same jobs count — the price of walking the jobs N -> 1 rung and
+   re-exploring sequentially. *)
+
+let e17 () =
+  section "E17" "Chaos & checkpoint: overhead and recovery cost";
+  Cobegin_obs.Metrics.set_enabled true;
+  let m_saves = Cobegin_obs.Metrics.counter "checkpoint.saves" in
+  let wall f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let workloads =
+    [ ("phil-3", 1, 3); ("phil-3 (2 rounds)", 2, 3) ]
+  in
+  List.iter
+    (fun (label, rounds, n) ->
+      let src = Philosophers.program ~rounds n in
+      let ctx () = Step.make_ctx (parse src) in
+      Gc.compact ();
+      let base, t_base = wall (fun () -> Space.full (ctx ())) in
+      let json ~cadence ~saves ~wall_s (r : Space.result) =
+        row
+          "{\"experiment\": \"E17\", \"mode\": \"checkpoint\", \
+           \"workload\": \"%s\", \"cadence\": %s, \"configurations\": \
+           %d, \"saves\": %d, \"wall_s\": %.4f, \"overhead\": %s, \
+           \"status\": \"%s\"}@."
+          label cadence r.Space.stats.Space.configurations saves wall_s
+          (if t_base > 0. then Printf.sprintf "%.2f" (wall_s /. t_base)
+           else "null")
+          (Budget.status_to_string r.Space.status)
+      in
+      json ~cadence:"null" ~saves:0 ~wall_s:t_base base;
+      List.iter
+        (fun (cadence_label, cadence) ->
+          let path = Filename.temp_file "cobegin-e17" ".ckpt" in
+          Fun.protect
+            ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+            (fun () ->
+              let saves0 = Cobegin_obs.Metrics.counter_value m_saves in
+              Gc.compact ();
+              let r, t =
+                wall (fun () -> Checkpoint.full ~cadence ~path (ctx ()))
+              in
+              json ~cadence:cadence_label
+                ~saves:(Cobegin_obs.Metrics.counter_value m_saves - saves0)
+                ~wall_s:t r))
+        [
+          ( "\"1s\"",
+            { Checkpoint.every_configs = max_int; every_s = Some 1.0 } );
+          ( "\"100ms\"",
+            { Checkpoint.every_configs = max_int; every_s = Some 0.1 } );
+          ( "\"256 pops\"",
+            { Checkpoint.every_configs = 256; every_s = None } );
+        ])
+    workloads;
+  (* recovery cost: one worker killed early at jobs=4, the supervisor
+     degrades to the sequential engine and completes *)
+  let src = Philosophers.program ~rounds:2 3 in
+  let options = { Pipeline.default_options with jobs = 4 } in
+  let json_rec ~fault ~wall_s (r : Pipeline.report) =
+    row
+      "{\"experiment\": \"E17\", \"mode\": \"recovery\", \"workload\": \
+       \"phil-3 (2 rounds)\", \"jobs\": 4, \"fault\": %s, \
+       \"configurations\": %d, \"rungs\": %d, \"recovered\": %b, \
+       \"degraded\": %b, \"wall_s\": %.4f}@."
+      fault r.Pipeline.stats.Pipeline.configurations
+      (List.length r.Pipeline.recovery)
+      (Budget.is_complete r.Pipeline.status)
+      r.Pipeline.degraded wall_s
+  in
+  Gc.compact ();
+  let clean, t_clean = wall (fun () -> Pipeline.analyze_source ~options src) in
+  json_rec ~fault:"null" ~wall_s:t_clean clean;
+  let spec = "kill@worker1:50" in
+  (match Fault.parse spec with
+  | Error e -> row "bad spec: %s@." e
+  | Ok plan ->
+      Fault.install plan;
+      Fun.protect ~finally:Fault.clear (fun () ->
+          Gc.compact ();
+          let r, t = wall (fun () -> Pipeline.analyze_source ~options src) in
+          json_rec ~fault:(Printf.sprintf "%S" spec) ~wall_s:t r))
+
 (* --- Bechamel timings: one per experiment family --- *)
 
 let bechamel () =
@@ -789,7 +880,8 @@ let experiments =
     ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
     ("E12", e12); ("E13", e13); ("E14", e14); ("E14smoke", e14smoke);
-    ("E15", e15); ("E16", e16); ("E16smoke", e16smoke); ("TIMING", bechamel);
+    ("E15", e15); ("E16", e16); ("E16smoke", e16smoke); ("E17", e17);
+    ("TIMING", bechamel);
   ]
 
 let () =

@@ -13,13 +13,19 @@
      2  a resource budget fired — the printed results are partial
      3  an analysis stage crashed (structured diagnostic printed)
      4  clean run, but the static lint suite has findings
-        (--lint / --lint-only; precedence 1 > 3 > 2 > 4 > 0)
+        (--lint / --lint-only)
+     5  DEGRADED: the supervisor exhausted its recovery ladder and the
+        report is an honest partial result
+        (precedence 1 > 5 > 3 > 2 > 4 > 0)
 
    Examples:
      coanalyze analyze prog.cob --engine stubborn --coarsen
      coanalyze analyze prog.cob --lint-only
      coanalyze analyze prog.cob --engine abstract --domain signs --folding clan
+     coanalyze analyze prog.cob --jobs 4 --chaos kill@worker1:5
      coanalyze explore prog.cob --max-configs 1000 --timeout 5
+     coanalyze explore prog.cob --checkpoint run.ckpt --checkpoint-every 500
+     coanalyze explore prog.cob --resume run.ckpt
      coanalyze examples fig8 | coanalyze parallel /dev/stdin *)
 
 open Cmdliner
@@ -98,11 +104,65 @@ let write_metrics path ~t0 =
   output_char oc '\n';
   close_out oc
 
-let exit_code ?(stage_failures = []) ?(static_findings = false) status =
-  if stage_failures <> [] then 3
+let exit_code ?(stage_failures = []) ?(static_findings = false)
+    ?(degraded = false) status =
+  if degraded then 5
+  else if stage_failures <> [] then 3
   else if not (Budget.is_complete status) then 2
   else if static_findings then 4
   else 0
+
+(* --- chaos plumbing (--chaos / COBEGIN_CHAOS) --- *)
+
+(* The flag wins over the env var; the installed plan is echoed on
+   stderr in its canonical spelling so every chaos run is replayable
+   from its own output. *)
+let install_chaos chaos =
+  let apply ~origin s =
+    match Fault.parse s with
+    | Ok plan ->
+        Fault.install plan;
+        Format.eprintf "chaos plan active (%s): %s@." origin
+          (Fault.to_spec plan);
+        Ok ()
+    | Error e -> Error (Printf.sprintf "bad chaos spec (%s): %s" origin e)
+  in
+  match chaos with
+  | Some s -> apply ~origin:"--chaos" s
+  | None -> (
+      match Sys.getenv_opt Fault.env_var with
+      | Some s when String.trim s <> "" -> apply ~origin:Fault.env_var s
+      | _ -> Ok ())
+
+(* A raising engine fault that escaped every supervisor (the bare
+   explore/races subcommands run engines directly): print a structured
+   diagnostic instead of an uncaught-exception abort. *)
+let structured_fault = function
+  | (Fault.Injected _ | Out_of_memory) as e -> Some (Printexc.to_string e)
+  | Cobegin_explore.Parallel.Worker_failed _ as e ->
+      Some (Printexc.to_string e)
+  | _ -> None
+
+(* Recovery ladder + DEGRADED banner on stderr (analyze/parallel). *)
+let report_recovery (report : Pipeline.report) =
+  List.iter
+    (fun r ->
+      Format.eprintf "recovery: %a@." Pipeline.pp_recovery_rung r)
+    report.Pipeline.recovery;
+  if report.Pipeline.degraded then
+    Format.eprintf
+      "DEGRADED — the recovery ladder was exhausted; the results above \
+       are an honest partial report (exit code 5)@."
+
+let print_backtraces ~debug (report : Pipeline.report) =
+  if debug then
+    List.iter
+      (fun (f : Pipeline.stage_failure) ->
+        match f.Pipeline.backtrace with
+        | Some bt ->
+            Format.eprintf "backtrace (%s):@.%s@." f.Pipeline.stage bt
+        | None -> ())
+      report.Pipeline.stage_failures
 
 let file_arg =
   Arg.(
@@ -233,6 +293,35 @@ let jobs_arg =
            same configuration/transition counts and final stores as the \
            sequential engine.")
 
+let retries_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "retries" ] ~docv:"N"
+        ~doc:
+          "Extra attempts the supervisor grants a crashed pipeline stage \
+           (default 1).  Exploration walks its degradation ladder \
+           ($(b,--jobs) N, then 1 domain) before same-options retries.  \
+           0 disables retrying.")
+
+let chaos_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "chaos" ] ~docv:"SPEC"
+        ~doc:
+          "Install a deterministic fault plan before running, e.g. \
+           $(b,crash\\@space.pop:100,kill\\@worker1:5,seed=7).  Overrides \
+           the $(b,COBEGIN_CHAOS) environment variable.  The canonical \
+           plan is echoed on stderr so any chaos run is replayable.")
+
+let debug_arg =
+  Arg.(
+    value & flag
+    & info [ "debug" ]
+        ~doc:
+          "Record exception backtraces and print them for every stage \
+           failure.")
+
 let trace_arg =
   Arg.(
     value
@@ -259,8 +348,43 @@ let progress_arg =
           "Emit live progress heartbeats on stderr (frontier size, \
            visited count, rate, heap, budget headroom).")
 
+let checkpoint_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "checkpoint" ] ~docv:"FILE"
+        ~doc:
+          "($(b,explore)) Run the checkpointed sequential full engine, \
+           serializing the in-flight state to $(docv) at the configured \
+           cadence.  Writes are atomic; a killed run resumes with \
+           $(b,--resume) and reports the same final counts as one that \
+           was never killed.")
+
+let checkpoint_every_arg =
+  Arg.(
+    value & opt int 4096
+    & info [ "checkpoint-every" ] ~docv:"N"
+        ~doc:"Checkpoint cadence in worklist pops (default 4096).")
+
+let checkpoint_secs_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "checkpoint-secs" ] ~docv:"SECS"
+        ~doc:"Additionally checkpoint every $(docv) seconds of wall time.")
+
+let resume_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "resume" ] ~docv:"FILE"
+        ~doc:
+          "($(b,explore)) Load the checkpoint at $(docv) (written for \
+           the same program) and continue it, checkpointing onward to \
+           the same file.")
+
 let mk_options engine domain folding coarsen inline races lint max_configs
-    max_transitions timeout_s max_heap_mb jobs =
+    max_transitions timeout_s max_heap_mb jobs retries =
   let engine =
     match engine with
     | Pipeline.Abstract _ -> Pipeline.Abstract (domain, folding)
@@ -277,72 +401,89 @@ let mk_options engine domain folding coarsen inline races lint max_configs
     find_races = races;
     lint;
     jobs = max 1 jobs;
+    retries = max 0 retries;
   }
 
 let options_term =
   Term.(
     const mk_options $ engine_arg $ domain_arg $ folding_arg $ coarsen_arg
     $ inline_arg $ races_arg $ lint_arg $ max_configs_arg
-    $ max_transitions_arg $ timeout_arg $ max_heap_mb_arg $ jobs_arg)
+    $ max_transitions_arg $ timeout_arg $ max_heap_mb_arg $ jobs_arg
+    $ retries_arg)
 
 let analyze_cmd =
-  let run file options lint_only trace metrics progress =
-    match read_program file with
+  let run file options lint_only trace metrics progress chaos debug =
+    match install_chaos chaos with
     | Error e ->
         Format.eprintf "%s@." e;
         1
-    | Ok prog ->
-        if lint_only then begin
-          (* static suite alone: no exploration, no budget; the
-             canonical-order self-check makes non-canonical output a
-             crash the CI sweep catches *)
-          let r = Cobegin_static.Lint.run prog in
-          Cobegin_static.Report.assert_canonical r.Cobegin_static.Lint.findings;
-          Format.printf "%a@." Cobegin_static.Lint.pp r;
-          if r.Cobegin_static.Lint.findings <> [] then 4 else 0
-        end
-        else begin
-          let t0 = Unix.gettimeofday () in
-          if metrics <> None then Obs.Metrics.set_enabled true;
-          let spans =
-            match trace with
-            | None -> None
-            | Some _ -> Some (Obs.Span.create ())
-          in
-          let probe = make_probe ~progress in
-          let report = Pipeline.analyze ~options ?spans ?probe prog in
-          Format.printf "%a@." Pipeline.pp_report report;
-          List.iter
-            (fun f -> Format.eprintf "%a@." Pipeline.pp_stage_failure f)
-            report.Pipeline.stage_failures;
-          (match (trace, spans) with
-          | Some path, Some t -> Obs.Span.write_trace t path
-          | _ -> ());
-          Option.iter (fun path -> write_metrics path ~t0) metrics;
-          report_status ~t0 report.Pipeline.status;
-          let static_findings =
-            match report.Pipeline.static with
-            | Some r -> r.Cobegin_static.Lint.findings <> []
-            | None -> false
-          in
-          exit_code ~stage_failures:report.Pipeline.stage_failures
-            ~static_findings report.Pipeline.status
-        end
+    | Ok () -> (
+        if debug then Printexc.record_backtrace true;
+        match read_program file with
+        | Error e ->
+            Format.eprintf "%s@." e;
+            1
+        | Ok prog ->
+            if lint_only then begin
+              (* static suite alone: no exploration, no budget; the
+                 canonical-order self-check makes non-canonical output a
+                 crash the CI sweep catches *)
+              let r = Cobegin_static.Lint.run prog in
+              Cobegin_static.Report.assert_canonical
+                r.Cobegin_static.Lint.findings;
+              Format.printf "%a@." Cobegin_static.Lint.pp r;
+              if r.Cobegin_static.Lint.findings <> [] then 4 else 0
+            end
+            else begin
+              let t0 = Unix.gettimeofday () in
+              if metrics <> None then Obs.Metrics.set_enabled true;
+              let spans =
+                match trace with
+                | None -> None
+                | Some _ -> Some (Obs.Span.create ())
+              in
+              let probe = make_probe ~progress in
+              let report = Pipeline.analyze ~options ?spans ?probe prog in
+              Format.printf "%a@." Pipeline.pp_report report;
+              List.iter
+                (fun f -> Format.eprintf "%a@." Pipeline.pp_stage_failure f)
+                report.Pipeline.stage_failures;
+              print_backtraces ~debug report;
+              report_recovery report;
+              (match (trace, spans) with
+              | Some path, Some t -> Obs.Span.write_trace t path
+              | _ -> ());
+              Option.iter (fun path -> write_metrics path ~t0) metrics;
+              report_status ~t0 report.Pipeline.status;
+              let static_findings =
+                match report.Pipeline.static with
+                | Some r -> r.Cobegin_static.Lint.findings <> []
+                | None -> false
+              in
+              exit_code ~stage_failures:report.Pipeline.stage_failures
+                ~static_findings ~degraded:report.Pipeline.degraded
+                report.Pipeline.status
+            end)
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Run the full analysis pipeline on a program.")
     Term.(
       const run $ file_arg $ options_term $ lint_only_arg $ trace_arg
-      $ metrics_arg $ progress_arg)
+      $ metrics_arg $ progress_arg $ chaos_arg $ debug_arg)
 
 let explore_cmd =
   let run file coarsen max_configs max_transitions timeout_s max_heap_mb
-      jobs metrics progress =
+      jobs metrics progress chaos ckpt ckpt_every ckpt_secs resume_path =
+    match install_chaos chaos with
+    | Error e ->
+        Format.eprintf "%s@." e;
+        1
+    | Ok () -> (
     match read_program file with
     | Error e ->
         Format.eprintf "%s@." e;
         1
-    | Ok prog ->
+    | Ok prog -> (
         let t0 = Unix.gettimeofday () in
         if metrics <> None then Obs.Metrics.set_enabled true;
         let probe = make_probe ~progress in
@@ -361,6 +502,32 @@ let explore_cmd =
           Option.iter (fun p -> Obs.Probe.set_budget p b) probe;
           b
         in
+        let rec body () =
+          match (resume_path, ckpt) with
+          | Some path, _ | None, Some path ->
+              (* checkpoint mode: the checkpointed sequential full engine
+                 only, printing the same "full:" row as the comparison
+                 mode so a resumed run's counts diff cleanly against an
+                 uninterrupted one *)
+              let cadence =
+                {
+                  Cobegin_explore.Checkpoint.every_configs =
+                    max 1 ckpt_every;
+                  every_s = ckpt_secs;
+                }
+              in
+              let engine =
+                if resume_path <> None then Cobegin_explore.Checkpoint.resume
+                else Cobegin_explore.Checkpoint.full
+              in
+              let r = engine ~budget:(budget ()) ?probe ~cadence ~path ctx in
+              Format.printf "full:     %a@." Cobegin_explore.Space.pp_stats
+                r.Cobegin_explore.Space.stats;
+              Option.iter (fun path -> write_metrics path ~t0) metrics;
+              report_status ~t0 r.Cobegin_explore.Space.status;
+              exit_code r.Cobegin_explore.Space.status
+          | None, None -> run_comparison ()
+        and run_comparison () =
         let full =
           Cobegin_explore.Space.full ~budget:(budget ()) ?probe ctx
         in
@@ -422,6 +589,18 @@ let explore_cmd =
         Option.iter (fun path -> write_metrics path ~t0) metrics;
         report_status ~t0 status;
         exit_code status
+        in
+        match body () with
+        | code -> code
+        | exception Cobegin_explore.Checkpoint.Corrupt msg ->
+            Format.eprintf "checkpoint: %s@." msg;
+            1
+        | exception e when structured_fault e <> None -> (
+            match structured_fault e with
+            | Some d ->
+                Format.eprintf "aborted by injected fault: %s@." d;
+                3
+            | None -> assert false)))
   in
   Cmd.v
     (Cmd.info "explore"
@@ -429,38 +608,52 @@ let explore_cmd =
     Term.(
       const run $ file_arg $ coarsen_arg $ max_configs_arg
       $ max_transitions_arg $ timeout_arg $ max_heap_mb_arg $ jobs_arg
-      $ metrics_arg $ progress_arg)
+      $ metrics_arg $ progress_arg $ chaos_arg $ checkpoint_arg
+      $ checkpoint_every_arg $ checkpoint_secs_arg $ resume_arg)
 
 let races_cmd =
   let run file max_configs max_transitions timeout_s max_heap_mb metrics
-      progress =
-    match read_program file with
+      progress chaos =
+    match install_chaos chaos with
     | Error e ->
         Format.eprintf "%s@." e;
         1
-    | Ok prog ->
-        let t0 = Unix.gettimeofday () in
-        if metrics <> None then Obs.Metrics.set_enabled true;
-        let ctx = Cobegin_semantics.Step.make_ctx prog in
-        let budget =
-          Budget.create ~max_configs ?max_transitions ?timeout_s
-            ?max_heap_words:(Option.map heap_words_of_mb max_heap_mb)
-            ()
-        in
-        let probe = make_probe ~progress in
-        Option.iter (fun p -> Obs.Probe.set_budget p budget) probe;
-        let result = Cobegin_analysis.Race.find ~budget ?probe ctx in
-        Format.printf "%a@." Cobegin_analysis.Race.pp
-          result.Cobegin_analysis.Race.races;
-        Option.iter (fun path -> write_metrics path ~t0) metrics;
-        report_status ~t0 result.Cobegin_analysis.Race.status;
-        exit_code result.Cobegin_analysis.Race.status
+    | Ok () -> (
+        match read_program file with
+        | Error e ->
+            Format.eprintf "%s@." e;
+            1
+        | Ok prog -> (
+            let t0 = Unix.gettimeofday () in
+            if metrics <> None then Obs.Metrics.set_enabled true;
+            let ctx = Cobegin_semantics.Step.make_ctx prog in
+            let budget =
+              Budget.create ~max_configs ?max_transitions ?timeout_s
+                ?max_heap_words:(Option.map heap_words_of_mb max_heap_mb)
+                ()
+            in
+            let probe = make_probe ~progress in
+            Option.iter (fun p -> Obs.Probe.set_budget p budget) probe;
+            match Cobegin_analysis.Race.find ~budget ?probe ctx with
+            | result ->
+                Format.printf "%a@." Cobegin_analysis.Race.pp
+                  result.Cobegin_analysis.Race.races;
+                Option.iter (fun path -> write_metrics path ~t0) metrics;
+                report_status ~t0 result.Cobegin_analysis.Race.status;
+                exit_code result.Cobegin_analysis.Race.status
+            | exception e when structured_fault e <> None -> (
+                match structured_fault e with
+                | Some d ->
+                    Format.eprintf "aborted by injected fault: %s@." d;
+                    3
+                | None -> assert false)))
   in
   Cmd.v
     (Cmd.info "races" ~doc:"Detect access anomalies by co-enabledness.")
     Term.(
       const run $ file_arg $ max_configs_arg $ max_transitions_arg
-      $ timeout_arg $ max_heap_mb_arg $ metrics_arg $ progress_arg)
+      $ timeout_arg $ max_heap_mb_arg $ metrics_arg $ progress_arg
+      $ chaos_arg)
 
 let parallel_cmd =
   let run file options =
@@ -477,9 +670,10 @@ let parallel_cmd =
           (fun f ->
             Format.eprintf "%a@." Pipeline.pp_stage_failure f)
           report.Pipeline.stage_failures;
+        report_recovery report;
         report_status ~t0 report.Pipeline.status;
         exit_code ~stage_failures:report.Pipeline.stage_failures
-          report.Pipeline.status
+          ~degraded:report.Pipeline.degraded report.Pipeline.status
   in
   Cmd.v
     (Cmd.info "parallel"

@@ -87,6 +87,7 @@ let find ?(max_configs = 200_000) ?budget ?probe ctx : result =
     | Some r -> stop := Some r
     | None -> ());
     if !stop = None then begin
+    Fault.hit "races.pop";
     (match probe with
     | None -> ()
     | Some p ->

@@ -10,6 +10,7 @@ type reason =
   | Deadline of float
   | Heap_words of int
   | Fuel of int
+  | Crash of string (* a stage/engine crash the supervisor gave up on *)
 
 type status = Complete | Truncated of reason
 
@@ -24,6 +25,7 @@ let pp_reason ppf = function
   | Deadline s -> Format.fprintf ppf "deadline (%gs)" s
   | Heap_words n -> Format.fprintf ppf "heap watermark (%d words)" n
   | Fuel n -> Format.fprintf ppf "iteration fuel (%d)" n
+  | Crash d -> Format.fprintf ppf "crash (%s)" d
 
 let pp_status ppf = function
   | Complete -> Format.pp_print_string ppf "complete"
@@ -131,6 +133,7 @@ let reason_label = function
   | Deadline _ -> "deadline_s"
   | Heap_words _ -> "heap_words"
   | Fuel _ -> "fuel"
+  | Crash _ -> "crash"
 
 type headroom = { h_reason : reason; h_consumed : float; h_limit : float }
 

@@ -23,6 +23,12 @@ type reason =
   | Deadline of float  (** wall-clock limit, in seconds *)
   | Heap_words of int  (** major-heap watermark, in words *)
   | Fuel of int  (** fixpoint iteration fuel (abstract machine) *)
+  | Crash of string
+      (** a stage or engine crashed and the supervisor exhausted its
+          recovery ladder; the string is the final diagnostic.  The
+          partial results reported alongside are still everything that
+          was really computed — a [Truncated (Crash _)] report is
+          degraded, never fabricated. *)
 
 (** Completion status of an engine run.  [Truncated] results are
     partial but valid: every configuration, statistic and log entry
@@ -91,7 +97,8 @@ val status_of : reason option -> status
 
 val reason_label : reason -> string
 (** Stable short label for machine-readable output: ["configs"],
-    ["transitions"], ["deadline_s"], ["heap_words"], ["fuel"]. *)
+    ["transitions"], ["deadline_s"], ["heap_words"], ["fuel"],
+    ["crash"]. *)
 
 type headroom = {
   h_reason : reason;  (** the limit kind, carrying its limit value *)

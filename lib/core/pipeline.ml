@@ -27,6 +27,11 @@ open Cobegin_absint
 open Cobegin_analysis
 open Cobegin_apps
 module Span = Cobegin_obs.Span
+module Metrics = Cobegin_obs.Metrics
+
+(* Telemetry: stage attempts beyond the first (retries and ladder
+   rungs).  One branch when telemetry is disabled. *)
+let m_retries = Metrics.counter "pipeline.retries"
 
 type engine =
   | Concrete_full (* ordinary state-space generation *)
@@ -51,6 +56,7 @@ type options = {
   find_races : bool; (* co-enabledness race scan (concrete engines) *)
   lint : bool; (* static concurrency lints (budget-free pre-stage) *)
   jobs : int; (* exploration domains; 1 = sequential engine *)
+  retries : int; (* extra same-options attempts per crashed stage *)
 }
 
 let default_options =
@@ -65,6 +71,7 @@ let default_options =
     find_races = false;
     lint = false;
     jobs = 1;
+    retries = 1;
   }
 
 (* Multi-domain runs get a shared-mode budget: atomic sampling counter
@@ -84,10 +91,38 @@ type exploration_stats = {
   errors : int;
 }
 
-type stage_failure = { stage : string; diagnostic : string }
+type stage_failure = {
+  stage : string;
+  diagnostic : string;
+  backtrace : string option; (* captured trace, when one was recorded *)
+}
 
 let pp_stage_failure ppf f =
   Format.fprintf ppf "stage %s failed: %s" f.stage f.diagnostic
+
+(* Supervision: what the pipeline did about a failed stage attempt. *)
+type recovery_action =
+  | Retry
+  | Degrade_jobs of { from_jobs : int; to_jobs : int }
+  | Give_up
+
+type recovery_rung = {
+  r_stage : string;
+  r_attempt : int; (* 1-based attempt that failed *)
+  r_diagnostic : string;
+  r_backtrace : string option;
+  r_action : recovery_action;
+}
+
+let pp_recovery_action ppf = function
+  | Retry -> Format.pp_print_string ppf "retried"
+  | Degrade_jobs { from_jobs; to_jobs } ->
+      Format.fprintf ppf "degraded jobs %d -> %d" from_jobs to_jobs
+  | Give_up -> Format.pp_print_string ppf "gave up"
+
+let pp_recovery_rung ppf r =
+  Format.fprintf ppf "%s attempt %d failed (%s): %a" r.r_stage r.r_attempt
+    r.r_diagnostic pp_recovery_action r.r_action
 
 type report = {
   program : Ast.program; (* after transforms *)
@@ -95,6 +130,8 @@ type report = {
   stats : exploration_stats;
   status : Budget.status; (* completeness of the exploration(s) *)
   stage_failures : stage_failure list; (* crashed analyses, if any *)
+  recovery : recovery_rung list; (* supervision ladder, in firing order *)
+  degraded : bool; (* a result-bearing stage exhausted its ladder *)
   log : Event.log;
   side_effects : Side_effect.report list;
   deps : Depend.DepSet.t;
@@ -193,16 +230,66 @@ let analyze ?(options = default_options) ?(stage_hook = fun _ -> ()) ?spans
     match spans with None -> 0 | Some t -> Span.event_count t
   in
   let failures = ref [] in
+  let recovery = ref [] in
+  (* A failed attempt's backtrace: prefer the one a failed parallel
+     worker captured on its own domain; else whatever the runtime
+     recorded here (empty unless --debug / record_backtrace). *)
+  let backtrace_text cause bt =
+    match cause with
+    | Parallel.Worker_failed { backtrace; _ } when String.trim backtrace <> ""
+      ->
+        Some backtrace
+    | _ ->
+        let s = Printexc.raw_backtrace_to_string bt in
+        if String.trim s = "" then None else Some s
+  in
+  let record_rung ~stage ~attempt ~action cause bt =
+    recovery :=
+      {
+        r_stage = stage;
+        r_attempt = attempt;
+        r_diagnostic = Printexc.to_string cause;
+        r_backtrace = backtrace_text cause bt;
+        r_action = action;
+      }
+      :: !recovery
+  in
+  let record_failure ~stage cause bt =
+    failures :=
+      {
+        stage;
+        diagnostic = Printexc.to_string cause;
+        backtrace = backtrace_text cause bt;
+      }
+      :: !failures
+  in
+  let run_body name f =
+    stage_hook name;
+    Fault.hit ("pipeline." ^ name);
+    match spans with None -> f () | Some t -> Span.with_span t name f
+  in
+  (* Supervised stage: up to [1 + retries] attempts; every failed
+     attempt is a recovery rung, only the final one (the give-up) is a
+     stage failure, so a retried-and-completed stage reports clean
+     results plus its ladder. *)
   let stage name ~default f =
-    try
-      stage_hook name;
-      match spans with
-      | None -> f ()
-      | Some t -> Span.with_span t name f
-    with e ->
-      failures :=
-        { stage = name; diagnostic = Printexc.to_string e } :: !failures;
-      default
+    let attempts = 1 + max 0 options.retries in
+    let rec go attempt =
+      try run_body name f
+      with e ->
+        let bt = Printexc.get_raw_backtrace () in
+        if attempt < attempts then begin
+          record_rung ~stage:name ~attempt ~action:Retry e bt;
+          Metrics.incr m_retries;
+          go (attempt + 1)
+        end
+        else begin
+          record_rung ~stage:name ~attempt ~action:Give_up e bt;
+          record_failure ~stage:name e bt;
+          default
+        end
+    in
+    go 1
   in
   (* the static lints run before (and independently of) exploration:
      they are polynomial in program size, so no budget governs them *)
@@ -212,20 +299,59 @@ let analyze ?(options = default_options) ?(stage_hook = fun _ -> ()) ?spans
           Some (Cobegin_static.Lint.run prog))
     else None
   in
+  (* Exploration runs under a degradation ladder instead of the plain
+     retry loop: a multi-domain crash first falls back to the
+     sequential engine (jobs N -> 1), then retries sequentially, and
+     only then gives up — returning empty stats tagged
+     [Truncated (Crash _)], never a fabricated [Complete].  One budget
+     spans all rungs, so the ladder honors the end-to-end time box. *)
+  let empty_stats =
+    {
+      configurations = 0;
+      transitions = 0;
+      max_frontier = 0;
+      finals = 0;
+      deadlocks = 0;
+      errors = 0;
+    }
+  in
   let stats, log, status =
-    stage "exploration"
-      ~default:
-        ( {
-            configurations = 0;
-            transitions = 0;
-            max_frontier = 0;
-            finals = 0;
-            deadlocks = 0;
-            errors = 0;
-          },
-          empty_log,
-          Budget.Complete )
-      (fun () -> run_engine ~budget ?probe options prog)
+    let ladder =
+      (if options.jobs > 1 then [ options; { options with jobs = 1 } ]
+       else [ options ])
+      @ List.init (max 0 options.retries) (fun _ -> { options with jobs = 1 })
+    in
+    let rec go attempt = function
+      | [] -> assert false
+      | o :: rest -> (
+          match
+            run_body "exploration" (fun () ->
+                run_engine ~budget ?probe o prog)
+          with
+          | r -> r
+          | exception e -> (
+              let bt = Printexc.get_raw_backtrace () in
+              let action =
+                match rest with
+                | next :: _ when next.jobs < o.jobs ->
+                    Degrade_jobs { from_jobs = o.jobs; to_jobs = next.jobs }
+                | _ :: _ -> Retry
+                | [] -> Give_up
+              in
+              record_rung ~stage:"exploration" ~attempt ~action e bt;
+              match action with
+              | Give_up ->
+                  record_failure ~stage:"exploration" e bt;
+                  ( empty_stats,
+                    empty_log,
+                    Budget.Truncated
+                      (Budget.Crash
+                         ("exploration: " ^ Printexc.to_string e)) )
+              | Retry | Degrade_jobs _ ->
+                  Metrics.incr m_retries;
+                  go (attempt + 1) rest))
+    in
+    go 1 ladder
   in
   let side_effects =
     stage "side-effects" ~default:[] (fun () ->
@@ -254,7 +380,17 @@ let analyze ?(options = default_options) ?(stage_hook = fun _ -> ()) ?spans
                 { Race.races = Race.RaceSet.empty; status = Budget.Complete }
               (fun () -> Race.find ~budget ?probe (Step.make_ctx prog))
           in
-          (Some r.Race.races, Budget.combine status r.Race.status)
+          (* a races give-up must not masquerade as a complete scan:
+             tag the status with the crash instead of the default *)
+          let race_status =
+            match
+              List.find_opt (fun f -> f.stage = "races") !failures
+            with
+            | Some f ->
+                Budget.Truncated (Budget.Crash ("races: " ^ f.diagnostic))
+            | None -> r.Race.status
+          in
+          (Some r.Race.races, Budget.combine status race_status)
       | Abstract _ -> (None, status)
     else (None, status)
   in
@@ -268,12 +404,17 @@ let analyze ?(options = default_options) ?(stage_hook = fun _ -> ()) ?spans
     | Some t ->
         List.filteri (fun i _ -> i >= pre_events) (Span.durations t)
   in
+  let degraded =
+    match status with Budget.Truncated (Budget.Crash _) -> true | _ -> false
+  in
   {
     program = prog;
     engine_used = options.engine;
     stats;
     status;
     stage_failures = List.rev !failures;
+    recovery = List.rev !recovery;
+    degraded;
     log;
     side_effects;
     deps;
@@ -306,11 +447,17 @@ let pp_report ppf (r : report) =
      effects:@ %a@ @ parallel dependences:@ %a@ @ lifetimes:@ %a@ @ \
      placement:@ %a@ @ deallocation plan:@ %a%a%a%a@]"
     pp_engine r.engine_used pp_stats r.stats Budget.pp_status r.status
-    (fun ppf -> function
+    (fun ppf (fs, rungs) ->
+      List.iter (fun f -> Format.fprintf ppf "@ %a" pp_stage_failure f) fs;
+      match rungs with
       | [] -> ()
-      | fs ->
-          List.iter (fun f -> Format.fprintf ppf "@ %a" pp_stage_failure f) fs)
-    r.stage_failures Critical.pp r.critical
+      | rungs ->
+          Format.fprintf ppf "@ recovery:";
+          List.iter
+            (fun rung -> Format.fprintf ppf "@   %a" pp_recovery_rung rung)
+            rungs)
+    (r.stage_failures, r.recovery)
+    Critical.pp r.critical
     (Format.pp_print_list ~pp_sep:Format.pp_print_cut Side_effect.pp_report)
     r.side_effects Depend.pp_deps
     (Depend.DepSet.filter (fun d -> d.Depend.parallel) r.deps)

@@ -53,12 +53,17 @@ type options = {
           counts and terminal multisets, see the engine's docs.  The
           stubborn strategy and the abstract engines stay sequential
           regardless. *)
+  retries : int;
+      (** extra attempts the supervisor grants a crashed stage (default
+          1).  Exploration additionally walks the degradation ladder
+          first: a multi-domain crash falls back to [jobs = 1] before
+          any same-options retry.  [0] disables retrying. *)
 }
 
 val default_options : options
 (** Concrete full engine, no transforms, 500k configuration budget, no
     transition/time/heap limits, no race scan, no static lints, one
-    exploration domain. *)
+    exploration domain, one retry per crashed stage. *)
 
 val budget_of_options : options -> Budget.t
 (** The budget {!analyze} runs under, fresh each call.  Created in
@@ -77,9 +82,41 @@ type exploration_stats = {
 type stage_failure = {
   stage : string;  (** e.g. ["side-effects"], ["races"] *)
   diagnostic : string;  (** printed form of the escaping exception *)
+  backtrace : string option;
+      (** the raised backtrace, when one was recorded
+          ([Printexc.record_backtrace] — the CLI's [--debug] — or a
+          parallel worker's own capture); [None] otherwise *)
 }
 
 val pp_stage_failure : Format.formatter -> stage_failure -> unit
+
+(** {2 Supervision}
+
+    Every stage runs under a supervisor: a crashing stage is retried up
+    to [retries] times; the exploration stage first walks a degradation
+    ladder ([jobs N -> jobs 1 -> give up]).  Each failed attempt is
+    recorded as a rung.  A stage that eventually succeeds reports clean
+    results plus its rungs; a stage that gives up contributes its
+    default result, a {!stage_failure}, and — for the result-bearing
+    stages (exploration, races) — a [Truncated (Crash _)] status, so a
+    degraded report is never mistaken for a complete one. *)
+
+type recovery_action =
+  | Retry  (** same options, next attempt *)
+  | Degrade_jobs of { from_jobs : int; to_jobs : int }
+      (** exploration fell back toward the sequential engine *)
+  | Give_up  (** ladder exhausted; the stage's default stands *)
+
+type recovery_rung = {
+  r_stage : string;
+  r_attempt : int;  (** 1-based attempt that failed *)
+  r_diagnostic : string;
+  r_backtrace : string option;
+  r_action : recovery_action;  (** what the supervisor did next *)
+}
+
+val pp_recovery_action : Format.formatter -> recovery_action -> unit
+val pp_recovery_rung : Format.formatter -> recovery_rung -> unit
 
 type report = {
   program : Ast.program;  (** the program after transforms *)
@@ -89,7 +126,16 @@ type report = {
       (** [Truncated _] if any budget fired during exploration or the
           race scan; the rest of the report describes the partial run *)
   stage_failures : stage_failure list;
-      (** analyses that crashed; their report fields hold defaults *)
+      (** analyses that crashed {e and exhausted their ladder}; their
+          report fields hold defaults *)
+  recovery : recovery_rung list;
+      (** every failed stage attempt and what the supervisor did, in
+          firing order; empty on an undisturbed run *)
+  degraded : bool;
+      (** a result-bearing stage gave up: [status] carries
+          [Truncated (Crash _)] and the report is an honest partial
+          result — the CLI surfaces this as a DEGRADED banner and exit
+          code 5 *)
   log : Event.log;  (** unified instrumentation log *)
   side_effects : Side_effect.report list;  (** one per procedure *)
   deps : Depend.DepSet.t;  (** all dependences (parallel + sequential) *)

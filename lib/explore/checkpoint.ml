@@ -1,0 +1,306 @@
+(* Checkpointed state-space generation (see checkpoint.mli).
+
+   The engine is Space.explore's BFS loop, iteration for iteration —
+   the determinism contract depends on it: a pop-count cadence picks
+   the same save points on every run, and a resumed run replays the
+   exact suffix of an uninterrupted one, so the final counts are
+   identical.
+
+   On-disk format: a magic string, then a Marshal'd header (format
+   version + full-width hash of the marshaled program), then a
+   Marshal'd payload.  The payload stores the visited set as digests
+   plus a snapshot of the intern pools behind them (Intern.snapshot):
+   digests are ids into process-local pools, so the restoring process
+   re-interns the snapshotted representations and remaps every saved
+   digest (Config.digest_of_ids) before use.  Frontier and terminal
+   configurations are marshaled structurally — they are pure data.
+
+   Writes go to a temp file renamed into place, so a crash mid-write
+   leaves the previous checkpoint intact, never a torn file. *)
+
+open Cobegin_semantics
+module Metrics = Cobegin_obs.Metrics
+module Probe = Cobegin_obs.Probe
+
+let m_saves = Metrics.counter "checkpoint.saves"
+let m_restores = Metrics.counter "checkpoint.restores"
+let h_save_ms = Metrics.histogram "checkpoint.save_ms"
+let h_restore_ms = Metrics.histogram "checkpoint.restore_ms"
+
+exception Corrupt of string
+
+let () =
+  Printexc.register_printer (function
+    | Corrupt msg -> Some ("corrupt checkpoint: " ^ msg)
+    | _ -> None)
+
+type cadence = { every_configs : int; every_s : float option }
+
+let default_cadence = { every_configs = 4096; every_s = None }
+
+let magic = "COBEGIN-CKPT\n"
+let version = 1
+
+type header = { hd_version : int; hd_program_hash : int }
+
+(* The in-flight state of the BFS between two pops: everything
+   Space.explore keeps in locals. *)
+type payload = {
+  ck_pools : Intern.snapshot;
+  ck_visited : Config.digest list;
+  ck_frontier : Config.t list; (* queue front first *)
+  ck_finals : Config.t list;
+  ck_deadlocks : Config.t list;
+  ck_errors : Config.t list;
+  ck_transitions : int;
+  ck_max_frontier : int;
+  ck_accesses : Step.access list list; (* reverse firing order *)
+  ck_allocs : Step.alloc list list;
+}
+
+(* The program identity a checkpoint is bound to: resuming under a
+   different program would silently mix state spaces. *)
+let program_hash (ctx : Step.ctx) =
+  Cobegin_hash.hash_string (Marshal.to_string ctx.Step.prog [])
+
+type live = {
+  visited : unit Config.Digest_tbl.t;
+  queue : Config.t Queue.t;
+  mutable finals : Config.t list;
+  mutable deadlocks : Config.t list;
+  mutable errors : Config.t list;
+  mutable transitions : int;
+  mutable max_frontier : int;
+  mutable accesses : Step.access list list;
+  mutable allocs : Step.alloc list list;
+}
+
+let save ~path ctx live =
+  Fault.hit "checkpoint.save";
+  let t0 = Unix.gettimeofday () in
+  let payload =
+    {
+      ck_pools = Intern.snapshot (Intern.global ());
+      ck_visited =
+        Config.Digest_tbl.fold (fun d () acc -> d :: acc) live.visited [];
+      ck_frontier = List.of_seq (Queue.to_seq live.queue);
+      ck_finals = live.finals;
+      ck_deadlocks = live.deadlocks;
+      ck_errors = live.errors;
+      ck_transitions = live.transitions;
+      ck_max_frontier = live.max_frontier;
+      ck_accesses = live.accesses;
+      ck_allocs = live.allocs;
+    }
+  in
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  (try
+     output_string oc magic;
+     Marshal.to_channel oc
+       { hd_version = version; hd_program_hash = program_hash ctx }
+       [];
+     Marshal.to_channel oc payload [];
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path;
+  Metrics.incr m_saves;
+  Metrics.observe h_save_ms
+    (int_of_float ((Unix.gettimeofday () -. t0) *. 1000.))
+
+let load_payload ~path ctx : payload =
+  let ic =
+    try open_in_bin path
+    with Sys_error e -> raise (Corrupt ("cannot open: " ^ e))
+  in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let m =
+        try really_input_string ic (String.length magic)
+        with End_of_file -> raise (Corrupt "truncated (no magic)")
+      in
+      if m <> magic then raise (Corrupt "not a cobegin checkpoint");
+      let hd =
+        try (Marshal.from_channel ic : header)
+        with End_of_file | Failure _ -> raise (Corrupt "truncated header")
+      in
+      if hd.hd_version <> version then
+        raise
+          (Corrupt
+             (Printf.sprintf "format version %d, this build reads %d"
+                hd.hd_version version));
+      if hd.hd_program_hash <> program_hash ctx then
+        raise (Corrupt "written for a different program");
+      try (Marshal.from_channel ic : payload)
+      with End_of_file | Failure _ -> raise (Corrupt "truncated payload"))
+
+let fresh ctx =
+  let visited = Config.Digest_tbl.create 1024 in
+  let queue = Queue.create () in
+  let c0 = Step.init ctx in
+  Config.Digest_tbl.replace visited (Config.digest c0) ();
+  Queue.add c0 queue;
+  {
+    visited;
+    queue;
+    finals = [];
+    deadlocks = [];
+    errors = [];
+    transitions = 0;
+    max_frontier = 0;
+    accesses = [];
+    allocs = [];
+  }
+
+let live_of_payload (p : payload) =
+  let t0 = Unix.gettimeofday () in
+  let rm = Intern.restore (Intern.global ()) p.ck_pools in
+  let remap_digest (d : Config.digest) =
+    Config.digest_of_ids
+      ~d_procs:(Array.map (fun i -> rm.Intern.rm_procs.(i)) d.Config.d_procs)
+      ~d_store:rm.Intern.rm_stores.(d.Config.d_store)
+      ~d_counters:rm.Intern.rm_counters.(d.Config.d_counters)
+      ~d_error:
+        (if d.Config.d_error < 0 then -1
+         else rm.Intern.rm_errors.(d.Config.d_error))
+  in
+  let visited = Config.Digest_tbl.create 1024 in
+  List.iter
+    (fun d -> Config.Digest_tbl.replace visited (remap_digest d) ())
+    p.ck_visited;
+  let queue = Queue.create () in
+  List.iter (fun c -> Queue.add c queue) p.ck_frontier;
+  Metrics.incr m_restores;
+  Metrics.observe h_restore_ms
+    (int_of_float ((Unix.gettimeofday () -. t0) *. 1000.));
+  {
+    visited;
+    queue;
+    finals = p.ck_finals;
+    deadlocks = p.ck_deadlocks;
+    errors = p.ck_errors;
+    transitions = p.ck_transitions;
+    max_frontier = p.ck_max_frontier;
+    accesses = p.ck_accesses;
+    allocs = p.ck_allocs;
+  }
+
+(* Space.explore's loop with a save every [cadence.every_configs] pops
+   (and every [every_s] seconds, when set).  The save sits at the
+   iteration boundary, before the pop it precedes, so "resume from the
+   last save" replays whole iterations — never half-fired expansions. *)
+let run ?(max_configs = 1_000_000) ?budget ?probe ~cadence ~path ctx live :
+    Space.result =
+  let budget =
+    match budget with Some b -> b | None -> Budget.create ~max_configs ()
+  in
+  let stop = ref None in
+  let since_save = ref 0 in
+  let last_save = ref (Unix.gettimeofday ()) in
+  while !stop = None && not (Queue.is_empty live.queue) do
+    match
+      Budget.check budget
+        ~configs:(Config.Digest_tbl.length live.visited)
+        ~transitions:live.transitions
+    with
+    | Some r -> stop := Some r
+    | None -> (
+        let time_due =
+          match cadence.every_s with
+          | Some s -> Unix.gettimeofday () -. !last_save >= s
+          | None -> false
+        in
+        (if !since_save >= cadence.every_configs || time_due then begin
+           save ~path ctx live;
+           since_save := 0;
+           last_save := Unix.gettimeofday ()
+         end);
+        incr since_save;
+        Fault.hit "checkpoint.pop";
+        (match probe with
+        | None -> ()
+        | Some p ->
+            Probe.tick p
+              ~configurations:(Config.Digest_tbl.length live.visited)
+              ~frontier:(Queue.length live.queue)
+              ~transitions:live.transitions);
+        live.max_frontier <- max live.max_frontier (Queue.length live.queue);
+        let c = Queue.pop live.queue in
+        if Config.is_error c then live.errors <- c :: live.errors
+        else if Config.all_terminated c then live.finals <- c :: live.finals
+        else
+          match Step.enabled_processes ctx c with
+          | [] -> live.deadlocks <- c :: live.deadlocks
+          | _ ->
+              let rec fire_each = function
+                | [] -> ()
+                | p :: rest ->
+                    live.transitions <- live.transitions + 1;
+                    let c', evs = Step.fire ctx c p in
+                    live.accesses <- evs.Step.accesses :: live.accesses;
+                    live.allocs <- evs.Step.allocs :: live.allocs;
+                    let d' = Config.digest c' in
+                    (if Config.Digest_tbl.mem live.visited d' then ()
+                     else
+                       match
+                         Budget.config_guard budget
+                           ~configs:(Config.Digest_tbl.length live.visited)
+                       with
+                       | Some r -> stop := Some r
+                       | None ->
+                           Config.Digest_tbl.replace live.visited d' ();
+                           Queue.add c' live.queue);
+                    if !stop = None then fire_each rest
+              in
+              fire_each (Step.enabled_processes ctx c))
+  done;
+  (* Save the pure in-flight state on truncation — the run can be
+     resumed later with a larger budget.  Before the drain: the drain
+     classifies the frontier without popping it, and a resumed run
+     will re-classify those same configurations itself. *)
+  if !stop <> None then save ~path ctx live;
+  let finals = ref live.finals
+  and deadlocks = ref live.deadlocks
+  and errors = ref live.errors in
+  if !stop <> None then
+    Queue.iter
+      (fun c ->
+        if Config.is_error c then errors := c :: !errors
+        else if Config.all_terminated c then finals := c :: !finals
+        else
+          match Step.enabled_processes ctx c with
+          | [] -> deadlocks := c :: !deadlocks
+          | _ -> ())
+      live.queue;
+  {
+    Space.status = Budget.status_of !stop;
+    stats =
+      {
+        Space.configurations = Config.Digest_tbl.length live.visited;
+        transitions = live.transitions;
+        max_frontier = live.max_frontier;
+        finals = List.length !finals;
+        deadlocks = List.length !deadlocks;
+        errors = List.length !errors;
+      };
+    final_configs = !finals;
+    deadlock_configs = !deadlocks;
+    error_configs = !errors;
+    log =
+      {
+        Step.accesses = List.concat (List.rev live.accesses);
+        Step.allocs = List.concat (List.rev live.allocs);
+      };
+  }
+
+let full ?max_configs ?budget ?probe ?(cadence = default_cadence) ~path ctx =
+  run ?max_configs ?budget ?probe ~cadence ~path ctx (fresh ctx)
+
+let resume ?max_configs ?budget ?probe ?(cadence = default_cadence) ~path ctx
+    =
+  run ?max_configs ?budget ?probe ~cadence ~path ctx
+    (live_of_payload (load_payload ~path ctx))

@@ -1,0 +1,66 @@
+(** Checkpointed state-space generation: {!Space.full} that survives
+    being killed.
+
+    The engine is the sequential full-interleaving BFS, iteration for
+    iteration, plus a cadenced serialization of the in-flight state —
+    visited set (as interned digests plus a snapshot of the intern
+    pools behind them, see {!Cobegin_semantics.Intern.snapshot}),
+    frontier, terminal configurations, transition counter and event
+    log — to [path].  Writes are atomic (temp file + rename): a crash
+    mid-write leaves the previous checkpoint intact.
+
+    {b Determinism contract.}  The BFS is deterministic and saves sit
+    at iteration boundaries, so a checkpoint is the exact state of the
+    uninterrupted run between two pops.  Killing a run at any point and
+    {!resume}-ing its last checkpoint therefore reports {e identical}
+    final statistics — configurations, transitions, max_frontier,
+    finals, deadlocks, errors — and identical final stores, as the run
+    that was never killed.  A truncated run also saves its final state,
+    so it can be resumed under a larger budget.
+
+    A checkpoint is bound to the program that produced it (a full-width
+    hash of the marshaled AST is stored in the header); resuming under
+    a different program, a different format version, or a torn file
+    raises {!Corrupt}.  Telemetry: [checkpoint.saves] /
+    [checkpoint.restores] counters, [checkpoint.save_ms] /
+    [checkpoint.restore_ms] histograms. *)
+
+open Cobegin_semantics
+
+exception Corrupt of string
+(** The file at [path] is not a usable checkpoint: bad magic, wrong
+    format version, written for a different program, or truncated. *)
+
+type cadence = {
+  every_configs : int;  (** save every n worklist pops *)
+  every_s : float option;  (** and every s seconds, when set *)
+}
+
+val default_cadence : cadence
+(** Every 4096 pops, no time trigger. *)
+
+val full :
+  ?max_configs:int ->
+  ?budget:Budget.t ->
+  ?probe:Cobegin_obs.Probe.t ->
+  ?cadence:cadence ->
+  path:string ->
+  Step.ctx ->
+  Space.result
+(** [full ~path ctx] — {!Space.full} with checkpoints written to
+    [path].  On a complete run the result equals {!Space.full}'s,
+    field for field. *)
+
+val resume :
+  ?max_configs:int ->
+  ?budget:Budget.t ->
+  ?probe:Cobegin_obs.Probe.t ->
+  ?cadence:cadence ->
+  path:string ->
+  Step.ctx ->
+  Space.result
+(** [resume ~path ctx] — load the checkpoint at [path] (written for
+    the same program) and continue it, checkpointing onward to the
+    same [path].
+    @raise Corrupt when the file is missing, torn, version-skewed or
+    bound to a different program *)

@@ -37,6 +37,17 @@ open Cobegin_semantics
 module Metrics = Cobegin_obs.Metrics
 module Probe = Cobegin_obs.Probe
 
+exception
+  Worker_failed of { domain : int; cause : exn; backtrace : string }
+
+let () =
+  Printexc.register_printer (function
+    | Worker_failed { domain; cause; backtrace = _ } ->
+        Some
+          (Printf.sprintf "parallel worker %d failed: %s" domain
+             (Printexc.to_string cause))
+    | _ -> None)
+
 let m_transitions = Metrics.counter "parallel.transitions"
 let m_digest_hits = Metrics.counter "parallel.digest_hits"
 let m_admitted = Metrics.counter "parallel.admitted"
@@ -130,6 +141,17 @@ let explore ?(max_configs = 1_000_000) ?budget ?probe ~jobs ctx ~expand :
     let latch r =
       ignore (Atomic.compare_and_set stop None (Some r) : bool)
     in
+    (* Failure latch: the first escaping exception of any worker, with
+       its domain and backtrace.  Setting it makes [stopping] true, so
+       the siblings — including any spinning in the steal loop on a
+       [pending] count the dead worker can no longer balance — drain
+       out and join instead of hanging. *)
+    let failed : (int * exn * Printexc.raw_backtrace) option Atomic.t =
+      Atomic.make None
+    in
+    let stopping () =
+      Atomic.get stop <> None || Atomic.get failed <> None
+    in
     (* Seed: admit the initial configuration on worker 0. *)
     let c0 = Step.init ctx in
     let d0 = Config.digest c0 in
@@ -146,7 +168,7 @@ let explore ?(max_configs = 1_000_000) ?budget ?probe ~jobs ctx ~expand :
          still in flight elsewhere; return None when the whole run is
          drained (pending = 0) or stopped. *)
       let rec next () =
-        if Atomic.get stop <> None then None
+        if stopping () then None
         else
           match wq_pop my with
           | Some c ->
@@ -216,7 +238,7 @@ let explore ?(max_configs = 1_000_000) ?budget ?probe ~jobs ctx ~expand :
               fire_each (expand c)
       in
       let rec loop () =
-        if Atomic.get stop = None then begin
+        if not (stopping ()) then begin
           (if w = 0 then
              match probe with
              | None -> ()
@@ -234,15 +256,37 @@ let explore ?(max_configs = 1_000_000) ?budget ?probe ~jobs ctx ~expand :
               match next () with
               | None -> ()
               | Some c ->
+                  Fault.worker_pop w;
                   process c;
                   Atomic.decr pending;
                   loop ())
         end
       in
-      loop ()
+      (* An exception escaping the loop body (a bug in expansion, an
+         injected fault) leaves [pending] unbalanced for the popped
+         configuration; without the failure latch the siblings would
+         spin on [pending > 0] forever.  Latch the first failure —
+         [stopping] then drains everyone — and let the main domain
+         re-raise it after the join. *)
+      try loop ()
+      with e ->
+        let bt = Printexc.get_raw_backtrace () in
+        ignore
+          (Atomic.compare_and_set failed None (Some (w, e, bt)) : bool)
     in
     let domains = Array.init jobs (fun w -> Domain.spawn (worker w)) in
     Array.iter Domain.join domains;
+    (match Atomic.get failed with
+    | Some (domain, cause, bt) ->
+        Printexc.raise_with_backtrace
+          (Worker_failed
+             {
+               domain;
+               cause;
+               backtrace = Printexc.raw_backtrace_to_string bt;
+             })
+          bt
+    | None -> ());
     let finals = ref [] and deadlocks = ref [] and errors = ref [] in
     Array.iter
       (fun a ->

@@ -29,6 +29,16 @@
 
 open Cobegin_semantics
 
+exception
+  Worker_failed of { domain : int; cause : exn; backtrace : string }
+(** A worker domain raised.  The first failure is latched, every
+    sibling drains out of the steal loop (no hang on the unbalanced
+    in-flight counter) and joins, and the failure is re-raised as this
+    structured diagnostic on the calling domain — [cause] is the
+    original exception, [backtrace] its captured trace.  Raised by
+    {!explore}/{!full} after the join; partial results are discarded
+    (a crashed expansion cannot vouch for them). *)
+
 val explore :
   ?max_configs:int ->
   ?budget:Budget.t ->

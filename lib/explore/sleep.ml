@@ -72,6 +72,7 @@ let explore ?(max_configs = 1_000_000) ?budget ?probe ?stats ctx :
     with
     | Some r -> stop := Some r
     | None -> (
+    Fault.hit "sleep.pop";
     (match probe with
     | None -> ()
     | Some p ->

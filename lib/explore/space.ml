@@ -85,6 +85,7 @@ let explore ?(max_configs = 1_000_000) ?budget ?probe ctx ~expand : result =
     with
     | Some r -> stop := Some r
     | None -> (
+        Fault.hit "space.pop";
         (match probe with
         | None -> ()
         | Some p ->

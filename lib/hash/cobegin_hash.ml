@@ -52,6 +52,13 @@ module Pool (H : Hashtbl.HashedType) = struct
             id)
 
   let size p = Mutex.protect p.lock (fun () -> p.next)
+
+  (* Consistent (key, id) listing for snapshotting: taken under the
+     pool mutex, so concurrent interns either appear fully or not at
+     all — ids in the listing are always a prefix 0..n-1. *)
+  let entries p =
+    Mutex.protect p.lock (fun () ->
+        T.fold (fun k id acc -> (k, id) :: acc) p.tbl [])
 end
 
 module Phys_memo = struct

@@ -46,6 +46,12 @@ module Pool (H : Hashtbl.HashedType) : sig
   val intern : t -> H.t -> int
   val size : t -> int
   (** Number of distinct keys interned so far (= the next fresh id). *)
+
+  val entries : t -> (H.t * int) list
+  (** Every (key, id) pair interned so far, in no particular order,
+      read atomically under the pool mutex — the ids always form the
+      contiguous range [0..size-1].  For snapshot/restore
+      ({!Intern}). *)
 end
 
 (** Best-effort memoization keyed by {e physical} identity.  A hit

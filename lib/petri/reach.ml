@@ -67,6 +67,7 @@ let explore ?(max_states = 10_000_000) ?budget net ~expand =
     with
     | Some r -> stop := Some r
     | None ->
+        Fault.hit "reach.pop";
         max_frontier := max !max_frontier (Queue.length queue);
         let m = Queue.pop queue in
         if Net.is_deadlock net m then deadlocks := m :: !deadlocks

@@ -76,6 +76,17 @@ type digest = {
   d_hash : int; (* precomputed full-width hash of the tuple *)
 }
 
+(* The one hash formula for digests — [digest] and [digest_of_ids]
+   must agree, or checkpointed visited sets stop matching live ones. *)
+let digest_of_ids ~d_procs ~d_store ~d_counters ~d_error =
+  let d_hash =
+    Cobegin_hash.combine
+      (Cobegin_hash.hash_int_array d_procs)
+      (Cobegin_hash.combine d_store
+         (Cobegin_hash.combine d_counters d_error))
+  in
+  { d_procs; d_store; d_counters; d_error; d_hash }
+
 let digest c =
   let st = Intern.global () in
   let d_procs =
@@ -88,13 +99,7 @@ let digest c =
   let d_store = Intern.store_id st c.store in
   let d_counters = Intern.counters_id st c.counters in
   let d_error = Intern.error_id st c.error in
-  let d_hash =
-    Cobegin_hash.combine
-      (Cobegin_hash.hash_int_array d_procs)
-      (Cobegin_hash.combine d_store
-         (Cobegin_hash.combine d_counters d_error))
-  in
-  { d_procs; d_store; d_counters; d_error; d_hash }
+  digest_of_ids ~d_procs ~d_store ~d_counters ~d_error
 
 let digest_equal a b =
   a.d_hash = b.d_hash && a.d_store = b.d_store

@@ -63,6 +63,13 @@ val digest : t -> digest
     ({!Intern.global}).  Cost: O(changed components) plus O(#procs) to
     assemble the tuple. *)
 
+val digest_of_ids :
+  d_procs:int array -> d_store:int -> d_counters:int -> d_error:int -> digest
+(** Rebuild a digest from component ids (recomputing [d_hash] with the
+    same formula {!digest} uses).  For checkpoint restore, where saved
+    ids are mapped through an {!Intern.remap} before reuse.  The ids
+    must come from the interner the digest will be compared under. *)
+
 val digest_equal : digest -> digest -> bool
 val digest_hash : digest -> int
 

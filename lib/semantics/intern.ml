@@ -184,3 +184,87 @@ let error_id st = function
 
 let distinct_procs st = Proc_pool.size st.procs
 let distinct_stores st = Store_pool.size st.stores
+
+(* --- snapshot / restore (checkpointing) ---
+
+   A snapshot is the canonical representations of every pool, indexed
+   by id.  Restoring re-interns them into a (possibly already
+   populated) interner and returns the old-id → new-id maps, so
+   digests serialized alongside a snapshot can be rebuilt against the
+   restoring process's pools.  Restoring into a fresh interner is the
+   identity remap (reprs are re-interned in saved-id order); restoring
+   into a warm one still yields valid, stable ids — only the numbers
+   change, and the remap records how. *)
+
+type snapshot = {
+  sn_procs : Proc.repr array;
+  sn_stores : (Value.loc * Value.t) list array;
+  sn_counters : ((Value.pid * int) * int) list array;
+  sn_errors : string array;
+}
+
+let pool_array (type k) ~(entries : (k * int) list) ~(size : int) : k array =
+  match entries with
+  | [] -> [||]
+  | (k0, _) :: _ ->
+      let a = Array.make size k0 in
+      List.iter (fun (k, id) -> a.(id) <- k) entries;
+      a
+
+let snapshot st =
+  {
+    sn_procs =
+      pool_array
+        ~entries:(Proc_pool.entries st.procs)
+        ~size:(Proc_pool.size st.procs);
+    sn_stores =
+      pool_array
+        ~entries:(Store_pool.entries st.stores)
+        ~size:(Store_pool.size st.stores);
+    sn_counters =
+      pool_array
+        ~entries:(Counter_pool.entries st.counters)
+        ~size:(Counter_pool.size st.counters);
+    sn_errors =
+      pool_array
+        ~entries:(String_pool.entries st.errors)
+        ~size:(String_pool.size st.errors);
+  }
+
+type remap = {
+  rm_procs : int array;
+  rm_stores : int array;
+  rm_counters : int array;
+  rm_errors : int array;
+}
+
+let restore st snap =
+  (* Straight to the pools, in saved-id order: the memos in front key
+     by physical identity and cannot help with freshly unmarshaled
+     values anyway.  Interning is idempotent, so components already in
+     the pools just resolve to their existing ids. *)
+  {
+    rm_procs =
+      Array.map
+        (fun r ->
+          Mutex.protect st.proc_lock (fun () -> Proc_pool.intern st.procs r))
+        snap.sn_procs;
+    rm_stores =
+      Array.map
+        (fun r ->
+          Mutex.protect st.store_lock (fun () ->
+              Store_pool.intern st.stores r))
+        snap.sn_stores;
+    rm_counters =
+      Array.map
+        (fun r ->
+          Mutex.protect st.counter_lock (fun () ->
+              Counter_pool.intern st.counters r))
+        snap.sn_counters;
+    rm_errors =
+      Array.map
+        (fun r ->
+          Mutex.protect st.error_lock (fun () ->
+              String_pool.intern st.errors r))
+        snap.sn_errors;
+  }

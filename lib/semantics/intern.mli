@@ -54,6 +54,33 @@ val distinct_procs : state -> int
 val distinct_stores : state -> int
 (** Pool sizes, for instrumentation and the E14 bench. *)
 
+(** {2 Snapshot / restore}
+
+    Checkpointing support ({!Cobegin_explore.Checkpoint}): a snapshot
+    captures the canonical representations behind every interned id, so
+    digests serialized to disk can be rebuilt in another process. *)
+
+type snapshot
+(** The id-indexed contents of all four pools.  Pure data
+    ([Marshal]-safe), taken atomically per pool. *)
+
+val snapshot : state -> snapshot
+
+type remap = {
+  rm_procs : int array;  (** saved proc id → id in the restored pools *)
+  rm_stores : int array;
+  rm_counters : int array;
+  rm_errors : int array;
+}
+
+val restore : state -> snapshot -> remap
+(** Re-intern every snapshotted representation into [st] (idempotent
+    for components already present) and return the saved-id → new-id
+    maps.  Restoring a snapshot into the fresh interner of a new
+    process yields the identity remap; restoring into a warm interner
+    yields valid ids that merely differ in numbering.  The saved error
+    id [-1] ([None]) is not in the map — it stays [-1]. *)
+
 (** {2 Full-width hashes over canonical representations}
 
     Exposed for the intern pools themselves and for clients that hash

@@ -18,5 +18,6 @@ let () =
       ("static", Test_static.suite);
       ("apps", Test_apps.suite);
       ("pipeline", Test_pipeline.suite);
+      ("fault", Test_fault.suite);
       ("obs", Test_obs.suite);
     ]
