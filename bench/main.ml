@@ -808,6 +808,90 @@ let e17 () =
           let r, t = wall (fun () -> Pipeline.analyze_source ~options src) in
           json_rec ~fault:(Printf.sprintf "%S" spec) ~wall_s:t r))
 
+(* --- E18: thread-modular interference — escaping the explosion ---
+
+   The rely-guarantee engine analyzes each philosopher once per fixpoint
+   round, so its cost is linear in N × rounds while every explicit
+   engine — even stubborn+sleep — pays a state space that grows
+   exponentially with N.  The crossover table runs both to N = 6 and the
+   interference engine alone to N = 30; the headline claim (asserted by
+   E18smoke in CI) is that philosophers-30 under interference costs less
+   wall time than philosophers-6 under the best explicit engine. *)
+
+let e18_wall f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let e18_interfere n =
+  let prog = parse (Philosophers.program n) in
+  e18_wall (fun () -> Interfere.run prog)
+
+let e18_sleep n =
+  let prog = parse (Philosophers.program n) in
+  e18_wall (fun () ->
+      Sleep.explore
+        ~budget:(Budget.create ~max_configs:500_000 ())
+        (Step.make_ctx prog))
+
+let e18 () =
+  section "E18" "Interference analysis vs explicit engines (philosophers)";
+  row "%-16s %14s %8s %14s %12s@." "workload" "interfere (s)" "rounds"
+    "sleep (s)" "configs";
+  List.iter
+    (fun n ->
+      let s, ti = e18_interfere n in
+      if n <= 6 then begin
+        let r, te = e18_sleep n in
+        row "philosophers-%-3d %14.6f %8d %14.6f %12d  (%s)@." n ti
+          s.Interfere.rounds te
+          r.Space.stats.Space.configurations
+          (Budget.status_to_string r.Space.status)
+      end
+      else
+        row "philosophers-%-3d %14.6f %8d %14s %12s@." n ti
+          s.Interfere.rounds "-" "-")
+    [ 2; 3; 4; 5; 6; 10; 20; 30 ];
+  let s30, t30 = e18_interfere 30 in
+  let _, t6 = e18_sleep 6 in
+  row
+    "crossover: interfere(phil-30) %.4fs vs sleep(phil-6) %.4fs — %.0fx \
+     under, status %s@."
+    t30 t6
+    (if t30 > 0. then t6 /. t30 else Float.infinity)
+    (Budget.status_to_string s30.Interfere.status)
+
+(* CI smoke variant: the acceptance gate — philosophers-30 under the
+   interference engine must complete, report no verdicts (the protocol
+   is clean), and cost less wall time than philosophers-6 under
+   stubborn+sleep.  Nonzero exit otherwise. *)
+let e18smoke () =
+  section "E18smoke" "interference crossover gate (CI gate)";
+  let s30, t30 = e18_interfere 30 in
+  let r6, t6 = e18_sleep 6 in
+  let v = s30.Interfere.verdicts in
+  let clean =
+    Budget.is_complete s30.Interfere.status
+    && v.Interfere.assert_may_fail = []
+    && v.Interfere.never_proceeds = []
+    && v.Interfere.error_sites = []
+    && v.Interfere.races = []
+  in
+  row "interfere(phil-30): %.4fs, %d rounds, %s | sleep(phil-6): %.4fs (%s)@."
+    t30 s30.Interfere.rounds
+    (Budget.status_to_string s30.Interfere.status)
+    t6
+    (Budget.status_to_string r6.Space.status);
+  if not clean then begin
+    row "GATE FAILED: philosophers-30 not clean/complete@.";
+    exit 1
+  end;
+  if t30 >= t6 then begin
+    row "GATE FAILED: interfere(phil-30) not under sleep(phil-6)@.";
+    exit 1
+  end;
+  row "gate passed: %.0fx under@." (t6 /. t30)
+
 (* --- Bechamel timings: one per experiment family --- *)
 
 let bechamel () =
@@ -881,6 +965,7 @@ let experiments =
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
     ("E12", e12); ("E13", e13); ("E14", e14); ("E14smoke", e14smoke);
     ("E15", e15); ("E16", e16); ("E16smoke", e16smoke); ("E17", e17);
+    ("E18", e18); ("E18smoke", e18smoke);
     ("TIMING", bechamel);
   ]
 

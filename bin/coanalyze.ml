@@ -4,6 +4,7 @@
      analyze   run an engine on a source file and print the full report
      explore   just the state-space statistics (full vs stubborn vs both)
      races     co-enabledness race scan
+     interfere thread-modular interference analysis (rely-guarantee)
      parallel  Shasha–Snir style parallelization report
      examples  print a named built-in example program
 
@@ -240,6 +241,15 @@ let lint_arg =
            lock-order cycles) as a budget-free pre-stage.  Findings make \
            the exit code 4.")
 
+let interfere_arg =
+  Arg.(
+    value & flag
+    & info [ "interfere" ]
+        ~doc:
+          "Also run the thread-modular interference analysis \
+           (rely-guarantee abstract interpretation) as a supervised \
+           pipeline stage.")
+
 let lint_only_arg =
   Arg.(
     value & flag
@@ -383,8 +393,8 @@ let resume_arg =
            the same program) and continue it, checkpointing onward to \
            the same file.")
 
-let mk_options engine domain folding coarsen inline races lint max_configs
-    max_transitions timeout_s max_heap_mb jobs retries =
+let mk_options engine domain folding coarsen inline races lint interfere
+    max_configs max_transitions timeout_s max_heap_mb jobs retries =
   let engine =
     match engine with
     | Pipeline.Abstract _ -> Pipeline.Abstract (domain, folding)
@@ -400,6 +410,7 @@ let mk_options engine domain folding coarsen inline races lint max_configs
     max_heap_words = Option.map heap_words_of_mb max_heap_mb;
     find_races = races;
     lint;
+    interfere;
     jobs = max 1 jobs;
     retries = max 0 retries;
   }
@@ -407,7 +418,7 @@ let mk_options engine domain folding coarsen inline races lint max_configs
 let options_term =
   Term.(
     const mk_options $ engine_arg $ domain_arg $ folding_arg $ coarsen_arg
-    $ inline_arg $ races_arg $ lint_arg $ max_configs_arg
+    $ inline_arg $ races_arg $ lint_arg $ interfere_arg $ max_configs_arg
     $ max_transitions_arg $ timeout_arg $ max_heap_mb_arg $ jobs_arg
     $ retries_arg)
 
@@ -655,6 +666,128 @@ let races_cmd =
       $ timeout_arg $ max_heap_mb_arg $ metrics_arg $ progress_arg
       $ chaos_arg)
 
+let interfere_cmd =
+  let no_locksets_arg =
+    Arg.(
+      value & flag
+      & info [ "no-locksets" ]
+          ~doc:
+            "Disable the lock-invariant refinement: every shared access \
+             sees full interference (the precision baseline).")
+  in
+  let check_soundness_arg =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Also run the explicit full engine (under the same limits) \
+             and verify that every concrete terminal store binding is \
+             contained in the abstract results; prints a \
+             \"soundness agreement\" line.  Containment failures make \
+             the exit code 1.")
+  in
+  let run file domain no_locksets check max_configs max_transitions
+      timeout_s max_heap_mb metrics progress chaos =
+    match install_chaos chaos with
+    | Error e ->
+        Format.eprintf "%s@." e;
+        1
+    | Ok () -> (
+        match read_program file with
+        | Error e ->
+            Format.eprintf "%s@." e;
+            1
+        | Ok prog -> (
+            let t0 = Unix.gettimeofday () in
+            if metrics <> None then Obs.Metrics.set_enabled true;
+            let mk_budget () =
+              Budget.create ~max_configs ?max_transitions ?timeout_s
+                ?max_heap_words:(Option.map heap_words_of_mb max_heap_mb)
+                ()
+            in
+            let budget = mk_budget () in
+            let probe = make_probe ~progress in
+            Option.iter (fun p -> Obs.Probe.set_budget p budget) probe;
+            match
+              Interfere.run ~domain ~locksets:(not no_locksets) ~budget
+                ?probe prog
+            with
+            | s ->
+                Format.printf "%a@." Interfere.pp_summary s;
+                let check_failed =
+                  if not check then false
+                  else begin
+                    (* a fresh budget so the abstract run's spend does not
+                       eat into the concrete reference run *)
+                    let ctx = Cobegin_semantics.Step.make_ctx prog in
+                    let r =
+                      Cobegin_explore.Space.full ~budget:(mk_budget ())
+                        ?probe ctx
+                    in
+                    if not (Budget.is_complete r.Cobegin_explore.Space.status)
+                    then begin
+                      Format.printf
+                        "soundness agreement: skipped (explicit engine \
+                         truncated)@.";
+                      false
+                    end
+                    else begin
+                      let bindings =
+                        List.concat_map
+                          (fun (c : Cobegin_semantics.Config.t) ->
+                            Cobegin_semantics.Store.bindings
+                              c.Cobegin_semantics.Config.store)
+                          (r.Cobegin_explore.Space.final_configs
+                          @ r.Cobegin_explore.Space.deadlock_configs
+                          @ r.Cobegin_explore.Space.error_configs)
+                      in
+                      match s.Interfere.check bindings with
+                      | [] ->
+                          Format.printf
+                            "soundness agreement: ok (%d concrete bindings \
+                             contained)@."
+                            (List.length bindings);
+                          false
+                      | violations ->
+                          Format.printf
+                            "soundness agreement: FAILED (%d of %d concrete \
+                             bindings escape the abstraction)@."
+                            (List.length violations)
+                            (List.length bindings);
+                          List.iter
+                            (fun ((loc : Cobegin_semantics.Value.loc), v) ->
+                              Format.printf "  site s%d offset %d: %a@."
+                                loc.Cobegin_semantics.Value.l_site
+                                loc.Cobegin_semantics.Value.l_off
+                                Cobegin_semantics.Value.pp v)
+                            violations;
+                          true
+                    end
+                  end
+                in
+                Option.iter (fun path -> write_metrics path ~t0) metrics;
+                report_status ~t0 s.Interfere.status;
+                if check_failed then 1 else exit_code s.Interfere.status
+            | exception e when structured_fault e <> None -> (
+                match structured_fault e with
+                | Some d ->
+                    Format.eprintf "aborted by injected fault: %s@." d;
+                    3
+                | None -> assert false)))
+  in
+  Cmd.v
+    (Cmd.info "interfere"
+       ~doc:
+         "Thread-modular interference analysis: per-process abstract \
+          interpretation under a rely-guarantee interference map, \
+          iterated to a fixpoint — polynomial where the explicit \
+          engines enumerate interleavings.")
+    Term.(
+      const run $ file_arg $ domain_arg $ no_locksets_arg
+      $ check_soundness_arg $ max_configs_arg $ max_transitions_arg
+      $ timeout_arg $ max_heap_mb_arg $ metrics_arg $ progress_arg
+      $ chaos_arg)
+
 let parallel_cmd =
   let run file options =
     match read_program file with
@@ -724,6 +857,13 @@ let main_cmd =
   in
   Cmd.group
     (Cmd.info "coanalyze" ~version:"1.0.0" ~doc)
-    [ analyze_cmd; explore_cmd; races_cmd; parallel_cmd; examples_cmd ]
+    [
+      analyze_cmd;
+      explore_cmd;
+      races_cmd;
+      interfere_cmd;
+      parallel_cmd;
+      examples_cmd;
+    ]
 
 let () = exit (Cmd.eval' main_cmd)

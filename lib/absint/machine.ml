@@ -27,9 +27,12 @@ type folding = Exact | Control | Clan
 module Obs_metrics = Cobegin_obs.Metrics
 module Obs_probe = Cobegin_obs.Probe
 
-let m_widenings = Obs_metrics.counter "machine.widenings"
-let m_fold_hits = Obs_metrics.counter "machine.fold_hits"
-let g_abs_frontier = Obs_metrics.gauge "machine.frontier"
+(* Engine-namespaced like the concrete engines' [space.*] / [stubborn.*]
+   families, so [--metrics] output lines up column-for-column. *)
+let m_widenings = Obs_metrics.counter "abstract.widenings"
+let m_fold_hits = Obs_metrics.counter "abstract.fold_hits"
+let g_abs_frontier = Obs_metrics.gauge "abstract.frontier"
+let g_abs_visited = Obs_metrics.gauge "abstract.visited"
 
 let pp_folding ppf f =
   Format.pp_print_string ppf
@@ -872,8 +875,10 @@ module Make (N : Lattice.NUMERIC) = struct
         | Some p ->
             Obs_probe.tick p ~configurations:(Key_tbl.length table)
               ~frontier:(Queue.length queue) ~transitions:!iterations);
-        if Obs_metrics.enabled () then
+        if Obs_metrics.enabled () then begin
           Obs_metrics.set g_abs_frontier (Queue.length queue);
+          Obs_metrics.set g_abs_visited (Key_tbl.length table)
+        end;
         max_frontier := max !max_frontier (Queue.length queue);
         incr iterations;
         let k = Queue.pop queue in

@@ -48,12 +48,14 @@ let known_sites =
     "pipeline.ctgc";
     "pipeline.races";
     "pipeline.critical";
+    "pipeline.interfere";
     "space.pop";
     "sleep.pop";
     "reach.pop";
     "races.pop";
     "checkpoint.pop";
     "checkpoint.save";
+    "interfere.iter";
   ]
 
 (* "parallel.worker<d>" sites are parameterized by the domain index. *)

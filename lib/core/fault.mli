@@ -28,7 +28,8 @@
     before the stage body), [space.pop], [sleep.pop], [reach.pop],
     [races.pop], [checkpoint.pop], [checkpoint.save] (once per worklist
     pop /
-    checkpoint write), and [parallel.worker<d>] (once per pop of worker
+    checkpoint write), [interfere.iter] (once per interference fixpoint
+    round), and [parallel.worker<d>] (once per pop of worker
     domain [d]).  Telemetry: injected faults count into the
     [fault.crashes] / [fault.delays] / [fault.ooms] / [fault.kills]
     counters. *)

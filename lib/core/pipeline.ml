@@ -55,6 +55,7 @@ type options = {
   max_heap_words : int option; (* GC major-heap watermark *)
   find_races : bool; (* co-enabledness race scan (concrete engines) *)
   lint : bool; (* static concurrency lints (budget-free pre-stage) *)
+  interfere : bool; (* thread-modular interference analysis *)
   jobs : int; (* exploration domains; 1 = sequential engine *)
   retries : int; (* extra same-options attempts per crashed stage *)
 }
@@ -70,6 +71,7 @@ let default_options =
     max_heap_words = None;
     find_races = false;
     lint = false;
+    interfere = false;
     jobs = 1;
     retries = 1;
   }
@@ -141,6 +143,7 @@ type report = {
   races : Race.RaceSet.t option;
   critical : Critical.conflicts;
   static : Cobegin_static.Lint.result option; (* when [lint] was set *)
+  interference : Interfere.summary option; (* when [interfere] was set *)
   telemetry : (string * float) list;
       (* per-stage wall seconds, in completion order; empty unless a span
          recorder was passed to [analyze] *)
@@ -299,6 +302,20 @@ let analyze ?(options = default_options) ?(stage_hook = fun _ -> ()) ?spans
           Some (Cobegin_static.Lint.run prog))
     else None
   in
+  (* the interference engine is thread-modular — polynomial, but its
+     fixpoint runs under the shared budget (rounds count as
+     configurations), so a pipeline deadline boxes it too *)
+  let interference =
+    if options.interfere then
+      let domain =
+        match options.engine with
+        | Abstract (d, _) -> d
+        | Concrete_full | Concrete_stubborn -> Analyzer.Intervals
+      in
+      stage "interfere" ~default:None (fun () ->
+          Some (Interfere.run ~domain ~budget ?probe prog))
+    else None
+  in
   (* Exploration runs under a degradation ladder instead of the plain
      retry loop: a multi-domain crash first falls back to the
      sequential engine (jobs N -> 1), then retries sequentially, and
@@ -424,6 +441,7 @@ let analyze ?(options = default_options) ?(stage_hook = fun _ -> ()) ?spans
     races;
     critical;
     static;
+    interference;
     telemetry;
   }
 
@@ -445,7 +463,7 @@ let pp_report ppf (r : report) =
   Format.fprintf ppf
     "@[<v>engine: %a@ %a@ status: %a%a@ @ critical references: %a@ @ side \
      effects:@ %a@ @ parallel dependences:@ %a@ @ lifetimes:@ %a@ @ \
-     placement:@ %a@ @ deallocation plan:@ %a%a%a%a@]"
+     placement:@ %a@ @ deallocation plan:@ %a%a%a%a%a@]"
     pp_engine r.engine_used pp_stats r.stats Budget.pp_status r.status
     (fun ppf (fs, rungs) ->
       List.iter (fun f -> Format.fprintf ppf "@ %a" pp_stage_failure f) fs;
@@ -473,6 +491,10 @@ let pp_report ppf (r : report) =
           Format.fprintf ppf "@ @ static lints:@ %a" Cobegin_static.Lint.pp
             static)
     r.static
+    (fun ppf -> function
+      | None -> ()
+      | Some s -> Format.fprintf ppf "@ @ %a" Interfere.pp_summary s)
+    r.interference
     (fun ppf -> function
       | [] -> ()
       | telemetry ->

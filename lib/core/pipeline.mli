@@ -46,6 +46,12 @@ type options = {
   lint : bool;
       (** run the static concurrency lints ({!Cobegin_static.Lint}) as a
           budget-free pre-stage *)
+  interfere : bool;
+      (** run the thread-modular interference analysis
+          ({!Cobegin_absint.Interfere}) as a supervised stage before
+          exploration; its fixpoint rounds are governed by the shared
+          budget.  The numeric domain follows the [Abstract] engine's
+          when one is selected, intervals otherwise. *)
   jobs : int;
       (** exploration domains.  [1] (the default) runs the sequential
           engine; [> 1] runs {!Cobegin_explore.Parallel} for the
@@ -62,8 +68,9 @@ type options = {
 
 val default_options : options
 (** Concrete full engine, no transforms, 500k configuration budget, no
-    transition/time/heap limits, no race scan, no static lints, one
-    exploration domain, one retry per crashed stage. *)
+    transition/time/heap limits, no race scan, no static lints, no
+    interference analysis, one exploration domain, one retry per
+    crashed stage. *)
 
 val budget_of_options : options -> Budget.t
 (** The budget {!analyze} runs under, fresh each call.  Created in
@@ -147,6 +154,9 @@ type report = {
   static : Cobegin_static.Lint.result option;
       (** when [lint] was set; the lints run before exploration and are
           not governed by the budget *)
+  interference : Interfere.summary option;
+      (** when [interfere] was set; [None] also when the stage crashed
+          and exhausted its ladder (see [stage_failures]) *)
   telemetry : (string * float) list;
       (** wall seconds per pipeline stage, in completion order; empty
           unless a span recorder was passed to {!analyze} *)

@@ -87,6 +87,30 @@ let widen old_ new_ =
       let hi = if bound_leq h2 h1 then h1 else PosInf in
       Range (lo, hi)
 
+(* Widening with thresholds: an unstable bound first jumps to the nearest
+   threshold beyond it (harvested from program constants by the caller) and
+   only escalates to infinity when no threshold remains.  Increasing chains
+   still stabilize — each unstable step consumes at least one threshold. *)
+let widen_thresholds ts old_ new_ =
+  match (old_, new_) with
+  | Empty, x | x, Empty -> x
+  | Range (l1, h1), Range (l2, h2) ->
+      let lo =
+        if bound_leq l1 l2 then l1
+        else
+          List.fold_left
+            (fun acc t -> if bound_leq (Fin t) l2 then bound_max acc (Fin t) else acc)
+            NegInf ts
+      in
+      let hi =
+        if bound_leq h2 h1 then h1
+        else
+          List.fold_left
+            (fun acc t -> if bound_leq h2 (Fin t) then bound_min acc (Fin t) else acc)
+            PosInf ts
+      in
+      Range (lo, hi)
+
 (* Narrowing: refine a widened fixpoint downwards. *)
 let narrow old_ new_ =
   match (old_, new_) with

@@ -38,6 +38,14 @@ val widen : t -> t -> t
     the corresponding infinity; guarantees stabilization of increasing
     chains. *)
 
+val widen_thresholds : int list -> t -> t -> t
+(** [widen_thresholds ts old next] is {!widen}, except an unstable bound
+    first lands on the nearest threshold in [ts] beyond it (smallest
+    [t >= hi] for the upper bound, largest [t <= lo] for the lower) and
+    only falls to infinity when no threshold remains.  Thresholds are
+    typically harvested from the program's integer constants; chains
+    still stabilize since each unstable step consumes a threshold. *)
+
 val narrow : t -> t -> t
 (** Refine a widened fixpoint downwards: infinite bounds of the first
     argument are replaced by the second's. *)

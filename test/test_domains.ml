@@ -234,6 +234,66 @@ let widening_tests =
     case "widen keeps stable bounds" (fun () ->
         let w = Interval.widen (Interval.range 0 5) (Interval.range 2 5) in
         check_bool "same" true Interval.(equal w (range 0 5)));
+    case "threshold widening lands on the nearest threshold" (fun () ->
+        let w =
+          Interval.widen_thresholds [ 0; 2; 10 ] (Interval.range 0 1)
+            (Interval.range 0 3)
+        in
+        check_bool "upper lands on 10" true Interval.(equal w (range 0 10));
+        let w =
+          Interval.widen_thresholds [ -5; 0 ]
+            (Interval.range 0 1)
+            (Interval.range (-2) 1)
+        in
+        check_bool "lower lands on -5" true Interval.(equal w (range (-5) 1)));
+    case "threshold widening escalates past the last threshold" (fun () ->
+        let w =
+          Interval.widen_thresholds [ 1; 2 ] (Interval.range 0 2)
+            (Interval.range 0 5)
+        in
+        check_bool "no threshold left: +oo" true
+          Interval.(equal w (of_bounds (Fin 0) PosInf)));
+    case "threshold widening keeps stable bounds" (fun () ->
+        let w =
+          Interval.widen_thresholds [ 7 ] (Interval.range 0 5)
+            (Interval.range 2 5)
+        in
+        check_bool "same" true Interval.(equal w (range 0 5)));
+    qtest "threshold widening refines plain widening"
+      QCheck2.Gen.(
+        triple
+          (list_size (0 -- 6) small_int)
+          (pair small_int small_int)
+          (pair small_int small_int))
+      (fun (ts, (a1, b1), (a2, b2)) ->
+        let old_ = Interval.range (min a1 b1) (max a1 b1) in
+        let new_ = Interval.join old_ (Interval.range (min a2 b2) (max a2 b2)) in
+        let wt = Interval.widen_thresholds ts old_ new_ in
+        (* an upper bound of both arguments, and never coarser than the
+           plain widening *)
+        Interval.leq new_ wt && Interval.leq old_ wt
+        && Interval.leq wt (Interval.widen old_ new_));
+    qtest "threshold widening stabilizes"
+      QCheck2.Gen.(
+        pair
+          (list_size (0 -- 5) small_int)
+          (list_size (1 -- 30) (pair small_int small_int)))
+      (fun (ts, steps) ->
+        let v = ref Interval.bottom in
+        let changes = ref 0 in
+        List.iter
+          (fun (a, b) ->
+            let next =
+              Interval.join !v (Interval.range (min a b) (max a b))
+            in
+            let w = Interval.widen_thresholds ts !v next in
+            if not (Interval.equal w !v) then incr changes;
+            v := w)
+          steps;
+        (* each bound moves strictly through the thresholds to infinity:
+           at most |ts|+1 unstable moves per bound, plus the first step
+           out of bottom *)
+        !changes <= (2 * List.length ts) + 3);
   ]
 
 (* --- interval unit tests --- *)

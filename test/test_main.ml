@@ -14,6 +14,7 @@ let () =
       ("protocols", Test_protocols.suite);
       ("petri", Test_petri.suite);
       ("absint", Test_absint.suite);
+      ("interfere", Test_interfere.suite);
       ("analysis", Test_analysis.suite);
       ("static", Test_static.suite);
       ("apps", Test_apps.suite);
