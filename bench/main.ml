@@ -892,6 +892,88 @@ let e18smoke () =
   end;
   row "gate passed: %.0fx under@." (t6 /. t30)
 
+(* --- E19: relaxed memory — the protocol matrix and the buffer blowup
+
+   The store-buffer models (docs/INTERNALS.md §11) make the classic
+   mutual-exclusion protocols fail exactly the way weak hardware breaks
+   them: Peterson and Dekker rely on store-to-load order (TSO and PSO
+   both relax it), and PSO additionally reorders the flag/turn stores.
+   The fenced variants verify clean under all three models.  The table
+   also shows the price: every reachable buffer occupancy multiplies
+   the state space. *)
+
+let e19_models = [ "peterson"; "peterson_fenced"; "dekker"; "dekker_fenced" ]
+
+let e19_run name model =
+  let src =
+    match Corpus.find name with
+    | Some src -> src
+    | None -> failwith ("no corpus model " ^ name)
+  in
+  Space.full (Step.make_ctx ~model (parse src))
+
+let e19 () =
+  section "E19" "TSO/PSO store buffers: protocol matrix and blowup";
+  row "%-18s %-5s %14s %12s %8s@." "model" "mm" "configurations"
+    "transitions" "errors";
+  List.iter
+    (fun name ->
+      List.iter
+        (fun (mm, model) ->
+          let r = e19_run name model in
+          row "%-18s %-5s %14d %12d %8d@." name mm
+            r.Space.stats.Space.configurations
+            r.Space.stats.Space.transitions r.Space.stats.Space.errors)
+        [ ("sc", Step.Sc); ("tso", Step.Tso); ("pso", Step.Pso) ])
+    e19_models;
+  let sc = e19_run "peterson" Step.Sc in
+  let pso = e19_run "peterson" Step.Pso in
+  row "blowup: peterson %d configs under SC, %d under PSO (%.0fx)@."
+    sc.Space.stats.Space.configurations pso.Space.stats.Space.configurations
+    (float_of_int pso.Space.stats.Space.configurations
+    /. float_of_int sc.Space.stats.Space.configurations)
+
+(* CI smoke variant: the acceptance gate — the unfenced protocols must
+   violate mutual exclusion under both relaxed models, the fenced ones
+   must verify clean under all three, and SC counts must sit at their
+   pinned seed values.  Nonzero exit otherwise. *)
+let e19smoke () =
+  section "E19smoke" "memory-model protocol gate (CI gate)";
+  let fail fmt =
+    Format.kasprintf
+      (fun m ->
+        row "GATE FAILED: %s@." m;
+        exit 1)
+      fmt
+  in
+  let errors name model =
+    let r = e19_run name model in
+    if not (Budget.is_complete r.Space.status) then
+      fail "%s did not complete" name;
+    r.Space.stats.Space.errors
+  in
+  List.iter
+    (fun (name, model, mm) ->
+      if errors name model = 0 then
+        fail "%s finds no violation under %s" name mm)
+    [
+      ("peterson", Step.Tso, "tso"); ("peterson", Step.Pso, "pso");
+      ("dekker", Step.Tso, "tso"); ("dekker", Step.Pso, "pso");
+    ];
+  List.iter
+    (fun name ->
+      List.iter
+        (fun (mm, model) ->
+          let e = errors name model in
+          if e <> 0 then fail "%s has %d errors under %s" name e mm)
+        [ ("sc", Step.Sc); ("tso", Step.Tso); ("pso", Step.Pso) ])
+    [ "peterson_fenced"; "dekker_fenced" ];
+  let sc = e19_run "peterson" Step.Sc in
+  if sc.Space.stats.Space.configurations <> 57 then
+    fail "peterson SC configurations moved: %d (pinned 57)"
+      sc.Space.stats.Space.configurations;
+  row "gate passed: unfenced protocols break, fenced verify, SC pinned@."
+
 (* --- Bechamel timings: one per experiment family --- *)
 
 let bechamel () =
@@ -965,7 +1047,8 @@ let experiments =
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
     ("E12", e12); ("E13", e13); ("E14", e14); ("E14smoke", e14smoke);
     ("E15", e15); ("E16", e16); ("E16smoke", e16smoke); ("E17", e17);
-    ("E18", e18); ("E18smoke", e18smoke);
+    ("E18", e18); ("E18smoke", e18smoke); ("E19", e19);
+    ("E19smoke", e19smoke);
     ("TIMING", bechamel);
   ]
 

@@ -105,13 +105,9 @@ let write_metrics path ~t0 =
   output_char oc '\n';
   close_out oc
 
-let exit_code ?(stage_failures = []) ?(static_findings = false)
-    ?(degraded = false) status =
-  if degraded then 5
-  else if stage_failures <> [] then 3
-  else if not (Budget.is_complete status) then 2
-  else if static_findings then 4
-  else 0
+(* Exit-code policy (1 > 5 > 3 > 2 > 4 > 0) lives in Pipeline, where
+   the tests can exercise it directly. *)
+let exit_code = Pipeline.exit_code
 
 (* --- chaos plumbing (--chaos / COBEGIN_CHAOS) --- *)
 
@@ -258,6 +254,26 @@ let lint_only_arg =
           "Run only the static lint suite — no exploration, no budget.  \
            Exit code 4 when there are findings, 0 otherwise.")
 
+let memory_model_conv =
+  let parse s =
+    match Cobegin_semantics.Step.model_of_string s with
+    | Some m -> Ok m
+    | None ->
+        Error (`Msg (Printf.sprintf "unknown memory model %S (sc|tso|pso)" s))
+  in
+  Arg.conv
+    ( parse,
+      fun ppf m ->
+        Format.pp_print_string ppf (Cobegin_semantics.Step.model_name m) )
+
+let memory_model_arg =
+  Arg.(
+    value
+    & opt memory_model_conv Cobegin_semantics.Step.Sc
+    & info [ "memory-model" ] ~docv:"MODEL"
+        ~doc:
+          "Memory model of the concrete semantics: $(b,sc) (default, the            paper's interleaving semantics), $(b,tso) (per-process FIFO            store buffers, only the oldest write may flush) or $(b,pso)            (the oldest write per location may flush, so stores to            distinct locations reorder).  Under tso/pso plain assignments            buffer and publish via nondeterministic flush transitions;            $(b,fence)/$(b,atomic)/$(b,lock)/$(b,unlock) wait for the            issuing process's buffer to drain.  The abstract engine and            $(b,--interfere) model SC only and refuse tso/pso.")
+
 let max_configs_arg =
   Arg.(
     value & opt int 500_000
@@ -393,8 +409,9 @@ let resume_arg =
            the same program) and continue it, checkpointing onward to \
            the same file.")
 
-let mk_options engine domain folding coarsen inline races lint interfere
-    max_configs max_transitions timeout_s max_heap_mb jobs retries =
+let mk_options engine domain folding memory_model coarsen inline races lint
+    interfere max_configs max_transitions timeout_s max_heap_mb jobs retries
+    =
   let engine =
     match engine with
     | Pipeline.Abstract _ -> Pipeline.Abstract (domain, folding)
@@ -402,6 +419,7 @@ let mk_options engine domain folding coarsen inline races lint interfere
   in
   {
     Pipeline.engine;
+    memory_model;
     coarsen;
     inline;
     max_configs;
@@ -417,10 +435,10 @@ let mk_options engine domain folding coarsen inline races lint interfere
 
 let options_term =
   Term.(
-    const mk_options $ engine_arg $ domain_arg $ folding_arg $ coarsen_arg
-    $ inline_arg $ races_arg $ lint_arg $ interfere_arg $ max_configs_arg
-    $ max_transitions_arg $ timeout_arg $ max_heap_mb_arg $ jobs_arg
-    $ retries_arg)
+    const mk_options $ engine_arg $ domain_arg $ folding_arg
+    $ memory_model_arg $ coarsen_arg $ inline_arg $ races_arg $ lint_arg
+    $ interfere_arg $ max_configs_arg $ max_transitions_arg $ timeout_arg
+    $ max_heap_mb_arg $ jobs_arg $ retries_arg)
 
 let analyze_cmd =
   let run file options lint_only trace metrics progress chaos debug =
@@ -454,7 +472,12 @@ let analyze_cmd =
                 | Some _ -> Some (Obs.Span.create ())
               in
               let probe = make_probe ~progress in
-              let report = Pipeline.analyze ~options ?spans ?probe prog in
+              match Pipeline.analyze ~options ?spans ?probe prog with
+              | exception Invalid_argument msg ->
+                  (* SC-only engine/analysis under --memory-model tso/pso *)
+                  Format.eprintf "%s@." msg;
+                  1
+              | report ->
               Format.printf "%a@." Pipeline.pp_report report;
               List.iter
                 (fun f -> Format.eprintf "%a@." Pipeline.pp_stage_failure f)
@@ -483,8 +506,9 @@ let analyze_cmd =
       $ metrics_arg $ progress_arg $ chaos_arg $ debug_arg)
 
 let explore_cmd =
-  let run file coarsen max_configs max_transitions timeout_s max_heap_mb
-      jobs metrics progress chaos ckpt ckpt_every ckpt_secs resume_path =
+  let run file memory_model coarsen max_configs max_transitions timeout_s
+      max_heap_mb jobs metrics progress chaos ckpt ckpt_every ckpt_secs
+      resume_path =
     match install_chaos chaos with
     | Error e ->
         Format.eprintf "%s@." e;
@@ -501,7 +525,9 @@ let explore_cmd =
         let prog =
           if coarsen then Cobegin_trans.Coarsen.program prog else prog
         in
-        let ctx = Cobegin_semantics.Step.make_ctx prog in
+        let ctx =
+          Cobegin_semantics.Step.make_ctx ~model:memory_model prog
+        in
         (* a fresh budget per engine run so the counters start at zero;
            the probe follows the budget of the engine currently running *)
         let budget ?(shared = false) () =
@@ -617,14 +643,15 @@ let explore_cmd =
     (Cmd.info "explore"
        ~doc:"Compare full and stubborn-set state-space generation.")
     Term.(
-      const run $ file_arg $ coarsen_arg $ max_configs_arg
-      $ max_transitions_arg $ timeout_arg $ max_heap_mb_arg $ jobs_arg
-      $ metrics_arg $ progress_arg $ chaos_arg $ checkpoint_arg
-      $ checkpoint_every_arg $ checkpoint_secs_arg $ resume_arg)
+      const run $ file_arg $ memory_model_arg $ coarsen_arg
+      $ max_configs_arg $ max_transitions_arg $ timeout_arg
+      $ max_heap_mb_arg $ jobs_arg $ metrics_arg $ progress_arg $ chaos_arg
+      $ checkpoint_arg $ checkpoint_every_arg $ checkpoint_secs_arg
+      $ resume_arg)
 
 let races_cmd =
-  let run file max_configs max_transitions timeout_s max_heap_mb metrics
-      progress chaos =
+  let run file memory_model max_configs max_transitions timeout_s
+      max_heap_mb metrics progress chaos =
     match install_chaos chaos with
     | Error e ->
         Format.eprintf "%s@." e;
@@ -637,7 +664,9 @@ let races_cmd =
         | Ok prog -> (
             let t0 = Unix.gettimeofday () in
             if metrics <> None then Obs.Metrics.set_enabled true;
-            let ctx = Cobegin_semantics.Step.make_ctx prog in
+            let ctx =
+              Cobegin_semantics.Step.make_ctx ~model:memory_model prog
+            in
             let budget =
               Budget.create ~max_configs ?max_transitions ?timeout_s
                 ?max_heap_words:(Option.map heap_words_of_mb max_heap_mb)
@@ -662,9 +691,9 @@ let races_cmd =
   Cmd.v
     (Cmd.info "races" ~doc:"Detect access anomalies by co-enabledness.")
     Term.(
-      const run $ file_arg $ max_configs_arg $ max_transitions_arg
-      $ timeout_arg $ max_heap_mb_arg $ metrics_arg $ progress_arg
-      $ chaos_arg)
+      const run $ file_arg $ memory_model_arg $ max_configs_arg
+      $ max_transitions_arg $ timeout_arg $ max_heap_mb_arg $ metrics_arg
+      $ progress_arg $ chaos_arg)
 
 let interfere_cmd =
   let no_locksets_arg =

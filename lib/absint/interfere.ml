@@ -754,7 +754,7 @@ module Make (N : Lattice.NUMERIC) = struct
           st'
         in
         match s.Ast.kind with
-        | Ast.Sskip -> St m
+        | Ast.Sskip | Ast.Sfence -> St m
         | Ast.Sdecl (x, e) ->
             let v = eval a c label m err e in
             if is_vbot v then begin
@@ -1315,8 +1315,8 @@ let harvest_thresholds (prog : Ast.program) =
     (Ast.fold_program
        (fun acc (s : Ast.stmt) ->
          match s.Ast.kind with
-         | Ast.Sskip | Ast.Sreturn None | Ast.Sacquire _ | Ast.Srelease _
-         | Ast.Sblock _ | Ast.Scobegin _ | Ast.Satomic _ ->
+         | Ast.Sskip | Ast.Sfence | Ast.Sreturn None | Ast.Sacquire _
+         | Ast.Srelease _ | Ast.Sblock _ | Ast.Scobegin _ | Ast.Satomic _ ->
              acc
          | Ast.Sdecl (_, e)
          | Ast.Sawait e

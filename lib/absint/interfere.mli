@@ -23,7 +23,17 @@
     Soundness contract (checked corpus-wide in [test/test_interfere.ml]
     and in CI): on every model the explicit engines finish, every
     concrete reachable store binding is contained in the abstract
-    per-variable result delivered by {!val-check}. *)
+    per-variable result delivered by {!val-check}.
+
+    {b SC only.}  The rely-guarantee transfer functions model the
+    sequentially consistent interleaving semantics: a write is
+    published to the interference the moment it executes, and [fence]
+    is a no-op.  Under the TSO/PSO store-buffer semantics
+    ({!Cobegin_semantics.Step.model}) delayed flushes produce stale
+    reads this analysis never accounts for, so its verdicts would be
+    unsound there; {!Cobegin_core.Pipeline.analyze} therefore refuses
+    to combine [interfere] with a non-SC memory model
+    ([Invalid_argument]). *)
 
 open Cobegin_lang
 module SS = Ast.StringSet

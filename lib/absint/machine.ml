@@ -389,6 +389,7 @@ module Make (N : Lattice.NUMERIC) = struct
     | AIstmt s :: rest -> (
         let label = s.Ast.label in
         match s.Ast.kind with
+        | Ast.Sfence -> [ commit apid { sh with stack = rest } c ]
         | Ast.Sskip | Ast.Sdecl _ | Ast.Sassign _ | Ast.Sassert _ -> (
             match exec_simple ctx apid apstr (sh.env, store, multi) s with
             | Some (env, store, multi), may_fail ->

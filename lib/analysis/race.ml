@@ -142,9 +142,14 @@ let find ?(max_configs = 200_000) ?budget ?probe ctx : result =
             pairs rest
       in
       pairs with_fp;
+      (* Traverse over the full action alternatives — under TSO/PSO
+         flush interleavings reach configurations (stale reads) the
+         process-only view would miss.  The pair scan above stays on
+         statement-level accesses: a flush publishes a write already
+         charged (and scanned) at its issue point. *)
       List.iter
-        (fun p ->
-          let c', _ = Step.fire ctx c p in
+        (fun a ->
+          let c', _ = Step.fire_action ctx c a in
           let d' = Config.digest c' in
           if not (Tbl.mem_digest visited d') then
             match Budget.config_guard budget ~configs:(Tbl.length visited)
@@ -153,7 +158,7 @@ let find ?(max_configs = 200_000) ?budget ?probe ctx : result =
             | None ->
                 Tbl.add_digest visited d' ();
                 Queue.add c' queue)
-        enabled
+        (Step.enabled_actions ctx c)
     end
     end
   done;

@@ -40,7 +40,7 @@ let status_to_string = function
 type t = {
   max_configs : int option;
   max_transitions : int option;
-  deadline : float option; (* absolute, Unix.gettimeofday scale *)
+  mutable deadline : float option; (* absolute, Unix.gettimeofday scale *)
   timeout_s : float; (* the relative limit, for reporting *)
   max_heap_words : int option;
   check_every : int;
@@ -65,6 +65,19 @@ let create ?max_configs ?max_transitions ?timeout_s ?max_heap_words
   }
 
 let unlimited () = create ()
+
+(* Re-anchor the wall-clock deadline to "now + timeout_s".  The
+   deadline is fixed as an absolute instant at [create]; a process that
+   creates its budget at startup and only later begins the governed
+   work (resuming a checkpoint after loading and re-interning a large
+   snapshot) would otherwise start with part — or all — of its timeout
+   already spent.  No-op without a configured timeout.  Not
+   domain-safe: call before the governed run starts, never while
+   another domain may be consulting [check]. *)
+let refresh_deadline t =
+  match t.deadline with
+  | None -> ()
+  | Some _ -> t.deadline <- Some (Unix.gettimeofday () +. t.timeout_s)
 
 let is_shared t = t.shared
 let tripped t = Atomic.get t.trip

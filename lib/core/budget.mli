@@ -75,6 +75,15 @@ val create :
 
 val unlimited : unit -> t
 
+val refresh_deadline : t -> unit
+(** Re-anchor the wall-clock deadline to now + the [timeout_s] the
+    budget was created with; no-op when no timeout was configured.  For
+    resumption: a budget created at process startup fixes its deadline
+    then, so work that begins later (e.g. {!Cobegin_explore.Checkpoint}
+    [resume] after loading a large snapshot) would start with part of
+    its timeout already consumed.  Not domain-safe — call before the
+    governed run starts, never concurrently with {!check}. *)
+
 val is_shared : t -> bool
 
 val tripped : t -> reason option

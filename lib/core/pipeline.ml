@@ -47,6 +47,7 @@ let pp_engine ppf = function
 
 type options = {
   engine : engine;
+  memory_model : Step.model; (* concrete semantics: sc, tso or pso *)
   coarsen : bool; (* apply virtual coarsening first *)
   inline : bool; (* apply procedure inlining first *)
   max_configs : int;
@@ -63,6 +64,7 @@ type options = {
 let default_options =
   {
     engine = Concrete_full;
+    memory_model = Step.Sc;
     coarsen = false;
     inline = false;
     max_configs = 500_000;
@@ -149,6 +151,39 @@ type report = {
          recorder was passed to [analyze] *)
 }
 
+(* The abstract machine and the interference engine model the SC
+   interleaving semantics only: their transfer functions know nothing
+   of store buffers, so running them under TSO/PSO would silently
+   verify against the wrong semantics.  Refused loudly instead. *)
+let check_model_support (o : options) =
+  if o.memory_model <> Step.Sc then begin
+    (match o.engine with
+    | Abstract _ ->
+        invalid_arg
+          (Printf.sprintf
+             "the abstract engine models SC only; it cannot run under --memory-model %s"
+             (Step.model_name o.memory_model))
+    | Concrete_full | Concrete_stubborn -> ());
+    if o.interfere then
+      invalid_arg
+        (Printf.sprintf
+           "the interference analysis models SC only; it cannot run under --memory-model %s"
+           (Step.model_name o.memory_model))
+  end
+
+(* Process exit code for a finished analysis, ordered by severity:
+   degraded (5) over crashed stages (3) over budget truncation (2) over
+   static findings (4) over success (0).  Usage and input errors exit 1
+   before any report exists, so the full precedence is
+   1 > 5 > 3 > 2 > 4 > 0. *)
+let exit_code ?(stage_failures = []) ?(static_findings = false)
+    ?(degraded = false) status =
+  if degraded then 5
+  else if stage_failures <> [] then 3
+  else if not (Budget.is_complete status) then 2
+  else if static_findings then 4
+  else 0
+
 let load_source src =
   try
     let prog = Parser.parse_string src in
@@ -180,7 +215,7 @@ let run_engine ~budget ?probe (opts : options) prog :
     exploration_stats * Event.log * Budget.status =
   match opts.engine with
   | Concrete_full | Concrete_stubborn ->
-      let ctx = Step.make_ctx prog in
+      let ctx = Step.make_ctx ~model:opts.memory_model prog in
       let result =
         match opts.engine with
         | Concrete_full ->
@@ -223,6 +258,7 @@ let run_engine ~budget ?probe (opts : options) prog :
    the pipeline's budget attached for headroom reporting. *)
 let analyze ?(options = default_options) ?(stage_hook = fun _ -> ()) ?spans
     ?probe (prog : Ast.program) : report =
+  check_model_support options;
   Check.check_exn prog;
   let prog = transform options prog in
   let budget = budget_of_options options in
@@ -395,7 +431,9 @@ let analyze ?(options = default_options) ?(stage_hook = fun _ -> ()) ?spans
             stage "races"
               ~default:
                 { Race.races = Race.RaceSet.empty; status = Budget.Complete }
-              (fun () -> Race.find ~budget ?probe (Step.make_ctx prog))
+              (fun () ->
+                Race.find ~budget ?probe
+                  (Step.make_ctx ~model:options.memory_model prog))
           in
           (* a races give-up must not masquerade as a complete scan:
              tag the status with the crash instead of the default *)

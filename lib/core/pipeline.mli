@@ -21,6 +21,7 @@ source → parse → check → (coarsen | inline)
 
 open Cobegin_lang
 open Cobegin_trans
+open Cobegin_semantics
 open Cobegin_absint
 open Cobegin_analysis
 open Cobegin_apps
@@ -36,6 +37,12 @@ val pp_engine : Format.formatter -> engine -> unit
 
 type options = {
   engine : engine;
+  memory_model : Step.model;
+      (** memory model of the concrete semantics ({!Step.Sc} default).
+          TSO/PSO apply to the concrete engines, the race scan and the
+          direct executors; {!analyze} raises [Invalid_argument] when a
+          non-SC model is combined with the [Abstract] engine or
+          [interfere] — both model the SC interleaving semantics only *)
   coarsen : bool;  (** apply virtual coarsening first (Observation 5) *)
   inline : bool;  (** inline non-recursive calls first *)
   max_configs : int;  (** exploration budget *)
@@ -67,10 +74,10 @@ type options = {
 }
 
 val default_options : options
-(** Concrete full engine, no transforms, 500k configuration budget, no
-    transition/time/heap limits, no race scan, no static lints, no
-    interference analysis, one exploration domain, one retry per
-    crashed stage. *)
+(** Concrete full engine under SC, no transforms, 500k configuration
+    budget, no transition/time/heap limits, no race scan, no static
+    lints, no interference analysis, one exploration domain, one retry
+    per crashed stage. *)
 
 val budget_of_options : options -> Budget.t
 (** The budget {!analyze} runs under, fresh each call.  Created in
@@ -162,6 +169,19 @@ type report = {
           unless a span recorder was passed to {!analyze} *)
 }
 
+val exit_code :
+  ?stage_failures:stage_failure list ->
+  ?static_findings:bool ->
+  ?degraded:bool ->
+  Budget.status ->
+  int
+(** The process exit code the CLI reports for a finished analysis, in
+    severity order: [5] degraded (a result-bearing stage exhausted its
+    recovery ladder), else [3] when any stage crashed, else [2] on
+    budget truncation, else [4] when the static lints found something,
+    else [0].  Usage/input errors exit [1] before a report exists, so
+    the full precedence is 1 > 5 > 3 > 2 > 4 > 0. *)
+
 val load_source : string -> Ast.program
 (** Parse and check a program from source text.  Lexical errors are
     reported as {!Cobegin_lang.Parser.Error} with their position, the
@@ -180,7 +200,9 @@ val analyze :
   report
 (** Run the pipeline.  Never raises on budget exhaustion — check
     [report.status] — and never aborts on an analysis-stage crash —
-    check [report.stage_failures].  [stage_hook] is called with each
+    check [report.stage_failures].  Raises [Invalid_argument] when
+    [options.memory_model] is not {!Step.Sc} and the engine is
+    [Abstract] or [interfere] is set (SC-only analyses).  [stage_hook] is called with each
     stage's name just before the stage body runs; an exception it
     raises is attributed to that stage (a fault-injection seam used by
     the tests).

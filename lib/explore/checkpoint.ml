@@ -39,7 +39,11 @@ type cadence = { every_configs : int; every_s : float option }
 let default_cadence = { every_configs = 4096; every_s = None }
 
 let magic = "COBEGIN-CKPT\n"
-let version = 1
+
+(* Version 2: configurations may carry per-process store buffers
+   (TSO/PSO), and the identity hash binds the memory model alongside
+   the program.  Version-1 files are refused with [Corrupt]. *)
+let version = 2
 
 type header = { hd_version : int; hd_program_hash : int }
 
@@ -58,10 +62,13 @@ type payload = {
   ck_allocs : Step.alloc list list;
 }
 
-(* The program identity a checkpoint is bound to: resuming under a
-   different program would silently mix state spaces. *)
+(* The identity a checkpoint is bound to: resuming under a different
+   program — or the same program under a different memory model —
+   would silently mix state spaces. *)
 let program_hash (ctx : Step.ctx) =
-  Cobegin_hash.hash_string (Marshal.to_string ctx.Step.prog [])
+  Cobegin_hash.combine
+    (Cobegin_hash.hash_string (Marshal.to_string ctx.Step.prog []))
+    (Cobegin_hash.hash_string (Step.model_name ctx.Step.model))
 
 type live = {
   visited : unit Config.Digest_tbl.t;
@@ -233,14 +240,14 @@ let run ?(max_configs = 1_000_000) ?budget ?probe ~cadence ~path ctx live :
         if Config.is_error c then live.errors <- c :: live.errors
         else if Config.all_terminated c then live.finals <- c :: live.finals
         else
-          match Step.enabled_processes ctx c with
+          match Step.enabled_actions ctx c with
           | [] -> live.deadlocks <- c :: live.deadlocks
           | _ ->
               let rec fire_each = function
                 | [] -> ()
-                | p :: rest ->
+                | a :: rest ->
                     live.transitions <- live.transitions + 1;
-                    let c', evs = Step.fire ctx c p in
+                    let c', evs = Step.fire_action ctx c a in
                     live.accesses <- evs.Step.accesses :: live.accesses;
                     live.allocs <- evs.Step.allocs :: live.allocs;
                     let d' = Config.digest c' in
@@ -256,7 +263,7 @@ let run ?(max_configs = 1_000_000) ?budget ?probe ~cadence ~path ctx live :
                            Queue.add c' live.queue);
                     if !stop = None then fire_each rest
               in
-              fire_each (Step.enabled_processes ctx c))
+              fire_each (Step.enabled_actions ctx c))
   done;
   (* Save the pure in-flight state on truncation — the run can be
      resumed later with a larger budget.  Before the drain: the drain
@@ -272,7 +279,7 @@ let run ?(max_configs = 1_000_000) ?budget ?probe ~cadence ~path ctx live :
         if Config.is_error c then errors := c :: !errors
         else if Config.all_terminated c then finals := c :: !finals
         else
-          match Step.enabled_processes ctx c with
+          match Step.enabled_actions ctx c with
           | [] -> deadlocks := c :: !deadlocks
           | _ -> ())
       live.queue;
@@ -302,5 +309,11 @@ let full ?max_configs ?budget ?probe ?(cadence = default_cadence) ~path ctx =
 
 let resume ?max_configs ?budget ?probe ?(cadence = default_cadence) ~path ctx
     =
-  run ?max_configs ?budget ?probe ~cadence ~path ctx
-    (live_of_payload (load_payload ~path ctx))
+  let live = live_of_payload (load_payload ~path ctx) in
+  (* The caller's budget typically dates from process startup, and its
+     deadline is an absolute instant fixed at creation — by the time
+     the snapshot above is loaded and re-interned, part (or all) of a
+     --timeout grant would already be spent.  A resumed run gets the
+     full timeout from the point the BFS actually restarts. *)
+  Option.iter Budget.refresh_deadline budget;
+  run ?max_configs ?budget ?probe ~cadence ~path ctx live

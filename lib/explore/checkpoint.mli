@@ -18,10 +18,13 @@
     that was never killed.  A truncated run also saves its final state,
     so it can be resumed under a larger budget.
 
-    A checkpoint is bound to the program that produced it (a full-width
-    hash of the marshaled AST is stored in the header); resuming under
-    a different program, a different format version, or a torn file
-    raises {!Corrupt}.  Telemetry: [checkpoint.saves] /
+    A checkpoint is bound to the program {e and memory model} that
+    produced it (a full-width hash of the marshaled AST, combined with
+    the model name, is stored in the header); resuming under a
+    different program or model, a different format version, or a torn
+    file raises {!Corrupt}.  Format version 2: configurations may carry
+    per-process store buffers (TSO/PSO) and the identity hash binds the
+    model — version-1 files are refused.  Telemetry: [checkpoint.saves] /
     [checkpoint.restores] counters, [checkpoint.save_ms] /
     [checkpoint.restore_ms] histograms. *)
 
@@ -60,7 +63,11 @@ val resume :
   Step.ctx ->
   Space.result
 (** [resume ~path ctx] — load the checkpoint at [path] (written for
-    the same program) and continue it, checkpointing onward to the
-    same [path].
+    the same program and memory model) and continue it, checkpointing
+    onward to the same [path].  When [budget] carries a wall-clock
+    timeout its deadline is re-anchored ({!Budget.refresh_deadline})
+    after the snapshot is loaded, so the resumed run gets the full
+    timeout from the point the BFS restarts — not from budget
+    creation.
     @raise Corrupt when the file is missing, torn, version-skewed or
-    bound to a different program *)
+    bound to a different program or memory model *)

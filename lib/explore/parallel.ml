@@ -198,15 +198,15 @@ let explore ?(max_configs = 1_000_000) ?budget ?probe ~jobs ctx ~expand :
         if Config.is_error c then acc.errors <- c :: acc.errors
         else if Config.all_terminated c then acc.finals <- c :: acc.finals
         else
-          match Step.enabled_processes ctx c with
+          match Step.enabled_actions ctx c with
           | [] -> acc.deadlocks <- c :: acc.deadlocks
           | _ ->
               let rec fire_each = function
                 | [] -> ()
-                | p :: rest ->
+                | a :: rest ->
                     Atomic.incr transitions;
                     Metrics.incr m_transitions;
-                    let c', evs = Step.fire ctx c p in
+                    let c', evs = Step.fire_action ctx c a in
                     acc.evlogs <- evs :: acc.evlogs;
                     let d' = Config.digest c' in
                     let shard = shard_of shards d' in
@@ -306,7 +306,7 @@ let explore ?(max_configs = 1_000_000) ?budget ?probe ~jobs ctx ~expand :
               if Config.is_error c then errors := c :: !errors
               else if Config.all_terminated c then finals := c :: !finals
               else
-                match Step.enabled_processes ctx c with
+                match Step.enabled_actions ctx c with
                 | [] -> deadlocks := c :: !deadlocks
                 | _ -> ())
             wq.q)
@@ -341,4 +341,4 @@ let explore ?(max_configs = 1_000_000) ?budget ?probe ~jobs ctx ~expand :
 
 let full ?max_configs ?budget ?probe ~jobs ctx =
   explore ?max_configs ?budget ?probe ~jobs ctx ~expand:(fun c ->
-      Step.enabled_processes ctx c)
+      Step.enabled_actions ctx c)

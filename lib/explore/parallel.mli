@@ -45,7 +45,7 @@ val explore :
   ?probe:Cobegin_obs.Probe.t ->
   jobs:int ->
   Step.ctx ->
-  expand:(Config.t -> Proc.t list) ->
+  expand:(Config.t -> Step.action list) ->
   Space.result
 (** [explore ~jobs ctx ~expand] generates the configuration graph on
     [jobs] domains.  [jobs <= 1] delegates to {!Space.explore} — the

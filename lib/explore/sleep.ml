@@ -84,14 +84,23 @@ let explore ?(max_configs = 1_000_000) ?budget ?probe ?stats ctx :
     if Config.is_error c then errors := c :: !errors
     else if Config.all_terminated c then finals := c :: !finals
     else begin
-      match Step.enabled_processes ctx c with
+      match Step.enabled_actions ctx c with
       | [] -> deadlocks := c :: !deadlocks
       | _ ->
+          (* The sleep-set bookkeeping tracks processes by pid, which
+             is only meaningful while a process has exactly one action
+             alternative — under TSO/PSO a pid covers both a statement
+             step and buffer flushes, so sleep pruning is disabled
+             there (sleep sets stay empty; the stubborn layer already
+             degenerated to full expansion). *)
+          let sc = ctx.Step.model = Step.Sc in
           let chosen = Stubborn.choose_expansion mctx ctx c in
           let awake =
-            List.filter
-              (fun p -> not (PidSet.mem p.Proc.pid sleep))
-              chosen
+            if sc then
+              List.filter
+                (fun a -> not (PidSet.mem (Step.action_pid a) sleep))
+                chosen
+            else chosen
           in
           Option.iter
             (fun s ->
@@ -103,39 +112,40 @@ let explore ?(max_configs = 1_000_000) ?budget ?probe ?stats ctx :
           (* if everything chosen is asleep the state is fully covered by
              earlier permutations: nothing to do *)
           let footprints =
-            List.map (fun p -> (p.Proc.pid, Step.action_footprint ctx c p)) awake
+            List.map (fun a -> (a, Step.action_footprint_of ctx c a)) awake
           in
           let rec expand earlier = function
             | [] -> ()
-            | p :: rest ->
+            | (a, fp_a) :: rest ->
                 incr transitions;
                 Option.iter
                   (fun s ->
                     s.explored_transitions <- s.explored_transitions + 1)
                   stats;
-                let c', evs = Step.fire ctx c p in
+                let c', evs = Step.fire_action ctx c a in
                 accesses := evs.Step.accesses :: !accesses;
                 allocs := evs.Step.allocs :: !allocs;
-                let fp_p = List.assoc p.Proc.pid footprints in
                 (* successor sleeps: inherited sleepers still independent
-                   of p's action, plus earlier awake siblings independent
-                   of p's action *)
-                let keep_sleeping pid =
-                  match Config.find_proc pid c with
-                  | None -> false
-                  | Some q ->
-                      independent fp_p (Step.action_footprint ctx c q)
-                in
+                   of the fired action, plus earlier awake siblings
+                   independent of it (SC only — see above) *)
                 let sleep' =
-                  PidSet.union
-                    (PidSet.filter keep_sleeping sleep)
-                    (PidSet.of_list
-                       (List.filter_map
-                          (fun q ->
-                            let fq = List.assoc q.Proc.pid footprints in
-                            if independent fp_p fq then Some q.Proc.pid
-                            else None)
-                          earlier))
+                  if not sc then PidSet.empty
+                  else
+                    let keep_sleeping pid =
+                      match Config.find_proc pid c with
+                      | None -> false
+                      | Some q ->
+                          independent fp_a (Step.action_footprint ctx c q)
+                    in
+                    PidSet.union
+                      (PidSet.filter keep_sleeping sleep)
+                      (PidSet.of_list
+                         (List.filter_map
+                            (fun (b, fb) ->
+                              if independent fp_a fb then
+                                Some (Step.action_pid b)
+                              else None)
+                            earlier))
                 in
                 let d' = Config.digest c' in
                 (match Space.ConfigTbl.find_digest visited d' with
@@ -156,9 +166,9 @@ let explore ?(max_configs = 1_000_000) ?budget ?probe ?stats ctx :
                       Queue.add (c', merged) queue
                     end);
                 (* stop firing siblings once the budget stops the run *)
-                if !stop = None then expand (p :: earlier) rest
+                if !stop = None then expand ((a, fp_a) :: earlier) rest
           in
-          expand [] awake
+          expand [] footprints
     end)
   done;
   (* On truncation, classify the admitted-but-unpopped frontier exactly
@@ -171,7 +181,7 @@ let explore ?(max_configs = 1_000_000) ?budget ?probe ?stats ctx :
         if Config.is_error c then errors := c :: !errors
         else if Config.all_terminated c then finals := c :: !finals
         else
-          match Step.enabled_processes ctx c with
+          match Step.enabled_actions ctx c with
           | [] -> deadlocks := c :: !deadlocks
           | _ -> ())
       queue;

@@ -61,9 +61,9 @@ module ConfigTbl = struct
   let find_digest = Config.Digest_tbl.find_opt
 end
 
-(* [expand c] returns the processes to fire at [c]; it must return a
-   subset of the enabled processes, and must be non-empty whenever some
-   process is enabled.  Exhausting the budget stops the generation
+(* [expand c] returns the actions to fire at [c]; it must return a
+   subset of the enabled actions, and must be non-empty whenever some
+   action is enabled.  Exhausting the budget stops the generation
    cleanly: everything visited so far is returned, tagged truncated. *)
 let explore ?(max_configs = 1_000_000) ?budget ?probe ctx ~expand : result =
   let budget =
@@ -102,7 +102,7 @@ let explore ?(max_configs = 1_000_000) ?budget ?probe ctx ~expand : result =
         if Config.is_error c then errors := c :: !errors
         else if Config.all_terminated c then finals := c :: !finals
         else
-          match Step.enabled_processes ctx c with
+          match Step.enabled_actions ctx c with
           | [] -> deadlocks := c :: !deadlocks
           | _ ->
               (* break out of the expansion as soon as the budget stops
@@ -110,10 +110,10 @@ let explore ?(max_configs = 1_000_000) ?budget ?probe ctx ~expand : result =
                  transitions and event logs inflate past the stop *)
               let rec fire_each = function
                 | [] -> ()
-                | p :: rest ->
+                | a :: rest ->
                     incr transitions;
                     Metrics.incr m_transitions;
-                    let c', evs = Step.fire ctx c p in
+                    let c', evs = Step.fire_action ctx c a in
                     accesses := evs.Step.accesses :: !accesses;
                     allocs := evs.Step.allocs :: !allocs;
                     let d' = Config.digest c' in
@@ -144,7 +144,7 @@ let explore ?(max_configs = 1_000_000) ?budget ?probe ctx ~expand : result =
         if Config.is_error c then errors := c :: !errors
         else if Config.all_terminated c then finals := c :: !finals
         else
-          match Step.enabled_processes ctx c with
+          match Step.enabled_actions ctx c with
           | [] -> deadlocks := c :: !deadlocks
           | _ -> ())
       queue;
@@ -172,7 +172,7 @@ let explore ?(max_configs = 1_000_000) ?budget ?probe ctx ~expand : result =
 (* Ordinary (full interleaving) generation. *)
 let full ?max_configs ?budget ?probe ctx =
   explore ?max_configs ?budget ?probe ctx ~expand:(fun c ->
-      Step.enabled_processes ctx c)
+      Step.enabled_actions ctx c)
 
 (* Canonical set of final stores, for strategy comparisons.  Keyed on
    the hash-consed store id — an int compare per element instead of

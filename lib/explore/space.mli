@@ -53,12 +53,13 @@ val explore :
   ?budget:Budget.t ->
   ?probe:Cobegin_obs.Probe.t ->
   Step.ctx ->
-  expand:(Config.t -> Proc.t list) ->
+  expand:(Config.t -> Step.action list) ->
   result
 (** [explore ctx ~expand] generates the graph, firing at each
-    configuration exactly the processes [expand] returns.  [expand] must
-    return a subset of the enabled processes, non-empty whenever any
-    process is enabled.  When [budget] is given it governs the run
+    configuration exactly the actions [expand] returns.  [expand] must
+    return a subset of the enabled actions, non-empty whenever any
+    action is enabled (under {!Step.Sc} actions are exactly the enabled
+    processes; under TSO/PSO they also include buffer flushes).  When [budget] is given it governs the run
     ([max_configs] is then ignored); otherwise [max_configs] (default
     one million) bounds the visited set.  Never raises on exhaustion:
     the partial result comes back with [status = Truncated _], and the

@@ -48,7 +48,7 @@ let union parent i j =
   let ri = find parent i and rj = find parent j in
   if ri <> rj then parent.(ri) <- rj
 
-let choose_expansion ?stats mctx ctx (c : Config.t) : Proc.t list =
+let choose_procs ?stats mctx ctx (c : Config.t) : Proc.t list =
   let enabled = Step.enabled_processes ctx c in
   match enabled with
   | [] -> []
@@ -171,6 +171,30 @@ let choose_expansion ?stats mctx ctx (c : Config.t) : Proc.t list =
         Metrics.add m_chosen_total (List.length chosen)
       end;
       chosen
+
+(* The may-access conflict analysis above reasons about statement-level
+   actions only: it does not see the pending flushes of a store buffer,
+   which conflict with every future access of their locations.  Under
+   TSO/PSO we therefore degenerate to full expansion — sound, no
+   reduction — and count every such step as a full expansion. *)
+let choose_expansion ?stats mctx ctx (c : Config.t) : Step.action list =
+  match ctx.Step.model with
+  | Step.Sc -> List.map (fun p -> Step.Arun p) (choose_procs ?stats mctx ctx c)
+  | Step.Tso | Step.Pso ->
+      let actions = Step.enabled_actions ctx c in
+      (match actions with
+      | [] -> ()
+      | _ ->
+          Option.iter
+            (fun s -> s.full_expansions <- s.full_expansions + 1)
+            stats;
+          if Metrics.enabled () then begin
+            let k = List.length actions in
+            Metrics.observe h_set_size k;
+            Metrics.add m_enabled_total k;
+            Metrics.add m_chosen_total k
+          end);
+      actions
 
 (* Stubborn-set exploration of a program. *)
 let explore ?max_configs ?budget ?probe ?stats ctx : Space.result =

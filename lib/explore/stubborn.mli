@@ -30,9 +30,12 @@ val choose_expansion :
   Mayaccess.ctx ->
   Step.ctx ->
   Config.t ->
-  Proc.t list
+  Step.action list
 (** The persistent set fired at one configuration: a non-empty subset of
-    the enabled processes whenever any is enabled. *)
+    the enabled actions whenever any is enabled.  Under {!Step.Sc} this
+    is a persistent set of processes (as [Arun] actions); under
+    TSO/PSO the may-access analysis does not model pending flushes, so
+    every step degenerates to full expansion (sound, no reduction). *)
 
 val explore :
   ?max_configs:int ->

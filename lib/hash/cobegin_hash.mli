@@ -66,7 +66,15 @@ end
 module Phys_memo : sig
   type ('k, 'v) t
 
-  val create : ?limit:int -> int -> ('k, 'v) t
+  val create : ?limit:int -> ?hash:('k -> int) -> int -> ('k, 'v) t
+  (** [hash] selects the bucket a key lands in (entries within a bucket
+      are compared by [==]).  It defaults to the generic [Hashtbl.hash],
+      which truncates after ~10 nodes — fine for shallow keys, but deep
+      keys then collapse into a handful of buckets whose [bucket_cap]
+      evicts live entries.  Pass a full-width hash when memoizing deep
+      structures; any function constant on physically equal values is
+      sound. *)
+
   val find : ('k, 'v) t -> 'k -> 'v option
   val add : ('k, 'v) t -> 'k -> 'v -> unit
 end

@@ -68,7 +68,7 @@ let rec stmt_effects lookup ~any (s : stmt) : proc_effects =
     | Lderef e -> union_effects (of_expr e) { no_effects with eff_mem_write = true }
   in
   match s.kind with
-  | Sskip | Sreturn None | Sacquire _ | Srelease _ -> no_effects
+  | Sskip | Sfence | Sreturn None | Sacquire _ | Srelease _ -> no_effects
   | Sdecl (_, e) | Sawait e | Sassert e | Sreturn (Some e) -> of_expr e
   | Sfree e -> union_effects (of_expr e) { no_effects with eff_mem_write = true }
   | Sassign (lv, e) | Smalloc (lv, e) -> union_effects (of_lvalue lv) (of_expr e)
@@ -125,7 +125,7 @@ let proc_effects_of_program (prog : program) : (string -> proc_effects) =
    per-procedure effect oracle; [any] its join over all procedures. *)
 let rec stmt_summary ~effects ~any (s : stmt) : summary =
   match s.kind with
-  | Sskip | Sreturn None -> empty
+  | Sskip | Sfence | Sreturn None -> empty
   | Sdecl (x, e) ->
       (* the declaration writes a fresh location, but the name may shadow
          an outer binding; treating it as a write to the outer name is a

@@ -58,6 +58,7 @@ and kind =
   | Sawait of expr (* blocks until the condition holds *)
   | Sacquire of string (* lock(x): await x=0 then x:=1, atomically *)
   | Srelease of string (* unlock(x): x:=0 *)
+  | Sfence (* drains the process's store buffer; no-op under SC *)
   | Sassert of expr
 
 type proc = { pname : string; params : string list; body : stmt }
@@ -79,7 +80,7 @@ let rec fold_stmt f acc (s : stmt) =
   let acc = f acc s in
   match s.kind with
   | Sskip | Sdecl _ | Sassign _ | Smalloc _ | Sfree _ | Scall _ | Sreturn _
-  | Sawait _ | Sacquire _ | Srelease _ | Sassert _ ->
+  | Sawait _ | Sacquire _ | Srelease _ | Sassert _ | Sfence ->
       acc
   | Sblock ss | Scobegin ss | Satomic ss -> List.fold_left (fold_stmt f) acc ss
   | Sif (_, s1, s2) -> fold_stmt f (fold_stmt f acc s1) s2
@@ -130,7 +131,7 @@ let addr_taken_of_program prog =
     (fun acc s ->
       let add e = StringSet.union acc (of_expr e) in
       match s.kind with
-      | Sskip | Sreturn None | Sacquire _ | Srelease _ -> acc
+      | Sskip | Sreturn None | Sacquire _ | Srelease _ | Sfence -> acc
       | Sdecl (_, e) | Sawait e | Sassert e | Sreturn (Some e) | Sfree e ->
           add e
       | Sassign (lv, e) | Smalloc (lv, e) ->
@@ -177,7 +178,8 @@ let relabel prog =
     let kind =
       match s.kind with
       | ( Sskip | Sdecl _ | Sassign _ | Smalloc _ | Sfree _ | Scall _
-        | Sreturn _ | Sawait _ | Sacquire _ | Srelease _ | Sassert _ ) as k ->
+        | Sreturn _ | Sawait _ | Sacquire _ | Srelease _ | Sassert _ | Sfence )
+        as k ->
           k
       | Sblock ss -> Sblock (List.map go ss)
       | Scobegin ss -> Scobegin (List.map go ss)

@@ -54,6 +54,7 @@ and kind =
   | Sawait of expr  (** blocks until the condition holds *)
   | Sacquire of string  (** [lock(x);] — await x=0 then x:=1, atomically *)
   | Srelease of string  (** [unlock(x);] — x:=0 *)
+  | Sfence  (** [fence;] — drains the store buffer; no-op under SC *)
   | Sassert of expr
 
 type proc = { pname : string; params : string list; body : stmt }

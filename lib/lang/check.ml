@@ -85,7 +85,7 @@ let check (prog : program) : result =
   let rec check_stmt scope (s : stmt) : SS.t =
     let label = s.label in
     match s.kind with
-    | Sskip -> scope
+    | Sskip | Sfence -> scope
     | Sdecl (x, e) ->
         check_expr ~label scope e;
         SS.add x scope

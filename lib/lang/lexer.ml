@@ -16,8 +16,8 @@ exception Error of string * pos
 let keywords =
   [
     "proc"; "var"; "if"; "else"; "while"; "cobegin"; "coend"; "atomic";
-    "await"; "lock"; "unlock"; "assert"; "skip"; "return"; "malloc"; "free";
-    "true"; "false";
+    "await"; "lock"; "unlock"; "assert"; "skip"; "fence"; "return"; "malloc";
+    "free"; "true"; "false";
   ]
 
 let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'

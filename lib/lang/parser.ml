@@ -204,6 +204,10 @@ let rec parse_stmt st : stmt list =
       advance st;
       expect_punct st ";";
       [ mk st Sskip ]
+  | Lexer.KW "fence" ->
+      advance st;
+      expect_punct st ";";
+      [ mk st Sfence ]
   | Lexer.KW "var" ->
       advance st;
       let x = expect_ident st in

@@ -63,6 +63,7 @@ let pp_lvalue ppf = function
 let rec pp_stmt ppf (s : stmt) =
   match s.kind with
   | Sskip -> Format.fprintf ppf "skip;"
+  | Sfence -> Format.fprintf ppf "fence;"
   | Sdecl (x, e) -> Format.fprintf ppf "var %s = %a;" x pp_expr e
   | Sassign (lv, e) -> Format.fprintf ppf "%a = %a;" pp_lvalue lv pp_expr e
   | Smalloc (lv, e) ->

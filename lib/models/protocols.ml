@@ -72,6 +72,147 @@ proc main() {
 }
 |}
 
+(* Peterson with the store-buffer fences: a [fence] between the flag
+   and turn stores (PSO reorders stores to distinct locations — the
+   same swap as [peterson_broken]), one between the turn publication
+   and the await read (the store-to-load ordering both TSO and PSO
+   break), and one before the critical-section release store (so the
+   incrit writes are visible before the flag drops).  Verifies clean
+   under sc, tso and pso; the unfenced [peterson] violates mutual
+   exclusion under tso/pso. *)
+let peterson_fenced =
+  {|
+proc main() {
+  var flag0 = 0;
+  var flag1 = 0;
+  var turn = 0;
+  var incrit = 0;
+  cobegin
+    {
+      flag0 = 1;
+      fence;
+      turn = 1;
+      fence;
+      await(flag1 == 0 || turn == 0);
+      incrit = incrit + 1;
+      assert(incrit == 1);
+      incrit = incrit - 1;
+      fence;
+      flag0 = 0;
+    }
+    {
+      flag1 = 1;
+      fence;
+      turn = 0;
+      fence;
+      await(flag0 == 0 || turn == 1);
+      incrit = incrit + 1;
+      assert(incrit == 1);
+      incrit = incrit - 1;
+      fence;
+      flag1 = 0;
+    }
+  coend;
+}
+|}
+
+(* Dekker's mutual-exclusion algorithm — the original software mutual
+   exclusion, and the textbook program whose correctness dies under
+   store buffering: each thread raises its flag and then reads the
+   other's, exactly the store-to-load pair TSO lets pass each other. *)
+let dekker =
+  {|
+proc main() {
+  var flag0 = 0;
+  var flag1 = 0;
+  var turn = 0;
+  var incrit = 0;
+  cobegin
+    {
+      flag0 = 1;
+      while (flag1 == 1) {
+        if (turn != 0) {
+          flag0 = 0;
+          await(turn == 0);
+          flag0 = 1;
+        }
+      }
+      incrit = incrit + 1;
+      assert(incrit == 1);
+      incrit = incrit - 1;
+      turn = 1;
+      flag0 = 0;
+    }
+    {
+      flag1 = 1;
+      while (flag0 == 1) {
+        if (turn != 1) {
+          flag1 = 0;
+          await(turn == 1);
+          flag1 = 1;
+        }
+      }
+      incrit = incrit + 1;
+      assert(incrit == 1);
+      incrit = incrit - 1;
+      turn = 0;
+      flag1 = 0;
+    }
+  coend;
+}
+|}
+
+(* Dekker with the fences that restore it under store buffering: one
+   after every flag raise (before the read of the other thread's flag)
+   and one before the critical-section exit stores. *)
+let dekker_fenced =
+  {|
+proc main() {
+  var flag0 = 0;
+  var flag1 = 0;
+  var turn = 0;
+  var incrit = 0;
+  cobegin
+    {
+      flag0 = 1;
+      fence;
+      while (flag1 == 1) {
+        if (turn != 0) {
+          flag0 = 0;
+          await(turn == 0);
+          flag0 = 1;
+          fence;
+        }
+      }
+      incrit = incrit + 1;
+      assert(incrit == 1);
+      incrit = incrit - 1;
+      fence;
+      turn = 1;
+      flag0 = 0;
+    }
+    {
+      flag1 = 1;
+      fence;
+      while (flag0 == 1) {
+        if (turn != 1) {
+          flag1 = 0;
+          await(turn == 1);
+          flag1 = 1;
+          fence;
+        }
+      }
+      incrit = incrit + 1;
+      assert(incrit == 1);
+      incrit = incrit - 1;
+      fence;
+      turn = 0;
+      flag1 = 0;
+    }
+  coend;
+}
+|}
+
 (* A sense-reversing two-thread barrier, crossed [rounds] times: each
    thread increments the arrival counter under a lock; the last arriver
    flips the sense.  After each crossing both threads must agree on the
@@ -151,6 +292,9 @@ let all_named =
   [
     ("peterson", peterson);
     ("peterson_broken", peterson_broken);
+    ("peterson_fenced", peterson_fenced);
+    ("dekker", dekker);
+    ("dekker_fenced", dekker_fenced);
     ("barrier2", barrier 2);
     ("readers_writers", readers_writers);
   ]

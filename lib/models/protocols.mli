@@ -12,6 +12,20 @@ val peterson_broken : string
     "harmless" compiler transformation; exploration finds the mutual
     exclusion violation. *)
 
+val peterson_fenced : string
+(** Peterson with [fence]s after each flag/turn publication and before
+    each critical-section release store: verifies clean under sc, tso
+    and pso, where the unfenced {!peterson} violates mutual exclusion
+    under tso/pso. *)
+
+val dekker : string
+(** Dekker's mutual exclusion — correct under SC, broken by store
+    buffering (each thread's flag raise may still sit in its buffer
+    when the other thread reads the flag). *)
+
+val dekker_fenced : string
+(** Dekker with the fences that restore it under TSO/PSO. *)
+
 val barrier : int -> string
 (** Sense-reversing two-thread barrier, crossed n times. *)
 

@@ -16,7 +16,7 @@ type run = { outcome : outcome; trace : trace_entry list (* reversed *) }
 let final_config = function
   | Terminated c | Error (_, c) | Deadlock c | Out_of_fuel c -> c
 
-(* [pick] chooses among the enabled processes (never called on []). *)
+(* [pick] chooses among the enabled actions (never called on []). *)
 let run ?(max_steps = 10_000) ctx ~pick : run =
   let rec go c trace fuel =
     if Config.is_error c then
@@ -27,12 +27,14 @@ let run ?(max_steps = 10_000) ctx ~pick : run =
     else if Config.all_terminated c then { outcome = Terminated c; trace }
     else if fuel = 0 then { outcome = Out_of_fuel c; trace }
     else
-      match Step.enabled_processes ctx c with
+      match Step.enabled_actions ctx c with
       | [] -> { outcome = Deadlock c; trace }
       | enabled ->
-          let p = pick enabled in
-          let c', events = Step.fire ctx c p in
-          go c' ({ chosen = p.Proc.pid; events } :: trace) (fuel - 1)
+          let a = pick enabled in
+          let c', events = Step.fire_action ctx c a in
+          go c'
+            ({ chosen = Step.action_pid a; events } :: trace)
+            (fuel - 1)
   in
   go (Step.init ctx) [] max_steps
 
@@ -41,17 +43,17 @@ let run_random ?max_steps ctx ~seed : run =
   run ?max_steps ctx ~pick:(fun enabled ->
       List.nth enabled (Random.State.int rng (List.length enabled)))
 
-(* Round-robin: rotate through pids; pick the first enabled at or after
-   the cursor. *)
+(* Round-robin: rotate the cursor through the enabled actions. *)
 let run_round_robin ?max_steps ctx : run =
   let cursor = ref 0 in
   run ?max_steps ctx ~pick:(fun enabled ->
       let n = List.length enabled in
-      let p = List.nth enabled (!cursor mod n) in
+      let a = List.nth enabled (!cursor mod n) in
       incr cursor;
-      p)
+      a)
 
-(* Deterministic left-most scheduling (always the least pid). *)
+(* Deterministic left-most scheduling (the first enabled action — under
+   SC, the least pid). *)
 let run_leftmost ?max_steps ctx : run =
   run ?max_steps ctx ~pick:(fun enabled -> List.hd enabled)
 

@@ -18,15 +18,18 @@ type run = {
 
 val final_config : outcome -> Config.t
 
-val run : ?max_steps:int -> Step.ctx -> pick:(Proc.t list -> Proc.t) -> run
-(** [pick] chooses among the enabled processes; it is never called on
-    the empty list. *)
+val run :
+  ?max_steps:int -> Step.ctx -> pick:(Step.action list -> Step.action) -> run
+(** [pick] chooses among the enabled actions (under TSO/PSO these
+    include buffer flushes, recorded in the trace under the flushing
+    process's pid); it is never called on the empty list. *)
 
 val run_random : ?max_steps:int -> Step.ctx -> seed:int -> run
 val run_round_robin : ?max_steps:int -> Step.ctx -> run
 
 val run_leftmost : ?max_steps:int -> Step.ctx -> run
-(** Deterministic: always the least pid. *)
+(** Deterministic: always the first enabled action (under SC, the least
+    pid). *)
 
 val all_events : run -> Step.events
 (** The merged instrumentation of the whole run, in execution order. *)

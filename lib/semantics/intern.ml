@@ -50,6 +50,9 @@ let hash_item_repr = function
   | Proc.Rjoin (cob, children) ->
       H.combine 0x24 (H.combine cob (H.hash_list hash_pid children))
 
+let hash_buf entries =
+  H.hash_list (fun (l, v) -> H.combine (hash_loc l) (hash_value v)) entries
+
 let hash_proc_repr (r : Proc.repr) =
   H.combine
     (hash_pid r.Proc.r_pid)
@@ -57,7 +60,7 @@ let hash_proc_repr (r : Proc.repr) =
        (hash_env_bindings r.Proc.r_env)
        (H.combine
           (H.hash_list hash_item_repr r.Proc.r_stack)
-          (H.hash_string r.Proc.r_pstr)))
+          (H.combine (H.hash_string r.Proc.r_pstr) (hash_buf r.Proc.r_buf))))
 
 let hash_store_repr bs =
   H.hash_list (fun (l, v) -> H.combine (hash_loc l) (hash_value v)) bs
@@ -66,6 +69,55 @@ let hash_counter_bindings bs =
   H.hash_list
     (fun ((pid, site), n) -> H.combine (hash_pid pid) (H.combine site n))
     bs
+
+(* --- full-width hashes over *live* components ---
+
+   These key the physical-identity memos in front of the pools: the
+   bucket hash must spread structurally distinct live values across
+   buckets (the generic [Hashtbl.hash] stops after ~10 nodes, which
+   collapses deep processes and stores into a handful of buckets whose
+   cap then evicts live entries).  They walk the live structures
+   directly — no canonical representation is allocated on the memo-hit
+   path. *)
+
+let hash_pstring_frame = function
+  | Pstring.Fcall { proc; site; inst } ->
+      H.combine 0x31 (H.combine (H.hash_string proc) (H.combine site inst))
+  | Pstring.Fbranch { cob; idx; inst } ->
+      H.combine 0x32 (H.combine cob (H.combine idx inst))
+
+let hash_env (e : Env.t) = hash_env_bindings (Env.bindings e)
+
+let hash_item_live = function
+  | Proc.Istmt s -> H.combine 0x21 (H.hash_int s.Cobegin_lang.Ast.label)
+  | Proc.Ipop e -> H.combine 0x22 (hash_env e)
+  | Proc.Iret { site; saved_env; _ } ->
+      H.combine 0x23 (H.combine site (hash_env saved_env))
+  | Proc.Ijoin { cob; children } ->
+      H.combine 0x24 (H.combine cob (H.hash_list hash_pid children))
+
+let hash_proc_live (p : Proc.t) =
+  H.combine
+    (hash_pid p.Proc.pid)
+    (H.combine
+       (hash_env p.Proc.env)
+       (H.combine
+          (H.hash_list hash_item_live p.Proc.stack)
+          (H.combine
+             (H.hash_list hash_pstring_frame p.Proc.pstr)
+             (hash_buf p.Proc.buf))))
+
+let hash_store_live (s : Store.t) =
+  Store.fold_cells
+    (fun l v h -> H.combine h (H.combine (hash_loc l) (hash_value v)))
+    s
+    (H.hash_int (Store.cardinal s))
+
+let hash_counters_live (m : int CounterMap.t) =
+  CounterMap.fold
+    (fun (pid, site) n h ->
+      H.combine h (H.combine (hash_pid pid) (H.combine site n)))
+    m (H.hash_int 0)
 
 (* --- pools --- *)
 
@@ -123,13 +175,13 @@ let create () =
   {
     proc_lock = Mutex.create ();
     procs = Proc_pool.create 1024;
-    proc_memo = H.Phys_memo.create 1024;
+    proc_memo = H.Phys_memo.create ~hash:hash_proc_live 1024;
     store_lock = Mutex.create ();
     stores = Store_pool.create 1024;
-    store_memo = H.Phys_memo.create 1024;
+    store_memo = H.Phys_memo.create ~hash:hash_store_live 1024;
     counter_lock = Mutex.create ();
     counters = Counter_pool.create 64;
-    counter_memo = H.Phys_memo.create 64;
+    counter_memo = H.Phys_memo.create ~hash:hash_counters_live 64;
     error_lock = Mutex.create ();
     errors = String_pool.create 16;
   }

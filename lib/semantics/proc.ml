@@ -1,8 +1,10 @@
 (* Process states.  A process is its fork path (pid), its current
-   environment, its procedure string, and a continuation stack of work
-   items.  Statements are items; [Ipop] restores the environment at block
-   exit; [Iret] marks a pending procedure return; [Ijoin] waits for the
-   children of a cobegin. *)
+   environment, its procedure string, a continuation stack of work
+   items, and — under relaxed memory models — a FIFO store buffer of
+   writes it has issued but not yet made globally visible.  Statements
+   are items; [Ipop] restores the environment at block exit; [Iret]
+   marks a pending procedure return; [Ijoin] waits for the children of a
+   cobegin. *)
 
 open Cobegin_lang
 
@@ -17,9 +19,12 @@ type t = {
   env : Env.t;
   stack : item list;
   pstr : Pstring.t;
+  buf : (Value.loc * Value.t) list;
+      (* store buffer, oldest write first; always [] under SC *)
 }
 
-let make ~pid ~env ~stack ~pstr = { pid; env; stack; pstr }
+let make ?(buf = []) ~pid ~env ~stack ~pstr () =
+  { pid; env; stack; pstr; buf }
 
 let item_equal i1 i2 =
   match (i1, i2) with
@@ -33,14 +38,19 @@ let item_equal i1 i2 =
       && List.equal (fun a b -> Value.compare_pid a b = 0) j1.children j2.children
   | (Istmt _ | Ipop _ | Iret _ | Ijoin _), _ -> false
 
+let buf_entry_equal (l1, v1) (l2, v2) =
+  Value.compare_loc l1 l2 = 0 && Value.compare_value v1 v2 = 0
+
 let equal p1 p2 =
   Value.compare_pid p1.pid p2.pid = 0
   && Env.equal p1.env p2.env
   && List.equal item_equal p1.stack p2.stack
   && Pstring.equal p1.pstr p2.pstr
+  && List.equal buf_entry_equal p1.buf p2.buf
 
 (* A canonical, hashable digest of a process: statement items are
-   identified by label; environments by their sorted bindings. *)
+   identified by label; environments by their sorted bindings; the store
+   buffer is order-significant, so its repr is the list itself. *)
 type item_repr =
   | Rstmt of int
   | Rpop of (string * Value.loc) list
@@ -64,6 +74,7 @@ type repr = {
   r_env : (string * Value.loc) list;
   r_stack : item_repr list;
   r_pstr : string;
+  r_buf : (Value.loc * Value.t) list;
 }
 
 let repr p =
@@ -72,13 +83,14 @@ let repr p =
     r_env = Env.bindings p.env;
     r_stack = List.map item_repr p.stack;
     r_pstr = Pstring.to_string p.pstr;
+    r_buf = p.buf;
   }
 
 (* The statement the process will execute next, if its top item is one. *)
 let next_stmt p =
   match p.stack with Istmt s :: _ -> Some s | _ -> None
 
-let is_terminated p = p.stack = []
+let is_terminated p = p.stack = [] && p.buf = []
 
 let pp_item ppf = function
   | Istmt s -> Format.fprintf ppf "stmt:%d" s.Ast.label
@@ -87,9 +99,13 @@ let pp_item ppf = function
   | Ijoin { cob; _ } -> Format.fprintf ppf "join:%d" cob
 
 let pp ppf p =
-  Format.fprintf ppf "@[<h>[%a] %a | stack: %a@]" Value.pp_pid p.pid Pstring.pp
-    p.pstr
+  Format.fprintf ppf "@[<h>[%a] %a | stack: %a%a@]" Value.pp_pid p.pid
+    Pstring.pp p.pstr
     (Format.pp_print_list
        ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
        pp_item)
     p.stack
+    (fun ppf -> function
+      | [] -> ()
+      | buf -> Format.fprintf ppf " | buf: %d pending" (List.length buf))
+    p.buf

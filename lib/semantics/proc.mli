@@ -1,5 +1,6 @@
-(** Process states: fork path, current environment, procedure string and
-    a continuation stack of work items. *)
+(** Process states: fork path, current environment, procedure string, a
+    continuation stack of work items and — under relaxed memory models —
+    a FIFO store buffer of issued-but-unflushed writes. *)
 
 open Cobegin_lang
 
@@ -17,14 +18,25 @@ type t = {
   env : Env.t;
   stack : item list;
   pstr : Pstring.t;
+  buf : (Value.loc * Value.t) list;
+      (** store buffer, oldest write first; always [[]] under SC *)
 }
 
-val make : pid:Value.pid -> env:Env.t -> stack:item list -> pstr:Pstring.t -> t
+val make :
+  ?buf:(Value.loc * Value.t) list ->
+  pid:Value.pid ->
+  env:Env.t ->
+  stack:item list ->
+  pstr:Pstring.t ->
+  unit ->
+  t
+
 val item_equal : item -> item -> bool
 val equal : t -> t -> bool
 
 (** Canonical, hashable digest: statements identified by label,
-    environments by sorted bindings. *)
+    environments by sorted bindings, store buffers verbatim (order is
+    semantically significant). *)
 type item_repr =
   | Rstmt of int
   | Rpop of (string * Value.loc) list
@@ -36,6 +48,7 @@ type repr = {
   r_env : (string * Value.loc) list;
   r_stack : item_repr list;
   r_pstr : string;
+  r_buf : (Value.loc * Value.t) list;
 }
 
 val item_repr : item -> item_repr
@@ -45,5 +58,8 @@ val next_stmt : t -> Ast.stmt option
 (** The statement the process executes next, when its top item is one. *)
 
 val is_terminated : t -> bool
+(** The process has run to completion: no continuation left {e and} no
+    buffered write still awaiting a flush. *)
+
 val pp_item : Format.formatter -> item -> unit
 val pp : Format.formatter -> t -> unit

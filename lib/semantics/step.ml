@@ -5,6 +5,19 @@
    whole [atomic] block.  Expressions are pure and are evaluated entirely
    within the action that contains them ([&&]/[||] are strict).
 
+   Under the relaxed memory models (TSO/PSO, in the operational
+   store-buffer style of Boudol-Petri) a plain assignment to an existing
+   cell does not hit the shared store: it is appended to the process's
+   FIFO store buffer, and a separate nondeterministic *flush* transition
+   later makes it globally visible.  The process's own reads see its
+   buffered writes first (read-own-write-early forwarding).  Under TSO
+   only the oldest buffered write may flush; under PSO the oldest write
+   *per location* may, so writes to distinct locations reorder.  [fence]
+   (and [atomic]/[lock]/[unlock]) only fire on an empty buffer, so they
+   act as drain points.  Allocation-carrying statements (decl, malloc,
+   call/return plumbing, free) write to the store directly: buffers model
+   the data race surface of plain stores, not the allocator.
+
    Each transition is *instrumented*: it reports the accesses (read/write,
    location, statement label, procedure string) and allocations it
    performs — the data from which the side-effect, dependence and lifetime
@@ -17,12 +30,24 @@
 open Cobegin_lang
 module LS = Value.LocSet
 
+type model = Sc | Tso | Pso
+
+let model_of_string = function
+  | "sc" -> Some Sc
+  | "tso" -> Some Tso
+  | "pso" -> Some Pso
+  | _ -> None
+
+let model_name = function Sc -> "sc" | Tso -> "tso" | Pso -> "pso"
+
 type ctx = {
   prog : Ast.program;
   addr_taken : Ast.StringSet.t; (* variable names whose address is taken *)
+  model : model;
 }
 
-let make_ctx prog = { prog; addr_taken = Ast.addr_taken_of_program prog }
+let make_ctx ?(model = Sc) prog =
+  { prog; addr_taken = Ast.addr_taken_of_program prog; model }
 
 (* --- instrumentation events --- *)
 
@@ -156,7 +181,11 @@ let resolve_lvalue ctx env store reads = function
 
 let rec normalize_proc (p : Proc.t) : Proc.t option =
   match p.Proc.stack with
-  | [] -> None (* terminated *)
+  | [] ->
+      (* terminated only once its store buffer has drained; until then
+         the process stays alive so its flush transitions remain
+         visible (and a parent's join keeps waiting) *)
+      if p.Proc.buf = [] then None else Some p
   | Proc.Istmt { kind = Ast.Sblock ss; _ } :: rest ->
       let items = List.map (fun s -> Proc.Istmt s) ss in
       normalize_proc { p with stack = items @ (Proc.Ipop p.env :: rest) }
@@ -178,7 +207,7 @@ let init ctx : Config.t =
   let p =
     Proc.make ~pid:Value.root_pid ~env:Env.empty
       ~stack:[ Proc.Istmt entry.Ast.body ]
-      ~pstr:Pstring.empty
+      ~pstr:Pstring.empty ()
   in
   normalize
     (Config.make
@@ -187,32 +216,52 @@ let init ctx : Config.t =
 
 (* --- enabledness --- *)
 
+(* The store as process [p] observes it: its own buffered writes overlay
+   the shared store, oldest first, so a later buffered write to the same
+   location wins (read-own-write-early forwarding).  Physically the
+   shared store itself when the buffer is empty — in particular always
+   under SC. *)
+let effective_store (p : Proc.t) store =
+  List.fold_left (fun st (l, v) -> Store.set l v st) store p.Proc.buf
+
+(* Synchronization actions fire only on an empty store buffer: they are
+   the drain points of the relaxed semantics.  (Trivially true under SC,
+   where buffers are always empty.) *)
+let requires_empty_buffer (s : Ast.stmt) =
+  match s.Ast.kind with
+  | Ast.Sfence | Ast.Satomic _ | Ast.Sacquire _ | Ast.Srelease _ -> true
+  | _ -> false
+
 (* A process whose next action is [await]/[lock] with a false condition is
-   disabled; a join with live children is disabled.  Every other process
-   with a non-empty stack is enabled.  Evaluation failures count as
-   enabled: firing them yields the error configuration. *)
+   disabled; a join with live children is disabled; a sync action with a
+   non-empty store buffer is disabled (flushes must drain it first).
+   Every other process with a non-empty stack is enabled.  Evaluation
+   failures count as enabled: firing them yields the error
+   configuration. *)
 let enabled_proc ctx (c : Config.t) (p : Proc.t) : bool =
   match p.Proc.stack with
-  | [] -> false
+  | [] -> false (* fully terminated, or only flushes remain *)
   | Proc.Ipop _ :: _ -> assert false (* configurations are normalized *)
   | Proc.Iret _ :: _ -> true
   | Proc.Ijoin { children; _ } :: _ ->
       List.for_all (fun pid -> Config.find_proc pid c = None) children
   | Proc.Istmt s :: _ -> (
-      match s.Ast.kind with
-      | Ast.Sawait e -> (
-          let reads = ref LS.empty in
-          try eval_bool ctx p.env c.Config.store reads e
-          with Runtime_error _ -> true)
-      | Ast.Sacquire x -> (
-          match Env.find x p.env with
-          | None -> true (* firing reports the error *)
-          | Some loc -> (
-              match Store.find loc c.Config.store with
-              | Some (Value.Vint 0) -> true
-              | Some _ -> false
-              | None -> true))
-      | _ -> true)
+      if requires_empty_buffer s && p.Proc.buf <> [] then false
+      else
+        match s.Ast.kind with
+        | Ast.Sawait e -> (
+            let reads = ref LS.empty in
+            try eval_bool ctx p.env (effective_store p c.Config.store) reads e
+            with Runtime_error _ -> true)
+        | Ast.Sacquire x -> (
+            match Env.find x p.env with
+            | None -> true (* firing reports the error *)
+            | Some loc -> (
+                match Store.find loc c.Config.store with
+                | Some (Value.Vint 0) -> true
+                | Some _ -> false
+                | None -> true))
+        | _ -> true)
 
 let enabled_processes ctx c =
   if Config.is_error c then []
@@ -260,9 +309,11 @@ let simple_stmt_footprint ctx env store (s : Ast.stmt) : footprint =
   | Ast.Sassert e -> { freads = expr_reads ctx env store e; fwrites = LS.empty }
   | _ -> invalid_arg "simple_stmt_footprint"
 
-(* Footprint of the next action of a process. *)
+(* Footprint of the next action of a process.  Dry runs evaluate against
+   the process's effective store, so lvalue resolution sees its own
+   buffered writes (identical to the shared store under SC). *)
 let action_footprint ctx (c : Config.t) (p : Proc.t) : footprint =
-  let store = c.Config.store in
+  let store = effective_store p c.Config.store in
   let env = p.Proc.env in
   match p.Proc.stack with
   | [] -> empty_footprint
@@ -280,6 +331,7 @@ let action_footprint ctx (c : Config.t) (p : Proc.t) : footprint =
           })
   | Proc.Istmt s :: rest -> (
       match s.Ast.kind with
+      | Ast.Sfence -> empty_footprint
       | Ast.Sskip | Ast.Sdecl _ | Ast.Sassign _ | Ast.Sassert _ ->
           simple_stmt_footprint ctx env store s
       | Ast.Smalloc (lv, e) ->
@@ -399,17 +451,22 @@ let write_event ~label ~pstr ~pid l =
   { a_label = label; a_loc = l; a_kind = `Write; a_pstr = pstr; a_pid = pid }
 
 (* Execute one simple statement (skip/decl/assign/assert) for process [p],
-   threading env, configuration (store + counters) and events.  Raises
-   [Runtime_error]. *)
+   threading env, configuration (store + counters) and events.  Reads go
+   through the process's effective store (forwarding from its buffer);
+   writes and allocations commit to the shared store — callers guarantee
+   the buffer is empty whenever a statement writing an existing cell gets
+   here (SC always; non-SC only inside [atomic], which drains first).
+   Raises [Runtime_error]. *)
 let exec_simple ctx (p : Proc.t) (env, c, evs) (s : Ast.stmt) =
   let label = s.Ast.label in
   let pstr = p.Proc.pstr and pid = p.Proc.pid in
   let store = c.Config.store in
+  let rstore = effective_store p store in
   match s.Ast.kind with
-  | Ast.Sskip -> (env, c, evs)
+  | Ast.Sskip | Ast.Sfence -> (env, c, evs)
   | Ast.Sdecl (x, e) ->
       let reads = ref LS.empty in
-      let v = eval ctx env store reads e in
+      let v = eval ctx env rstore reads e in
       let seq, c = Config.next_seq ~pid ~site:label c in
       let loc = { Value.l_pid = pid; l_site = label; l_seq = seq; l_off = 0 } in
       let exposed = Ast.StringSet.mem x ctx.addr_taken in
@@ -427,8 +484,8 @@ let exec_simple ctx (p : Proc.t) (env, c, evs) (s : Ast.stmt) =
       (Env.bind x loc env, Config.with_store store c, evs)
   | Ast.Sassign (lv, e) ->
       let reads = ref LS.empty in
-      let v = eval ctx env store reads e in
-      let l = resolve_lvalue ctx env store reads lv in
+      let v = eval ctx env rstore reads e in
+      let l = resolve_lvalue ctx env rstore reads lv in
       if not (Store.mem l store) then error "write to a freed or invalid location";
       let evs =
         {
@@ -441,7 +498,7 @@ let exec_simple ctx (p : Proc.t) (env, c, evs) (s : Ast.stmt) =
       (env, Config.with_store (Store.set l v store) c, evs)
   | Ast.Sassert e ->
       let reads = ref LS.empty in
-      let b = eval_bool ctx env store reads e in
+      let b = eval_bool ctx env rstore reads e in
       if not b then error "assertion failed at statement %d" label;
       let evs =
         { evs with accesses = read_events ~label ~pstr ~pid !reads @ evs.accesses }
@@ -455,6 +512,7 @@ let exec_simple ctx (p : Proc.t) (env, c, evs) (s : Ast.stmt) =
 let fire ctx (c : Config.t) (p : Proc.t) : Config.t * events =
   let pid = p.Proc.pid and pstr = p.Proc.pstr in
   let store = c.Config.store in
+  let rstore = effective_store p store in
   try
     match p.Proc.stack with
     | [] -> invalid_arg "Step.fire: terminated process"
@@ -471,7 +529,7 @@ let fire ctx (c : Config.t) (p : Proc.t) : Config.t * events =
           match dest with
           | None -> (c, no_events)
           | Some lv ->
-              let l = resolve_lvalue ctx saved_env store reads lv in
+              let l = resolve_lvalue ctx saved_env rstore reads lv in
               if not (Store.mem l store) then
                 error "write to a freed or invalid location";
               ( Config.with_store (Store.set l (Value.Vint 0) store) c,
@@ -494,7 +552,30 @@ let fire ctx (c : Config.t) (p : Proc.t) : Config.t * events =
     | Proc.Istmt s :: rest -> (
         let label = s.Ast.label in
         match s.Ast.kind with
-        | Ast.Sskip | Ast.Sdecl _ | Ast.Sassign _ | Ast.Sassert _ ->
+        | Ast.Sassign (lv, e) when ctx.model <> Sc ->
+            (* relaxed: the write enters this process's store buffer; a
+               later flush action publishes it.  The access events are
+               charged here, at the program-order point of the store. *)
+            let reads = ref LS.empty in
+            let v = eval ctx p.env rstore reads e in
+            let l = resolve_lvalue ctx p.env rstore reads lv in
+            if not (Store.mem l rstore) then
+              error "write to a freed or invalid location";
+            let evs =
+              {
+                accesses =
+                  write_event ~label ~pstr ~pid l
+                  :: read_events ~label ~pstr ~pid !reads;
+                allocs = [];
+              }
+            in
+            ( normalize
+                (Config.update_proc
+                   { p with stack = rest; buf = p.Proc.buf @ [ (l, v) ] }
+                   c),
+              evs )
+        | Ast.Sskip | Ast.Sfence | Ast.Sdecl _ | Ast.Sassign _ | Ast.Sassert _
+          ->
             let env, c, evs = exec_simple ctx p (p.env, c, no_events) s in
             (normalize (Config.update_proc { p with env; stack = rest } c), evs)
         | Ast.Satomic ss ->
@@ -505,7 +586,7 @@ let fire ctx (c : Config.t) (p : Proc.t) : Config.t * events =
         | Ast.Smalloc (lv, e) ->
             let reads = ref LS.empty in
             let size =
-              match eval ctx p.env store reads e with
+              match eval ctx p.env rstore reads e with
               | Value.Vint n when n >= 0 -> n
               | Value.Vint n -> error "malloc with negative size %d" n
               | v -> error "malloc size is a %s value" (Value.type_name v)
@@ -531,7 +612,7 @@ let fire ctx (c : Config.t) (p : Proc.t) : Config.t * events =
                 (List.init size (fun i -> i))
             in
             let store = Store.register_block base size store in
-            let l = resolve_lvalue ctx p.env store reads lv in
+            let l = resolve_lvalue ctx p.env (effective_store p store) reads lv in
             if not (Store.mem l store) then
               error "write to a freed or invalid location";
             let store = Store.set l (Value.Vloc base) store in
@@ -549,7 +630,7 @@ let fire ctx (c : Config.t) (p : Proc.t) : Config.t * events =
               evs )
         | Ast.Sfree e -> (
             let reads = ref LS.empty in
-            match eval ctx p.env store reads e with
+            match eval ctx p.env rstore reads e with
             | Value.Vloc l when l.Value.l_off = 0 -> (
                 match Store.block_cells l store with
                 | None -> error "free of a non-malloc pointer"
@@ -579,7 +660,7 @@ let fire ctx (c : Config.t) (p : Proc.t) : Config.t * events =
         | Ast.Scall (dest, callee, args) ->
             let reads = ref LS.empty in
             let fname =
-              match eval ctx p.env store reads callee with
+              match eval ctx p.env rstore reads callee with
               | Value.Vfun f -> f
               | v -> error "call of a %s value" (Value.type_name v)
             in
@@ -592,7 +673,7 @@ let fire ctx (c : Config.t) (p : Proc.t) : Config.t * events =
               error "procedure %s expects %d argument(s), got %d" fname
                 (List.length callee_proc.Ast.params)
                 (List.length args);
-            let arg_vals = List.map (eval ctx p.env store reads) args in
+            let arg_vals = List.map (eval ctx p.env rstore reads) args in
             let seq, c = Config.next_seq ~pid ~site:label c in
             let new_pstr =
               Pstring.enter_call ~proc:fname ~site:label ~inst:seq pstr
@@ -642,7 +723,7 @@ let fire ctx (c : Config.t) (p : Proc.t) : Config.t * events =
             let reads = ref LS.empty in
             let v =
               match e_opt with
-              | Some e -> eval ctx p.env store reads e
+              | Some e -> eval ctx p.env rstore reads e
               | None -> Value.Vint 0
             in
             let rec unwind = function
@@ -662,7 +743,7 @@ let fire ctx (c : Config.t) (p : Proc.t) : Config.t * events =
               | None -> (c, [])
               | Some lv ->
                   let dreads = ref LS.empty in
-                  let l = resolve_lvalue ctx saved_env store dreads lv in
+                  let l = resolve_lvalue ctx saved_env rstore dreads lv in
                   if not (Store.mem l store) then
                     error "write to a freed or invalid location";
                   ( Config.with_store (Store.set l v store) c,
@@ -683,14 +764,14 @@ let fire ctx (c : Config.t) (p : Proc.t) : Config.t * events =
             (normalize (Config.update_proc p' c), evs)
         | Ast.Sif (e, s1, s2) ->
             let reads = ref LS.empty in
-            let b = eval_bool ctx p.env store reads e in
+            let b = eval_bool ctx p.env rstore reads e in
             let chosen = if b then s1 else s2 in
             let p' = { p with stack = Proc.Istmt chosen :: rest } in
             ( normalize (Config.update_proc p' c),
               { accesses = read_events ~label ~pstr ~pid !reads; allocs = [] } )
         | Ast.Swhile (e, body) ->
             let reads = ref LS.empty in
-            let b = eval_bool ctx p.env store reads e in
+            let b = eval_bool ctx p.env rstore reads e in
             let stack =
               if b then Proc.Istmt body :: Proc.Istmt s :: rest else rest
             in
@@ -705,7 +786,8 @@ let fire ctx (c : Config.t) (p : Proc.t) : Config.t * events =
                     ~pid:(Value.child_pid pid ~cob:label ~idx:i)
                     ~env:p.env
                     ~stack:[ Proc.Istmt b ]
-                    ~pstr:(Pstring.enter_branch ~cob:label ~idx:i ~inst:seq pstr))
+                    ~pstr:(Pstring.enter_branch ~cob:label ~idx:i ~inst:seq pstr)
+                    ())
                 bs
             in
             let parent =
@@ -721,7 +803,7 @@ let fire ctx (c : Config.t) (p : Proc.t) : Config.t * events =
             (normalize (Config.update_proc parent c), no_events)
         | Ast.Sawait e ->
             let reads = ref LS.empty in
-            let b = eval_bool ctx p.env store reads e in
+            let b = eval_bool ctx p.env rstore reads e in
             if not b then invalid_arg "Step.fire: await not enabled";
             ( normalize (Config.update_proc { p with stack = rest } c),
               { accesses = read_events ~label ~pstr ~pid !reads; allocs = [] } )
@@ -767,17 +849,88 @@ let fire ctx (c : Config.t) (p : Proc.t) : Config.t * events =
         | Ast.Sblock _ -> assert false (* normalized away *))
   with Runtime_error msg -> (Config.with_error msg c, no_events)
 
+(* --- flush transitions and the action interface --- *)
+
+(* Publish process [p]'s oldest buffered write to location [l]: remove it
+   from the buffer and commit it to the shared store.  For TSO callers
+   pass the buffer head's location (FIFO); for PSO any pending location
+   is eligible, and taking the oldest entry *per location* preserves
+   program order per location while letting distinct locations reorder. *)
+let fire_flush _ctx (c : Config.t) (p : Proc.t) (l : Value.loc) :
+    Config.t * events =
+  let rec remove_oldest acc = function
+    | [] -> invalid_arg "Step.fire_flush: no buffered write to that location"
+    | (l', v) :: tl when Value.compare_loc l' l = 0 ->
+        (List.rev_append acc tl, v)
+    | entry :: tl -> remove_oldest (entry :: acc) tl
+  in
+  let buf, v = remove_oldest [] p.Proc.buf in
+  let p' = { p with Proc.buf = buf } in
+  if not (Store.mem l c.Config.store) then
+    (* the cell was freed while the write sat in the buffer *)
+    (Config.with_error "flush to a freed location" c, no_events)
+  else
+    ( normalize
+        (Config.update_proc p'
+           (Config.with_store (Store.set l v c.Config.store) c)),
+      no_events )
+
+(* One scheduling alternative: run a process's next statement-level
+   action, or flush one of its buffered writes.  Under SC the action
+   list is exactly [Arun] of each enabled process, in the same order —
+   SC exploration is byte-for-byte the pre-buffer semantics. *)
+type action = Arun of Proc.t | Aflush of Proc.t * Value.loc
+
+let action_pid = function Arun p | Aflush (p, _) -> p.Proc.pid
+
+(* The flush alternatives a process's buffer currently offers. *)
+let flush_actions model (p : Proc.t) : action list =
+  match (model, p.Proc.buf) with
+  | _, [] | Sc, _ -> []
+  | Tso, (l, _) :: _ -> [ Aflush (p, l) ]
+  | Pso, buf ->
+      (* one alternative per distinct pending location, oldest-first
+         order of first occurrence (deterministic across runs) *)
+      let distinct =
+        List.fold_left
+          (fun acc (l, _) ->
+            if List.exists (fun l' -> Value.compare_loc l' l = 0) acc then acc
+            else l :: acc)
+          [] buf
+      in
+      List.rev_map (fun l -> Aflush (p, l)) distinct
+
+let enabled_actions ctx (c : Config.t) : action list =
+  if Config.is_error c then []
+  else
+    List.concat_map
+      (fun p ->
+        let runs = if enabled_proc ctx c p then [ Arun p ] else [] in
+        runs @ flush_actions ctx.model p)
+      (Config.processes c)
+
+let fire_action ctx (c : Config.t) = function
+  | Arun p -> fire ctx c p
+  | Aflush (p, l) -> fire_flush ctx c p l
+
+(* Footprint of an action: a flush writes its location (the read of the
+   buffered value is process-local). *)
+let action_footprint_of ctx (c : Config.t) = function
+  | Arun p -> action_footprint ctx c p
+  | Aflush (_, l) -> { freads = LS.empty; fwrites = LS.singleton l }
+
 (* All successors of a configuration with the firing process and events:
-   the full expansion of the paper's ordinary state-space generation. *)
+   the full expansion of the paper's ordinary state-space generation
+   (flush actions included under TSO/PSO). *)
 let successors ctx (c : Config.t) : (Value.pid * Config.t * events) list =
   List.map
-    (fun p ->
-      let c', evs = fire ctx c p in
-      (p.Proc.pid, c', evs))
-    (enabled_processes ctx c)
+    (fun a ->
+      let c', evs = fire_action ctx c a in
+      (action_pid a, c', evs))
+    (enabled_actions ctx c)
 
 (* Deadlock: not terminated, no error, but nothing can move. *)
 let is_deadlock ctx (c : Config.t) =
   (not (Config.is_error c))
   && (not (Config.all_terminated c))
-  && enabled_processes ctx c = []
+  && enabled_actions ctx c = []

@@ -5,16 +5,38 @@
     join, or a whole [atomic] block.  Expressions are pure and evaluated
     within the action containing them.  Every transition is instrumented
     with the accesses and allocations it performs — the input of the
-    section-5 analyses. *)
+    section-5 analyses.
+
+    Under {!Tso}/{!Pso} (operational store buffers, Boudol–Petri style)
+    plain assignments are buffered per process and published by separate
+    nondeterministic {e flush} transitions; a process's own reads forward
+    from its buffer.  [fence]/[atomic]/[lock]/[unlock] fire only on an
+    empty buffer.  Under {!Sc} the {!action} interface degenerates to
+    exactly one {!Arun} per enabled process — SC exploration is
+    unchanged by the buffer machinery. *)
 
 open Cobegin_lang
+
+(** The memory model of the concrete semantics.  [Sc] is the paper's
+    interleaving semantics; [Tso] adds per-process FIFO store buffers
+    (total store order: only the oldest write may flush); [Pso] lets the
+    oldest write {e per location} flush, so stores to distinct locations
+    reorder. *)
+type model = Sc | Tso | Pso
+
+val model_of_string : string -> model option
+(** ["sc"], ["tso"], ["pso"]. *)
+
+val model_name : model -> string
 
 type ctx = {
   prog : Ast.program;
   addr_taken : Ast.StringSet.t;  (** names whose address is taken *)
+  model : model;
 }
 
-val make_ctx : Ast.program -> ctx
+val make_ctx : ?model:model -> Ast.program -> ctx
+(** [model] defaults to {!Sc}. *)
 
 (** {1 Instrumentation} *)
 
@@ -64,9 +86,11 @@ val init : ctx -> Config.t
 (** Initial configuration: one root process at the entry procedure. *)
 
 val enabled_proc : ctx -> Config.t -> Proc.t -> bool
-(** Disabled: an [await]/[lock] whose condition is false, or a join with
-    live children.  Failing evaluations count as enabled — firing them
-    yields the error configuration. *)
+(** Disabled: an [await]/[lock] whose condition is false, a join with
+    live children, a sync action ([fence]/[atomic]/[lock]/[unlock]) with
+    a non-empty store buffer, or an empty stack (only flushes remain).
+    Failing evaluations count as enabled — firing them yields the error
+    configuration. *)
 
 val enabled_processes : ctx -> Config.t -> Proc.t list
 
@@ -87,11 +111,41 @@ val action_footprint : ctx -> Config.t -> Proc.t -> footprint
 (** {1 Transitions} *)
 
 val fire : ctx -> Config.t -> Proc.t -> Config.t * events
-(** Fire the next action of an enabled process.  Runtime failures yield
-    an error configuration rather than raising. *)
+(** Fire the next statement-level action of an enabled process.  Runtime
+    failures yield an error configuration rather than raising.  Under
+    TSO/PSO a plain assignment is appended to the process's store buffer
+    instead of hitting the shared store (its access events are still
+    charged here, at the program-order point). *)
+
+(** {1 Actions: statement steps and buffer flushes}
+
+    The scheduling alternatives of a configuration.  Engines expand over
+    {!enabled_actions}/{!fire_action}; under {!Sc} that is exactly one
+    {!Arun} per enabled process, in pid order. *)
+
+type action =
+  | Arun of Proc.t  (** run the process's next statement-level action *)
+  | Aflush of Proc.t * Value.loc
+      (** publish the process's oldest buffered write to that location *)
+
+val action_pid : action -> Value.pid
+
+val enabled_actions : ctx -> Config.t -> action list
+(** All enabled actions: [Arun] per enabled process plus, under
+    TSO/PSO, the flush alternatives of each non-empty buffer (TSO: the
+    buffer head; PSO: the oldest entry per distinct pending location). *)
+
+val fire_action : ctx -> Config.t -> action -> Config.t * events
+(** Flushing to a location freed since the write was issued yields an
+    error configuration; flushes report no events (the write was charged
+    at issue time). *)
+
+val action_footprint_of : ctx -> Config.t -> action -> footprint
+(** {!action_footprint} for [Arun]; a flush writes its location. *)
 
 val successors : ctx -> Config.t -> (Value.pid * Config.t * events) list
-(** Full expansion: one successor per enabled process. *)
+(** Full expansion: one successor per enabled action (flushes included
+    under TSO/PSO). *)
 
 val is_deadlock : ctx -> Config.t -> bool
 (** Not terminated, no error, nothing enabled. *)

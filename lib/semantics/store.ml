@@ -71,6 +71,8 @@ let repr st = Value.LocMap.bindings st.cells
 let equal a b = Value.LocMap.equal Value.equal_value a.cells b.cells
 
 let bindings st = Value.LocMap.bindings st.cells
+
+let fold_cells f st acc = Value.LocMap.fold f st.cells acc
 let cardinal st = Value.LocMap.cardinal st.cells
 
 let pp ppf st =

@@ -117,7 +117,7 @@ let analyze (mhp : Mhp.t) : t =
     record s.label st;
     match s.kind with
     | Sskip | Sassign _ | Smalloc _ | Sfree _ | Scall _ | Sreturn _
-    | Sawait _ | Sassert _ ->
+    | Sawait _ | Sassert _ | Sfence ->
         st
     | Sacquire x ->
         { m = SS.add x st.m; y = SS.add x st.y; lm = SS.add x st.lm }

@@ -104,6 +104,7 @@ let fp_writes_lvalue lv fp =
 let rec action_fp (s : Ast.stmt) : raw_fp =
   match s.kind with
   | Sskip | Sblock _ | Scobegin _ -> empty_fp
+  | Sfence -> { empty_fp with sync = true }
   | Sdecl (_, e) -> fp_reads e empty_fp (* the declared cell is fresh *)
   | Sassign (lv, e) | Smalloc (lv, e) -> fp_writes_lvalue lv (fp_reads e empty_fp)
   | Sfree e -> fp_reads e { empty_fp with mem_wr = true }
@@ -140,7 +141,7 @@ let rec fold_actions f acc (s : Ast.stmt) =
   let acc = f acc s in
   match s.kind with
   | Sskip | Sdecl _ | Sassign _ | Smalloc _ | Sfree _ | Scall _ | Sreturn _
-  | Sawait _ | Sacquire _ | Srelease _ | Sassert _ | Satomic _ ->
+  | Sawait _ | Sacquire _ | Srelease _ | Sassert _ | Satomic _ | Sfence ->
       acc
   | Sblock ss | Scobegin ss -> List.fold_left (fold_actions f) acc ss
   | Sif (_, s1, s2) -> fold_actions f (fold_actions f acc s1) s2
@@ -352,7 +353,7 @@ let of_program (prog : Ast.program) : t =
   let rec walk scope (s : Ast.stmt) : SS.t =
     match s.kind with
     | Sskip | Sassign _ | Smalloc _ | Sfree _ | Scall _ | Sreturn _
-    | Sawait _ | Sacquire _ | Srelease _ | Sassert _ ->
+    | Sawait _ | Sacquire _ | Srelease _ | Sassert _ | Sfence ->
         scope
     | Sdecl (x, _) -> SS.add x scope
     | Sblock ss | Satomic ss ->

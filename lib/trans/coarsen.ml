@@ -24,7 +24,7 @@ let is_simple (s : stmt) =
   | Sskip | Sdecl _ | Sassert _ -> true
   | Sassign _ -> true
   | Smalloc _ | Sfree _ | Scall _ | Sreturn _ | Sblock _ | Sif _ | Swhile _
-  | Scobegin _ | Satomic _ | Sawait _ | Sacquire _ | Srelease _ ->
+  | Scobegin _ | Satomic _ | Sawait _ | Sacquire _ | Srelease _ | Sfence ->
       false
 
 (* Group a block's statements.  [conf] is the program's conflict report. *)

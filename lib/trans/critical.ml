@@ -48,7 +48,7 @@ let free_summary ~effects ~any (s : stmt) : Access.summary =
   (* returns the bound set extended with this statement's declarations *)
   let rec go bound (s : stmt) : SS.t =
     match s.kind with
-    | Sskip | Sreturn None -> bound
+    | Sskip | Sfence | Sreturn None -> bound
     | Sdecl (x, e) ->
         add_reads bound e;
         SS.add x bound

@@ -84,6 +84,7 @@ let rec rename_stmt ren (s : stmt) : (string * string) list * stmt =
   let keep kind = (ren, { s with kind }) in
   match s.kind with
   | Sskip -> keep Sskip
+  | Sfence -> keep Sfence
   | Sdecl (x, e) ->
       let x' = gensym x in
       let e' = rex ren e in

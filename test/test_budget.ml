@@ -197,6 +197,55 @@ let snapshot_tests =
           ]);
   ]
 
+(* The deadline instant is fixed at budget creation, which is wrong for
+   a resumed run: the gap between the original launch and the resume
+   would count against the timeout.  [refresh_deadline] re-anchors it;
+   [Checkpoint.resume] calls it after the snapshot loads. *)
+let refresh_tests =
+  [
+    case "refresh_deadline re-arms a lapsed timeout" (fun () ->
+        let stale = Budget.create ~timeout_s:0.05 ~check_every:1 () in
+        let refreshed = Budget.create ~timeout_s:0.05 ~check_every:1 () in
+        Unix.sleepf 0.08;
+        Budget.refresh_deadline refreshed;
+        check_bool "stale budget trips" true
+          (Budget.check stale ~configs:0 ~transitions:0 <> None);
+        check_bool "refreshed budget has headroom" true
+          (Budget.check refreshed ~configs:0 ~transitions:0 = None));
+    case "refresh_deadline without a timeout is a no-op" (fun () ->
+        let b = Budget.create ~max_configs:10 ~check_every:1 () in
+        Budget.refresh_deadline b;
+        check_bool "no trip" true
+          (Budget.check b ~configs:1 ~transitions:0 = None));
+    case "resume under a wall-clock timeout gets the full timeout"
+      (fun () ->
+        let path = Filename.temp_file "cobegin-budget-ckpt" ".bin" in
+        Fun.protect
+          ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+          (fun () ->
+            let clean = Space.full (ctx_of big_src) in
+            let cadence =
+              { Checkpoint.every_configs = 4; every_s = None }
+            in
+            let first =
+              Checkpoint.full ~max_configs:10 ~cadence ~path (ctx_of big_src)
+            in
+            check_bool "first run truncated" false
+              (Budget.is_complete first.Space.status);
+            (* a budget whose creation-time deadline has already lapsed
+               by resume time — the pre-fix behavior truncated here
+               immediately with Deadline *)
+            let budget = Budget.create ~timeout_s:0.2 ~check_every:1 () in
+            Unix.sleepf 0.3;
+            let resumed =
+              Checkpoint.resume ~budget ~cadence ~path (ctx_of big_src)
+            in
+            check_bool "resumed run completes" true
+              (Budget.is_complete resumed.Space.status);
+            check_bool "stats equal the clean run" true
+              (resumed.Space.stats = clean.Space.stats)));
+  ]
+
 let suite =
-  truncation_tests @ monotonicity_tests @ deadline_tests
+  truncation_tests @ monotonicity_tests @ deadline_tests @ refresh_tests
   @ stage_isolation_tests @ status_tests @ snapshot_tests

@@ -129,6 +129,37 @@ let distribution_tests =
           (Cobegin_hash.hash_int_array a <> Cobegin_hash.hash_int_array b));
   ]
 
+let phys_memo_tests =
+  [
+    case "deep memo keys survive only under a full-width hash" (fun () ->
+        (* Keys that differ past the generic hash's ~10-node horizon all
+           land in one bucket, whose cap then evicts live entries — the
+           Phys_memo regression.  A full-width hash keeps every key. *)
+        let deep k = List.init 30 (fun i -> if i = 25 then k else i) in
+        let keys = Array.init 64 deep in
+        check_bool "generic hash collides on deep keys (the bug)" true
+          (Hashtbl.hash keys.(0) = Hashtbl.hash keys.(1));
+        let hits memo =
+          Array.iteri (fun i k -> Cobegin_hash.Phys_memo.add memo k i) keys;
+          Array.fold_left
+            (fun n k ->
+              match Cobegin_hash.Phys_memo.find memo k with
+              | Some _ -> n + 1
+              | None -> n)
+            0 keys
+        in
+        let generic = Cobegin_hash.Phys_memo.create 64 in
+        let full_width =
+          Cobegin_hash.Phys_memo.create
+            ~hash:(fun l -> Cobegin_hash.hash_int_array (Array.of_list l))
+            64
+        in
+        check_bool "bucket cap evicts under the generic hash" true
+          (hits generic < Array.length keys);
+        check_int "every key retained under the full-width hash"
+          (Array.length keys) (hits full_width));
+  ]
+
 let repr_audit_tests =
   [
     case "statement labels stay unique across the coarsened corpus"
@@ -156,4 +187,5 @@ let repr_audit_tests =
           (mk ~site:1 ~dest:None <> mk ~site:1 ~dest:(Some (Ast.Lvar "x"))));
   ]
 
-let suite = digest_tests @ distribution_tests @ repr_audit_tests
+let suite =
+  digest_tests @ distribution_tests @ phys_memo_tests @ repr_audit_tests

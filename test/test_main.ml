@@ -12,6 +12,7 @@ let () =
       ("intern", Test_intern.suite);
       ("budget", Test_budget.suite);
       ("protocols", Test_protocols.suite);
+      ("memory_model", Test_memory_model.suite);
       ("petri", Test_petri.suite);
       ("absint", Test_absint.suite);
       ("interfere", Test_interfere.suite);

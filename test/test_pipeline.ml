@@ -170,4 +170,83 @@ let stubborn_vs_full_analysis =
               (sharedness stub));
   ]
 
-let suite = integration_tests @ lint_stage_tests @ stubborn_vs_full_analysis
+(* The CLI exit code, computed in one place with a fixed severity
+   order: 5 degraded > 3 stage crash > 2 truncation > 4 lint findings
+   > 0 clean (1 is reserved for usage/input errors upstream). *)
+let exit_code_tests =
+  let crash =
+    { Pipeline.stage = "races"; diagnostic = "boom"; backtrace = None }
+  in
+  let trunc = Budget.Truncated (Budget.Configs 5) in
+  [
+    case "exit codes rank degraded > crash > truncation > lints > clean"
+      (fun () ->
+        check_int "clean" 0 (Pipeline.exit_code Budget.Complete);
+        check_int "lints alone" 4
+          (Pipeline.exit_code ~static_findings:true Budget.Complete);
+        check_int "truncation alone" 2 (Pipeline.exit_code trunc);
+        check_int "crash alone" 3
+          (Pipeline.exit_code ~stage_failures:[ crash ] Budget.Complete);
+        check_int "degraded alone" 5
+          (Pipeline.exit_code ~degraded:true Budget.Complete);
+        check_int "truncation beats lints" 2
+          (Pipeline.exit_code ~static_findings:true trunc);
+        check_int "crash beats truncation and lints" 3
+          (Pipeline.exit_code ~stage_failures:[ crash ] ~static_findings:true
+             trunc);
+        check_int "degraded beats everything" 5
+          (Pipeline.exit_code ~degraded:true ~stage_failures:[ crash ]
+             ~static_findings:true trunc));
+  ]
+
+(* The SC-only analyses refuse to run under a relaxed model instead of
+   silently returning unsound verdicts. *)
+let model_support_tests =
+  let peterson =
+    match Cobegin_models.Corpus.find "peterson" with
+    | Some src -> src
+    | None -> Alcotest.fail "peterson not in corpus"
+  in
+  [
+    case "abstract engine refuses TSO" (fun () ->
+        let options =
+          {
+            Pipeline.default_options with
+            engine =
+              Pipeline.Abstract
+                (Cobegin_absint.Analyzer.Intervals, Cobegin_absint.Machine.Control);
+            memory_model = Cobegin_semantics.Step.Tso;
+          }
+        in
+        match Pipeline.analyze_source ~options peterson with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "abstract engine accepted TSO");
+    case "interference analysis refuses PSO" (fun () ->
+        let options =
+          {
+            Pipeline.default_options with
+            interfere = true;
+            memory_model = Cobegin_semantics.Step.Pso;
+          }
+        in
+        match Pipeline.analyze_source ~options peterson with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "interfere accepted PSO");
+    case "concrete engines run the relaxed models end to end" (fun () ->
+        let options =
+          {
+            Pipeline.default_options with
+            memory_model = Cobegin_semantics.Step.Tso;
+            find_races = true;
+          }
+        in
+        let report = Pipeline.analyze_source ~options peterson in
+        check_bool "complete" true (Budget.is_complete report.Pipeline.status);
+        (* the TSO mutual-exclusion violations surface as error configs *)
+        check_bool "assertion failures found" true
+          (report.Pipeline.stats.Pipeline.errors > 0));
+  ]
+
+let suite =
+  integration_tests @ lint_stage_tests @ stubborn_vs_full_analysis
+  @ exit_code_tests @ model_support_tests

@@ -254,8 +254,45 @@ let determinism_tests =
         | Exec.Out_of_fuel _ -> true);
   ]
 
+(* [Value.compare_value] must be a total order consistent with
+   [equal_value] — the visited sets, digest tables and store reprs all
+   lean on it across every constructor pair. *)
+let value_order_tests =
+  let open QCheck2.Gen in
+  let loc_gen =
+    map3
+      (fun pid site off -> { Value.l_pid = pid; l_site = site; l_seq = 0; l_off = off })
+      (oneofl [ []; [ (1, 0) ]; [ (1, 1) ]; [ (1, 0); (2, 1) ] ])
+      (int_range 0 3) (int_range 0 3)
+  in
+  let value_gen =
+    oneof
+      [
+        map (fun n -> Value.Vint n) small_int;
+        map (fun b -> Value.Vbool b) bool;
+        map (fun l -> Value.Vloc l) loc_gen;
+        map (fun f -> Value.Vfun f) (oneofl [ "f"; "g"; "main" ]);
+      ]
+  in
+  let sign n = compare n 0 in
+  [
+    qtest ~count:200 "compare_value is reflexive" value_gen (fun v ->
+        Value.compare_value v v = 0);
+    qtest ~count:200 "compare_value is antisymmetric" (pair value_gen value_gen)
+      (fun (a, b) ->
+        sign (Value.compare_value a b) = -sign (Value.compare_value b a));
+    qtest ~count:500 "compare_value is transitive"
+      (triple value_gen value_gen value_gen) (fun (a, b, c) ->
+        (not
+           (Value.compare_value a b <= 0 && Value.compare_value b c <= 0))
+        || Value.compare_value a c <= 0);
+    qtest ~count:200 "compare_value zero iff equal_value"
+      (pair value_gen value_gen) (fun (a, b) ->
+        Value.compare_value a b = 0 = Value.equal_value a b);
+  ]
+
 let suite =
   eval_tests @ memory_tests @ proc_tests @ concurrency_tests
-  @ determinism_tests
+  @ determinism_tests @ value_order_tests
 
 let _ = final_int_of
