@@ -974,6 +974,63 @@ let e19smoke () =
       sc.Space.stats.Space.configurations;
   row "gate passed: unfenced protocols break, fenced verify, SC pinned@."
 
+(* --- E20: journal overhead — breadcrumbs on vs off ---
+
+   The engines' journal breadcrumbs are sampled (one Debug progress
+   event per [Space.journal_every] pops) behind a single atomic load,
+   so an exploration with the journal attached to a sink should cost
+   about the same as one without — the docs claim ~2% on philosophers.
+   Measured best-of-3 against a null sink; the smoke gate is
+   deliberately looser (25%) because CI wall clocks are noisy. *)
+
+let e20_measure () =
+  let module Journal = Cobegin_obs.Journal in
+  let src = Philosophers.program ~rounds:2 3 in
+  let ctx = Step.make_ctx (parse src) in
+  let run () = Space.full ctx in
+  let best f =
+    ignore (f ());
+    (* warm-up *)
+    let best = ref infinity in
+    for _ = 1 to 3 do
+      let t0 = Unix.gettimeofday () in
+      ignore (f ());
+      best := Float.min !best (Unix.gettimeofday () -. t0)
+    done;
+    !best
+  in
+  let t_off = best run in
+  let null = open_out Filename.null in
+  Journal.start ~threshold:Journal.Debug ~sink:null ();
+  let t_on = best run in
+  Journal.stop ();
+  close_out null;
+  (t_off, t_on)
+
+let e20 () =
+  section "E20" "Journal: enabled-vs-disabled exploration overhead";
+  let t_off, t_on = e20_measure () in
+  row
+    "{\"workload\": \"philosophers-3 (2 rounds)\", \"journal\": \
+     \"disabled\", \"wall_s\": %.4f}@."
+    t_off;
+  row
+    "{\"workload\": \"philosophers-3 (2 rounds)\", \"journal\": \
+     \"debug+sink\", \"wall_s\": %.4f, \"overhead\": \"%.1f%%\"}@."
+    t_on
+    ((t_on -. t_off) /. t_off *. 100.)
+
+let e20smoke () =
+  section "E20smoke" "journal overhead gate (CI gate)";
+  let t_off, t_on = e20_measure () in
+  let overhead = (t_on -. t_off) /. t_off *. 100. in
+  row "journal off %.4fs, on %.4fs: %+.1f%% overhead@." t_off t_on overhead;
+  if overhead > 25. then begin
+    row "GATE FAILED: journal overhead %.1f%% exceeds 25%%@." overhead;
+    exit 1
+  end;
+  row "gate passed: journal breadcrumbs are in the noise@."
+
 (* --- Bechamel timings: one per experiment family --- *)
 
 let bechamel () =
@@ -1048,7 +1105,7 @@ let experiments =
     ("E12", e12); ("E13", e13); ("E14", e14); ("E14smoke", e14smoke);
     ("E15", e15); ("E16", e16); ("E16smoke", e16smoke); ("E17", e17);
     ("E18", e18); ("E18smoke", e18smoke); ("E19", e19);
-    ("E19smoke", e19smoke);
+    ("E19smoke", e19smoke); ("E20", e20); ("E20smoke", e20smoke);
     ("TIMING", bechamel);
   ]
 

@@ -374,6 +374,60 @@ let progress_arg =
           "Emit live progress heartbeats on stderr (frontier size, \
            visited count, rate, heap, budget headroom).")
 
+let json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE"
+        ~doc:
+          "Write the full report as one JSON object to $(docv); $(b,-) \
+           writes it to stdout in place of the text report.  The schema \
+           is versioned ($(b,format_version)) and deterministic: two \
+           identical runs emit identical bytes.  The exit code is the \
+           same as in text mode and is embedded in the object.")
+
+let log_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "log" ] ~docv:"FILE"
+        ~doc:
+          "Write the structured event journal to $(docv) as JSON lines \
+           (one event per line), filtered by $(b,--log-level).  Stage \
+           crashes, injected faults and recovery rungs additionally dump \
+           the in-memory flight recorder — the last ~256 events of every \
+           level — into the log, bypassing the threshold.")
+
+let log_level_arg =
+  let parse s =
+    match Obs.Journal.level_of_string s with
+    | Some l -> Ok l
+    | None -> Error (`Msg "log level must be debug, info, warn or error")
+  in
+  let print ppf l = Format.pp_print_string ppf (Obs.Journal.level_name l) in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Obs.Journal.Info
+    & info [ "log-level" ] ~docv:"LEVEL"
+        ~doc:
+          "Sink threshold for $(b,--log): $(b,debug), $(b,info) (the \
+           default), $(b,warn) or $(b,error).  The flight-recorder ring \
+           records every level regardless of the threshold.")
+
+let manifest_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "manifest" ] ~docv:"FILE"
+        ~doc:
+          "Write a digest-addressed run manifest to $(docv): one JSON \
+           record keyed by program digest × canonical options \
+           fingerprint × memory model × format version, carrying the \
+           status, exit code, wall time, metrics snapshot (with \
+           $(b,--metrics)) and chaos provenance.  Two runs with the \
+           same key computed the same analysis — the key a result \
+           cache looks up.")
+
 let checkpoint_arg =
   Arg.(
     value
@@ -441,7 +495,8 @@ let options_term =
     $ max_heap_mb_arg $ jobs_arg $ retries_arg)
 
 let analyze_cmd =
-  let run file options lint_only trace metrics progress chaos debug =
+  let run file options lint_only json log log_level manifest trace metrics
+      progress chaos debug =
     match install_chaos chaos with
     | Error e ->
         Format.eprintf "%s@." e;
@@ -466,6 +521,18 @@ let analyze_cmd =
             else begin
               let t0 = Unix.gettimeofday () in
               if metrics <> None then Obs.Metrics.set_enabled true;
+              (* The journal runs whenever a log sink is requested —
+                 and also, ring-only, when a JSON report is: a crashed
+                 stage then carries its flight-recorder dump even
+                 without --log. *)
+              let log_oc = Option.map open_out log in
+              if log_oc <> None || json <> None then
+                Obs.Journal.start ~threshold:log_level ?sink:log_oc ();
+              let finish code =
+                Obs.Journal.stop ();
+                Option.iter close_out log_oc;
+                code
+              in
               let spans =
                 match trace with
                 | None -> None
@@ -476,9 +543,14 @@ let analyze_cmd =
               | exception Invalid_argument msg ->
                   (* SC-only engine/analysis under --memory-model tso/pso *)
                   Format.eprintf "%s@." msg;
-                  1
+                  finish 1
               | report ->
-              Format.printf "%a@." Pipeline.pp_report report;
+              (* --json - replaces the text report on stdout (stderr
+                 still carries the banners); --json FILE keeps both *)
+              (match json with
+              | Some "-" -> ()
+              | None | Some _ ->
+                  Format.printf "%a@." Pipeline.pp_report report);
               List.iter
                 (fun f -> Format.eprintf "%a@." Pipeline.pp_stage_failure f)
                 report.Pipeline.stage_failures;
@@ -489,21 +561,61 @@ let analyze_cmd =
               | _ -> ());
               Option.iter (fun path -> write_metrics path ~t0) metrics;
               report_status ~t0 report.Pipeline.status;
+              (match json with
+              | None -> ()
+              | Some "-" ->
+                  print_string (Report.to_json report);
+                  print_newline ()
+              | Some path ->
+                  let oc = open_out path in
+                  output_string oc (Report.to_json report);
+                  output_char oc '\n';
+                  close_out oc);
               let static_findings =
                 match report.Pipeline.static with
                 | Some r -> r.Cobegin_static.Lint.findings <> []
                 | None -> false
               in
-              exit_code ~stage_failures:report.Pipeline.stage_failures
-                ~static_findings ~degraded:report.Pipeline.degraded
-                report.Pipeline.status
+              let code =
+                exit_code ~stage_failures:report.Pipeline.stage_failures
+                  ~static_findings ~degraded:report.Pipeline.degraded
+                  report.Pipeline.status
+              in
+              (match manifest with
+              | None -> ()
+              | Some path ->
+                  let metrics_json =
+                    if metrics <> None then
+                      Some (Obs.Metrics.to_json (Obs.Metrics.snapshot ()))
+                    else None
+                  in
+                  let m =
+                    Obs.Manifest.make
+                      ~program_digest:
+                        (Report.program_digest report.Pipeline.program)
+                      ~options_fingerprint:
+                        (Pipeline.options_fingerprint options)
+                      ~memory_model:
+                        (Cobegin_semantics.Step.model_name
+                           options.Pipeline.memory_model)
+                      ~status:
+                        (Budget.status_to_string report.Pipeline.status)
+                      ~exit_code:code
+                      ~elapsed_s:(Unix.gettimeofday () -. t0)
+                      ?metrics:metrics_json
+                      ?chaos:(Option.map Fault.to_spec (Fault.installed ()))
+                      ()
+                  in
+                  Obs.Manifest.write m path);
+              finish code
             end)
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Run the full analysis pipeline on a program.")
     Term.(
-      const run $ file_arg $ options_term $ lint_only_arg $ trace_arg
-      $ metrics_arg $ progress_arg $ chaos_arg $ debug_arg)
+      const run $ file_arg $ options_term $ lint_only_arg $ json_arg
+      $ log_arg $ log_level_arg $ manifest_arg $ trace_arg $ metrics_arg
+      $ progress_arg $ chaos_arg $ debug_arg)
 
 let explore_cmd =
   let run file memory_model coarsen max_configs max_transitions timeout_s

@@ -42,6 +42,7 @@ module IM = Map.Make (Int)
 module IS = Set.Make (Int)
 module Obs_metrics = Cobegin_obs.Metrics
 module Obs_probe = Cobegin_obs.Probe
+module Obs_journal = Cobegin_obs.Journal
 
 (* Telemetry handles, shared across functor instantiations. *)
 let m_rounds = Obs_metrics.counter "interfere.rounds"
@@ -1161,6 +1162,15 @@ module Make (N : Lattice.NUMERIC) = struct
     | _ -> ());
     let rec rounds r =
       Fault.hit "interfere.iter";
+      (* one event per fixpoint round — rounds are few (≤ max_rounds),
+         so no sampling needed *)
+      if Obs_journal.enabled () then
+        Obs_journal.emit ~level:Obs_journal.Debug "interfere.round"
+          [
+            ("round", Obs_journal.Int r);
+            ("interference_vars", Obs_journal.Int (SM.cardinal c.interf));
+            ("stmt_visits", Obs_journal.Int c.visits);
+          ];
       let stop =
         match budget with
         | Some b -> Budget.check b ~configs:r ~transitions:c.visits

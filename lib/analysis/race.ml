@@ -13,6 +13,7 @@ open Cobegin_semantics
 open Cobegin_explore
 module Metrics = Cobegin_obs.Metrics
 module Probe = Cobegin_obs.Probe
+module Journal = Cobegin_obs.Journal
 
 (* Telemetry: process pairs examined for conflicts vs pairs that produced
    at least one anomaly.  No-ops (one branch) while telemetry is off. *)
@@ -88,6 +89,13 @@ let find ?(max_configs = 200_000) ?budget ?probe ctx : result =
     | None -> ());
     if !stop = None then begin
     Fault.hit "races.pop";
+    if Journal.enabled () && !steps mod Space.journal_every = 0 then
+      Journal.emit ~level:Journal.Debug "races.progress"
+        [
+          ("pops", Journal.Int !steps);
+          ("configurations", Journal.Int (Tbl.length visited));
+          ("races", Journal.Int (RaceSet.cardinal !races));
+        ];
     (match probe with
     | None -> ()
     | Some p ->

@@ -12,6 +12,7 @@
    threading a context, and the disabled path costs one atomic load. *)
 
 module Metrics = Cobegin_obs.Metrics
+module Journal = Cobegin_obs.Journal
 
 let m_crashes = Metrics.counter "fault.crashes"
 let m_delays = Metrics.counter "fault.delays"
@@ -229,6 +230,19 @@ let bump st key =
       Hashtbl.replace st.counts key n;
       n)
 
+(* Every firing fault journals its exact coordinates (at Error) just
+   before it acts, so a flight-recorder dump shows which injection
+   pulled the trigger even when the exception is later swallowed by a
+   supervisor. *)
+let journal_fault ~site ~n ~kind =
+  if Journal.enabled () then
+    Journal.emit ~level:Journal.Error "fault.injected"
+      [
+        ("site", Journal.Str site);
+        ("nth", Journal.Int n);
+        ("kind", Journal.Str kind);
+      ]
+
 (* Fire any action bound to (site, n).  Raising actions raise out of
    the instrumented engine; the exceptions carry the exact coordinates
    so supervisors report a replayable diagnostic. *)
@@ -238,19 +252,23 @@ let act st ~site ~n =
       match a with
       | Crash_at c when c.site = site && c.nth = n ->
           Metrics.incr m_crashes;
+          journal_fault ~site ~n ~kind:"crash";
           raise (Injected { site; nth = n; kind = "crash" })
       | Oom_at c when c.site = site && c.nth = n ->
           (* simulated: a real allocation failure raises the same
              exception from the runtime *)
           Metrics.incr m_ooms;
+          journal_fault ~site ~n ~kind:"oom";
           raise Out_of_memory
       | Delay_at c when c.site = site && c.nth = n ->
           Metrics.incr m_delays;
+          journal_fault ~site ~n ~kind:"delay";
           Unix.sleepf (float_of_int c.ms /. 1000.)
       | Flaky_at c when c.site = site ->
           let r = Mutex.protect st.lock (fun () -> next_rand st) in
           if r mod 1000 < c.per_mille then begin
             Metrics.incr m_crashes;
+            journal_fault ~site ~n ~kind:"flaky";
             raise (Injected { site; nth = n; kind = "flaky" })
           end
       | _ -> ())
@@ -272,6 +290,7 @@ let worker_pop domain =
           match a with
           | Kill_worker k when k.domain = domain && k.nth_pop = n ->
               Metrics.incr m_kills;
+              journal_fault ~site ~n ~kind:"kill";
               raise (Injected { site; nth = n; kind = "kill" })
           | _ -> ())
         st.plan.actions;

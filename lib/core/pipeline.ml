@@ -11,13 +11,27 @@
    This module is the public API most users want; the individual
    libraries stay available for finer control.
 
+   The report itself — the types, the JSON rendering, the exit-code
+   policy — lives in [Report], the pure data core; this module
+   re-exports those types (so [Pipeline.report] etc. keep working),
+   runs the engines, and keeps every pretty-printer.  Consumers that
+   only need the data (the CLI's --json mode, a result cache) can
+   depend on [Report] alone.
+
    Resource governance (Budget): one budget — configuration count,
    transition count, wall-clock deadline, heap watermark — governs the
    engine run and the race scan; exhaustion yields a partial report
    tagged [Truncated], never an exception.  Each section-5/7 analysis
    runs under a per-stage guard, so a crashing stage contributes an
    empty result plus a structured diagnostic instead of aborting the
-   pipeline. *)
+   pipeline.
+
+   Observability (Journal): when the process journal is started, the
+   pipeline emits stage start/failure/recovery events, and every
+   failed attempt dumps the journal's ring buffer — the flight
+   recorder — to the log; a stage that gives up also attaches the dump
+   to its [stage_failure] so the report carries the engine's last
+   moments. *)
 
 open Cobegin_lang
 open Cobegin_trans
@@ -28,12 +42,13 @@ open Cobegin_analysis
 open Cobegin_apps
 module Span = Cobegin_obs.Span
 module Metrics = Cobegin_obs.Metrics
+module Journal = Cobegin_obs.Journal
 
 (* Telemetry: stage attempts beyond the first (retries and ladder
    rungs).  One branch when telemetry is disabled. *)
 let m_retries = Metrics.counter "pipeline.retries"
 
-type engine =
+type engine = Report.engine =
   | Concrete_full (* ordinary state-space generation *)
   | Concrete_stubborn (* with persistent/stubborn-set reduction *)
   | Abstract of Analyzer.domain * Machine.folding
@@ -86,7 +101,7 @@ let budget_of_options (o : options) =
     ?timeout_s:o.timeout_s ?max_heap_words:o.max_heap_words
     ~shared:(o.jobs > 1) ()
 
-type exploration_stats = {
+type exploration_stats = Report.exploration_stats = {
   configurations : int;
   transitions : int; (* 0 for abstract engines *)
   max_frontier : int; (* peak worklist size *)
@@ -95,22 +110,23 @@ type exploration_stats = {
   errors : int;
 }
 
-type stage_failure = {
+type stage_failure = Report.stage_failure = {
   stage : string;
   diagnostic : string;
   backtrace : string option; (* captured trace, when one was recorded *)
+  flight : string list; (* journal ring dump at the give-up, JSON lines *)
 }
 
 let pp_stage_failure ppf f =
   Format.fprintf ppf "stage %s failed: %s" f.stage f.diagnostic
 
 (* Supervision: what the pipeline did about a failed stage attempt. *)
-type recovery_action =
+type recovery_action = Report.recovery_action =
   | Retry
   | Degrade_jobs of { from_jobs : int; to_jobs : int }
   | Give_up
 
-type recovery_rung = {
+type recovery_rung = Report.recovery_rung = {
   r_stage : string;
   r_attempt : int; (* 1-based attempt that failed *)
   r_diagnostic : string;
@@ -128,11 +144,13 @@ let pp_recovery_rung ppf r =
   Format.fprintf ppf "%s attempt %d failed (%s): %a" r.r_stage r.r_attempt
     r.r_diagnostic pp_recovery_action r.r_action
 
-type report = {
+type report = Report.report = {
   program : Ast.program; (* after transforms *)
   engine_used : engine;
+  memory_model : Step.model;
   stats : exploration_stats;
   status : Budget.status; (* completeness of the exploration(s) *)
+  budget : Budget.headroom list; (* headroom snapshot at the end *)
   stage_failures : stage_failure list; (* crashed analyses, if any *)
   recovery : recovery_rung list; (* supervision ladder, in firing order *)
   degraded : bool; (* a result-bearing stage exhausted its ladder *)
@@ -150,6 +168,30 @@ type report = {
       (* per-stage wall seconds, in completion order; empty unless a span
          recorder was passed to [analyze] *)
 }
+
+(* The canonical options fingerprint: every field, in declaration
+   order, as stable key=value strings — one component of the
+   digest-addressed run-manifest key ([Cobegin_obs.Manifest.key]).
+   Two option records fingerprint equally iff they request the same
+   analysis. *)
+let options_fingerprint (o : options) =
+  let opt f = function None -> "none" | Some v -> f v in
+  String.concat ";"
+    [
+      "engine=" ^ Report.engine_name o.engine;
+      "memory_model=" ^ Step.model_name o.memory_model;
+      "coarsen=" ^ string_of_bool o.coarsen;
+      "inline=" ^ string_of_bool o.inline;
+      "max_configs=" ^ string_of_int o.max_configs;
+      "max_transitions=" ^ opt string_of_int o.max_transitions;
+      "timeout_s=" ^ opt (Printf.sprintf "%g") o.timeout_s;
+      "max_heap_words=" ^ opt string_of_int o.max_heap_words;
+      "find_races=" ^ string_of_bool o.find_races;
+      "lint=" ^ string_of_bool o.lint;
+      "interfere=" ^ string_of_bool o.interfere;
+      "jobs=" ^ string_of_int o.jobs;
+      "retries=" ^ string_of_int o.retries;
+    ]
 
 (* The abstract machine and the interference engine model the SC
    interleaving semantics only: their transfer functions know nothing
@@ -171,18 +213,9 @@ let check_model_support (o : options) =
            (Step.model_name o.memory_model))
   end
 
-(* Process exit code for a finished analysis, ordered by severity:
-   degraded (5) over crashed stages (3) over budget truncation (2) over
-   static findings (4) over success (0).  Usage and input errors exit 1
-   before any report exists, so the full precedence is
-   1 > 5 > 3 > 2 > 4 > 0. *)
-let exit_code ?(stage_failures = []) ?(static_findings = false)
-    ?(degraded = false) status =
-  if degraded then 5
-  else if stage_failures <> [] then 3
-  else if not (Budget.is_complete status) then 2
-  else if static_findings then 4
-  else 0
+(* The exit-code policy (1 > 5 > 3 > 2 > 4 > 0) lives in the pure
+   report core. *)
+let exit_code = Report.exit_code
 
 let load_source src =
   try
@@ -210,8 +243,9 @@ let empty_log =
   { Event.accesses = []; allocs = []; precise_pstrings = true }
 
 (* Run the chosen engine under [budget], returning stats, the unified
-   log, and the completion status. *)
-let run_engine ~budget ?probe (opts : options) prog :
+   log, and the completion status.  [spans] reaches the parallel
+   engine so each worker domain records its own trace lane. *)
+let run_engine ~budget ?probe ?spans (opts : options) prog :
     exploration_stats * Event.log * Budget.status =
   match opts.engine with
   | Concrete_full | Concrete_stubborn ->
@@ -223,7 +257,8 @@ let run_engine ~budget ?probe (opts : options) prog :
                sequential engine, byte-for-byte.  The stubborn strategy
                keeps mutable selection state, so it stays sequential
                whatever [jobs] says. *)
-            if opts.jobs > 1 then Parallel.full ~jobs:opts.jobs ~budget ?probe ctx
+            if opts.jobs > 1 then
+              Parallel.full ~jobs:opts.jobs ~budget ?probe ?spans ctx
             else Space.full ~budget ?probe ctx
         | _ -> Stubborn.explore ~budget ?probe ctx
       in
@@ -282,29 +317,76 @@ let analyze ?(options = default_options) ?(stage_hook = fun _ -> ()) ?spans
         let s = Printexc.raw_backtrace_to_string bt in
         if String.trim s = "" then None else Some s
   in
+  let action_label = function
+    | Retry -> "retry"
+    | Degrade_jobs { from_jobs; to_jobs } ->
+        Printf.sprintf "degrade_jobs %d->%d" from_jobs to_jobs
+    | Give_up -> "give_up"
+  in
+  (* Every failed attempt dumps the flight recorder to the journal's
+     log, so the engine's last ring of events survives retries and
+     degradation rungs too; the give-up's dump is additionally attached
+     to the stage_failure (via [record_failure]), which takes its own
+     dump — so skip the log dump here to avoid a duplicate record. *)
   let record_rung ~stage ~attempt ~action cause bt =
+    let diagnostic = Printexc.to_string cause in
+    if Journal.enabled () then begin
+      Journal.emit ~level:Journal.Warn "pipeline.recovery"
+        [
+          ("stage", Journal.Str stage);
+          ("attempt", Journal.Int attempt);
+          ("action", Journal.Str (action_label action));
+          ("diagnostic", Journal.Str diagnostic);
+        ];
+      if action <> Give_up then
+        ignore
+          (Journal.flight_dump
+             ~reason:
+               (Printf.sprintf "%s attempt %d failed: %s" stage attempt
+                  diagnostic)
+             ()
+            : string list)
+    end;
     recovery :=
       {
         r_stage = stage;
         r_attempt = attempt;
-        r_diagnostic = Printexc.to_string cause;
+        r_diagnostic = diagnostic;
         r_backtrace = backtrace_text cause bt;
         r_action = action;
       }
       :: !recovery
   in
   let record_failure ~stage cause bt =
+    let diagnostic = Printexc.to_string cause in
+    let flight =
+      if Journal.enabled () then begin
+        Journal.emit ~level:Journal.Error "pipeline.stage_failed"
+          [
+            ("stage", Journal.Str stage);
+            ("diagnostic", Journal.Str diagnostic);
+          ];
+        Journal.flight_dump
+          ~reason:(Printf.sprintf "stage %s gave up: %s" stage diagnostic)
+          ()
+      end
+      else []
+    in
     failures :=
       {
         stage;
-        diagnostic = Printexc.to_string cause;
+        diagnostic;
         backtrace = backtrace_text cause bt;
+        flight;
       }
       :: !failures
   in
   let run_body name f =
     stage_hook name;
     Fault.hit ("pipeline." ^ name);
+    if Journal.enabled () then
+      Journal.emit ~level:Journal.Debug "pipeline.stage"
+        [ ("stage", Journal.Str name) ];
     match spans with None -> f () | Some t -> Span.with_span t name f
   in
   (* Supervised stage: up to [1 + retries] attempts; every failed
@@ -379,7 +461,7 @@ let analyze ?(options = default_options) ?(stage_hook = fun _ -> ()) ?spans
       | o :: rest -> (
           match
             run_body "exploration" (fun () ->
-                run_engine ~budget ?probe o prog)
+                run_engine ~budget ?probe ?spans o prog)
           with
           | r -> r
           | exception e -> (
@@ -462,11 +544,24 @@ let analyze ?(options = default_options) ?(stage_hook = fun _ -> ()) ?spans
   let degraded =
     match status with Budget.Truncated (Budget.Crash _) -> true | _ -> false
   in
+  if Journal.enabled () then
+    Journal.emit ~level:Journal.Info "pipeline.done"
+      [
+        ("engine", Journal.Str (Report.engine_name options.engine));
+        ("configurations", Journal.Int stats.configurations);
+        ("transitions", Journal.Int stats.transitions);
+        ("complete", Journal.Bool (status = Budget.Complete));
+        ("degraded", Journal.Bool degraded);
+      ];
   {
     program = prog;
     engine_used = options.engine;
+    memory_model = options.memory_model;
     stats;
     status;
+    budget =
+      Budget.snapshot budget ~configs:stats.configurations
+        ~transitions:stats.transitions;
     stage_failures = List.rev !failures;
     recovery = List.rev !recovery;
     degraded;

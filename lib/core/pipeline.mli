@@ -11,13 +11,26 @@ source → parse → check → (coarsen | inline)
     This is the one-call API; the individual libraries remain available
     for finer control.
 
+    The report data model — {!engine}, {!exploration_stats},
+    {!stage_failure}, {!recovery_rung}, {!report} — and its pure
+    consumers ({!exit_code}, [Report.to_json]) live in {!Report}; this
+    module re-exports the types (the equations below), so existing code
+    keeps addressing them as [Pipeline.report] etc., and keeps every
+    pretty-printer.
+
     Resource governance: one {!Budget.t} — built from the limits in
     {!options} — governs the engine run and the race scan together.
     Exhaustion never raises; the report comes back with
     [status = Truncated _] and partial results.  Each section-5/7
     analysis runs under a per-stage guard: a crashing stage contributes
     its default (empty) result plus a {!stage_failure} diagnostic
-    instead of aborting the pipeline. *)
+    instead of aborting the pipeline.
+
+    Observability: when the process journal ({!Cobegin_obs.Journal}) is
+    running, the pipeline emits stage/recovery events, every failed
+    attempt dumps the flight-recorder ring to the journal's log, and a
+    stage that gives up carries the dump in
+    [stage_failure.flight]. *)
 
 open Cobegin_lang
 open Cobegin_trans
@@ -27,7 +40,7 @@ open Cobegin_analysis
 open Cobegin_apps
 
 (** Which engine produces the instrumentation log. *)
-type engine =
+type engine = Report.engine =
   | Concrete_full  (** ordinary state-space generation *)
   | Concrete_stubborn  (** with persistent/stubborn-set reduction *)
   | Abstract of Analyzer.domain * Machine.folding
@@ -84,7 +97,15 @@ val budget_of_options : options -> Budget.t
     shared (multi-domain) mode when [jobs > 1], so truncation latches
     a single reason across the worker domains. *)
 
-type exploration_stats = {
+val options_fingerprint : options -> string
+(** Canonical fingerprint of an option record: every field, in
+    declaration order, as stable [key=value] strings joined by [";"] —
+    one component of the digest-addressed run-manifest key
+    ({!Cobegin_obs.Manifest.key}).  Two records fingerprint equally iff
+    they request the same analysis (deliberately including [jobs] and
+    [retries]: a degraded ladder changes what ran). *)
+
+type exploration_stats = Report.exploration_stats = {
   configurations : int;
   transitions : int;  (** 0 for abstract engines *)
   max_frontier : int;  (** peak worklist size during the engine run *)
@@ -93,13 +114,17 @@ type exploration_stats = {
   errors : int;
 }
 
-type stage_failure = {
+type stage_failure = Report.stage_failure = {
   stage : string;  (** e.g. ["side-effects"], ["races"] *)
   diagnostic : string;  (** printed form of the escaping exception *)
   backtrace : string option;
       (** the raised backtrace, when one was recorded
           ([Printexc.record_backtrace] — the CLI's [--debug] — or a
           parallel worker's own capture); [None] otherwise *)
+  flight : string list;
+      (** the journal flight-recorder dump taken at the give-up — the
+          ring's events as pre-rendered JSON lines, oldest first; empty
+          when the journal was not running *)
 }
 
 val pp_stage_failure : Format.formatter -> stage_failure -> unit
@@ -115,13 +140,13 @@ val pp_stage_failure : Format.formatter -> stage_failure -> unit
     stages (exploration, races) — a [Truncated (Crash _)] status, so a
     degraded report is never mistaken for a complete one. *)
 
-type recovery_action =
+type recovery_action = Report.recovery_action =
   | Retry  (** same options, next attempt *)
   | Degrade_jobs of { from_jobs : int; to_jobs : int }
       (** exploration fell back toward the sequential engine *)
   | Give_up  (** ladder exhausted; the stage's default stands *)
 
-type recovery_rung = {
+type recovery_rung = Report.recovery_rung = {
   r_stage : string;
   r_attempt : int;  (** 1-based attempt that failed *)
   r_diagnostic : string;
@@ -132,13 +157,20 @@ type recovery_rung = {
 val pp_recovery_action : Format.formatter -> recovery_action -> unit
 val pp_recovery_rung : Format.formatter -> recovery_rung -> unit
 
-type report = {
+type report = Report.report = {
   program : Ast.program;  (** the program after transforms *)
   engine_used : engine;
+  memory_model : Step.model;
+      (** the model the concrete semantics ran under (always the
+          requested one, even for abstract engines — which only accept
+          {!Step.Sc}) *)
   stats : exploration_stats;
   status : Budget.status;
       (** [Truncated _] if any budget fired during exploration or the
           race scan; the rest of the report describes the partial run *)
+  budget : Budget.headroom list;
+      (** consumed vs limit for each configured budget dimension,
+          sampled when the pipeline finished *)
   stage_failures : stage_failure list;
       (** analyses that crashed {e and exhausted their ladder}; their
           report fields hold defaults *)

@@ -21,6 +21,7 @@
 open Cobegin_semantics
 module Metrics = Cobegin_obs.Metrics
 module Probe = Cobegin_obs.Probe
+module Journal = Cobegin_obs.Journal
 
 let m_saves = Metrics.counter "checkpoint.saves"
 let m_restores = Metrics.counter "checkpoint.restores"
@@ -116,7 +117,15 @@ let save ~path ctx live =
   Sys.rename tmp path;
   Metrics.incr m_saves;
   Metrics.observe h_save_ms
-    (int_of_float ((Unix.gettimeofday () -. t0) *. 1000.))
+    (int_of_float ((Unix.gettimeofday () -. t0) *. 1000.));
+  if Journal.enabled () then
+    Journal.emit "checkpoint.saved"
+      [
+        ("path", Journal.Str path);
+        ("configurations", Journal.Int (List.length payload.ck_visited));
+        ("frontier", Journal.Int (List.length payload.ck_frontier));
+        ("transitions", Journal.Int payload.ck_transitions);
+      ]
 
 let load_payload ~path ctx : payload =
   let ic =
@@ -184,6 +193,13 @@ let live_of_payload (p : payload) =
   Metrics.incr m_restores;
   Metrics.observe h_restore_ms
     (int_of_float ((Unix.gettimeofday () -. t0) *. 1000.));
+  if Journal.enabled () then
+    Journal.emit "checkpoint.restored"
+      [
+        ("configurations", Journal.Int (List.length p.ck_visited));
+        ("frontier", Journal.Int (List.length p.ck_frontier));
+        ("transitions", Journal.Int p.ck_transitions);
+      ];
   {
     visited;
     queue;

@@ -36,6 +36,8 @@
 open Cobegin_semantics
 module Metrics = Cobegin_obs.Metrics
 module Probe = Cobegin_obs.Probe
+module Span = Cobegin_obs.Span
+module Journal = Cobegin_obs.Journal
 
 exception
   Worker_failed of { domain : int; cause : exn; backtrace : string }
@@ -114,8 +116,8 @@ let digest_compare (a : Config.digest) (b : Config.digest) =
 let sort_by_digest cs =
   List.sort (fun a b -> digest_compare (Config.digest a) (Config.digest b)) cs
 
-let explore ?(max_configs = 1_000_000) ?budget ?probe ~jobs ctx ~expand :
-    Space.result =
+let explore ?(max_configs = 1_000_000) ?budget ?probe ?spans ~jobs ctx
+    ~expand : Space.result =
   if jobs <= 1 then Space.explore ~max_configs ?budget ?probe ctx ~expand
   else begin
     let budget =
@@ -267,12 +269,32 @@ let explore ?(max_configs = 1_000_000) ?budget ?probe ~jobs ctx ~expand :
          configuration; without the failure latch the siblings would
          spin on [pending > 0] forever.  Latch the first failure —
          [stopping] then drains everyone — and let the main domain
-         re-raise it after the join. *)
-      try loop ()
-      with e ->
-        let bt = Printexc.get_raw_backtrace () in
-        ignore
-          (Atomic.compare_and_set failed None (Some (w, e, bt)) : bool)
+         re-raise it after the join.  Each worker runs inside its own
+         span (one "tid" lane per domain in the trace export) and
+         journals its start/finish, so a flight-recorder dump shows
+         which workers were alive when something died. *)
+      let run () =
+        if Journal.enabled () then
+          Journal.emit "parallel.worker_start" [ ("worker", Journal.Int w) ];
+        match loop () with
+        | () ->
+            if Journal.enabled () then
+              Journal.emit "parallel.worker_done"
+                [ ("worker", Journal.Int w) ]
+        | exception e ->
+            let bt = Printexc.get_raw_backtrace () in
+            if Journal.enabled () then
+              Journal.emit ~level:Journal.Error "parallel.worker_failed"
+                [
+                  ("worker", Journal.Int w);
+                  ("diagnostic", Journal.Str (Printexc.to_string e));
+                ];
+            ignore
+              (Atomic.compare_and_set failed None (Some (w, e, bt)) : bool)
+      in
+      match spans with
+      | None -> run ()
+      | Some t -> Span.with_span t (Printf.sprintf "worker%d" w) run
     in
     let domains = Array.init jobs (fun w -> Domain.spawn (worker w)) in
     Array.iter Domain.join domains;
@@ -339,6 +361,6 @@ let explore ?(max_configs = 1_000_000) ?budget ?probe ~jobs ctx ~expand :
     }
   end
 
-let full ?max_configs ?budget ?probe ~jobs ctx =
-  explore ?max_configs ?budget ?probe ~jobs ctx ~expand:(fun c ->
+let full ?max_configs ?budget ?probe ?spans ~jobs ctx =
+  explore ?max_configs ?budget ?probe ?spans ~jobs ctx ~expand:(fun c ->
       Step.enabled_actions ctx c)

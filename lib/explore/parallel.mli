@@ -43,6 +43,7 @@ val explore :
   ?max_configs:int ->
   ?budget:Budget.t ->
   ?probe:Cobegin_obs.Probe.t ->
+  ?spans:Cobegin_obs.Span.t ->
   jobs:int ->
   Step.ctx ->
   expand:(Config.t -> Step.action list) ->
@@ -56,12 +57,17 @@ val explore :
     [max_configs] in shared (multi-domain) mode; a caller-supplied
     budget should be created with [~shared:true] so truncation is
     latched once across domains.  [probe] is ticked by worker 0 only
-    (probes are single-domain). *)
+    (probes are single-domain).  When [spans] is given, each worker
+    domain runs inside its own ["worker<i>"] span, so the trace export
+    renders one lane per worker; workers also journal their
+    start/finish (and failures, at [Error]) when the process journal is
+    running. *)
 
 val full :
   ?max_configs:int ->
   ?budget:Budget.t ->
   ?probe:Cobegin_obs.Probe.t ->
+  ?spans:Cobegin_obs.Span.t ->
   jobs:int ->
   Step.ctx ->
   Space.result

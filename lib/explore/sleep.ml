@@ -61,6 +61,7 @@ let explore ?(max_configs = 1_000_000) ?budget ?probe ?stats ctx :
   let transitions = ref 0 and max_frontier = ref 0 in
   let accesses = ref [] and allocs = ref [] in
   let stop = ref None in
+  let pops = ref 0 in
   let c0 = Step.init ctx in
   Space.ConfigTbl.add visited c0 PidSet.empty;
   Queue.add (c0, PidSet.empty) queue;
@@ -73,6 +74,20 @@ let explore ?(max_configs = 1_000_000) ?budget ?probe ?stats ctx :
     | Some r -> stop := Some r
     | None -> (
     Fault.hit "sleep.pop";
+    incr pops;
+    if
+      Cobegin_obs.Journal.enabled ()
+      && !pops mod Space.journal_every = 0
+    then
+      Cobegin_obs.Journal.emit ~level:Cobegin_obs.Journal.Debug
+        "sleep.progress"
+        [
+          ("pops", Cobegin_obs.Journal.Int !pops);
+          ( "configurations",
+            Cobegin_obs.Journal.Int (Space.ConfigTbl.length visited) );
+          ("frontier", Cobegin_obs.Journal.Int (Queue.length queue));
+          ("transitions", Cobegin_obs.Journal.Int !transitions);
+        ];
     (match probe with
     | None -> ()
     | Some p ->

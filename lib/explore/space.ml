@@ -14,6 +14,13 @@
 open Cobegin_semantics
 module Metrics = Cobegin_obs.Metrics
 module Probe = Cobegin_obs.Probe
+module Journal = Cobegin_obs.Journal
+
+(* Journal breadcrumbs are sampled — one Debug event per
+   [journal_every] pops — so a flight-recorder dump shows where the
+   engine was without the journal's lock ever entering the hot path
+   more than ~0.4% of iterations. *)
+let journal_every = 256
 
 (* Telemetry handles: process-global, shared with Sleep (same loop
    shape) and no-ops (one branch) while telemetry is disabled. *)
@@ -75,6 +82,7 @@ let explore ?(max_configs = 1_000_000) ?budget ?probe ctx ~expand : result =
   let transitions = ref 0 and max_frontier = ref 0 in
   let accesses = ref [] and allocs = ref [] in
   let stop = ref None in
+  let pops = ref 0 in
   let c0 = Step.init ctx in
   ConfigTbl.add visited c0 ();
   Queue.add c0 queue;
@@ -86,6 +94,15 @@ let explore ?(max_configs = 1_000_000) ?budget ?probe ctx ~expand : result =
     | Some r -> stop := Some r
     | None -> (
         Fault.hit "space.pop";
+        incr pops;
+        if Journal.enabled () && !pops mod journal_every = 0 then
+          Journal.emit ~level:Journal.Debug "space.progress"
+            [
+              ("pops", Journal.Int !pops);
+              ("configurations", Journal.Int (ConfigTbl.length visited));
+              ("frontier", Journal.Int (Queue.length queue));
+              ("transitions", Journal.Int !transitions);
+            ];
         (match probe with
         | None -> ()
         | Some p ->
@@ -148,6 +165,13 @@ let explore ?(max_configs = 1_000_000) ?budget ?probe ctx ~expand : result =
           | [] -> deadlocks := c :: !deadlocks
           | _ -> ())
       queue;
+  if Journal.enabled () then
+    Journal.emit "space.done"
+      [
+        ("configurations", Journal.Int (ConfigTbl.length visited));
+        ("transitions", Journal.Int !transitions);
+        ("complete", Journal.Bool (!stop = None));
+      ];
   {
     status = Budget.status_of !stop;
     stats =

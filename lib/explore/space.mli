@@ -48,6 +48,12 @@ module ConfigTbl : sig
   val find_digest : 'a t -> Config.digest -> 'a option
 end
 
+val journal_every : int
+(** Sampling period of the journal breadcrumbs: the engines emit one
+    Debug progress event per this many worklist pops (shared by the
+    Space-shaped loops in {!Sleep} and {!Checkpoint}), so an enabled
+    journal costs the ring lock on ~0.4% of iterations. *)
+
 val explore :
   ?max_configs:int ->
   ?budget:Budget.t ->

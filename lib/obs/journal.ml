@@ -1,0 +1,179 @@
+(* Structured event journal (see journal.mli).
+
+   One process-global journal: an atomic enabled flag guards the empty
+   fast path, and a single mutex serializes the slow path — sequence
+   numbering, the ring append and the sink write — so events from
+   concurrent domains interleave without tearing and the sequence
+   numbers are a total order.  The ring records every emitted event
+   whatever the sink threshold says: the flight recorder must keep the
+   debug breadcrumbs that precede a crash even when the sink only wants
+   warnings. *)
+
+type level = Debug | Info | Warn | Error
+
+let level_rank = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+
+let level_name = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+
+let level_of_string s =
+  match String.lowercase_ascii s with
+  | "debug" -> Some Debug
+  | "info" -> Some Info
+  | "warn" | "warning" -> Some Warn
+  | "error" -> Some Error
+  | _ -> None
+
+type value = Int of int | Float of float | Str of string | Bool of bool
+
+type event = {
+  e_seq : int;
+  e_ts : float;
+  e_level : level;
+  e_domain : int;
+  e_name : string;
+  e_fields : (string * value) list;
+}
+
+type state = {
+  threshold : level;
+  clock : unit -> float;
+  t0 : float;
+  ring : event option array; (* capacity slots, seq mod capacity *)
+  mutable seq : int;
+  mutable sink : out_channel option;
+}
+
+let enabled_flag = Atomic.make false
+let enabled () = Atomic.get enabled_flag
+
+(* The mutex guards [state] and every field inside it; the atomic flag
+   is only the fast-path guard and is flipped under the mutex. *)
+let lock = Mutex.create ()
+let state : state option ref = ref None
+
+let default_capacity = 256
+
+let start ?(threshold = Info) ?(capacity = default_capacity)
+    ?(clock = Unix.gettimeofday) ?sink () =
+  Mutex.protect lock (fun () ->
+      state :=
+        Some
+          {
+            threshold;
+            clock;
+            t0 = clock ();
+            ring = Array.make (max 1 capacity) None;
+            seq = 0;
+            sink;
+          };
+      Atomic.set enabled_flag true)
+
+let stop () =
+  Mutex.protect lock (fun () ->
+      Atomic.set enabled_flag false;
+      (match !state with
+      | Some { sink = Some oc; _ } -> flush oc
+      | _ -> ());
+      state := None)
+
+let add_value buf = function
+  | Int n -> Buffer.add_string buf (string_of_int n)
+  | Float f -> Buffer.add_string buf (Obs_json.float f)
+  | Str s -> Obs_json.escape_into buf s
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+
+let event_into buf ev =
+  Printf.bprintf buf "{\"seq\":%d,\"ts\":%s,\"level\":\"%s\",\"domain\":%d"
+    ev.e_seq
+    (Obs_json.float ev.e_ts)
+    (level_name ev.e_level) ev.e_domain;
+  Buffer.add_string buf ",\"event\":";
+  Obs_json.escape_into buf ev.e_name;
+  Buffer.add_string buf ",\"fields\":{";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Obs_json.escape_into buf k;
+      Buffer.add_char buf ':';
+      add_value buf v)
+    ev.e_fields;
+  Buffer.add_string buf "}}"
+
+let event_to_json ev =
+  let buf = Buffer.create 128 in
+  event_into buf ev;
+  Buffer.contents buf
+
+let emit ?(level = Info) name fields =
+  if Atomic.get enabled_flag then
+    Mutex.protect lock (fun () ->
+        match !state with
+        | None -> ()
+        | Some st ->
+            let ev =
+              {
+                e_seq = st.seq;
+                e_ts = st.clock () -. st.t0;
+                e_level = level;
+                e_domain = (Domain.self () :> int);
+                e_name = name;
+                e_fields = fields;
+              }
+            in
+            st.ring.(st.seq mod Array.length st.ring) <- Some ev;
+            st.seq <- st.seq + 1;
+            (match st.sink with
+            | Some oc when level_rank level >= level_rank st.threshold ->
+                output_string oc (event_to_json ev);
+                output_char oc '\n';
+                flush oc
+            | _ -> ()))
+
+(* Oldest first: slot order is seq mod capacity, so sorting the live
+   slots by sequence number recovers emission order whatever the wrap
+   position is. *)
+let ring_events_locked st =
+  Array.to_list st.ring
+  |> List.filter_map Fun.id
+  |> List.sort (fun a b -> Int.compare a.e_seq b.e_seq)
+
+let ring_events () =
+  Mutex.protect lock (fun () ->
+      match !state with None -> [] | Some st -> ring_events_locked st)
+
+let ring_capacity () =
+  Mutex.protect lock (fun () ->
+      match !state with None -> 0 | Some st -> Array.length st.ring)
+
+let flight_dump ~reason () =
+  Mutex.protect lock (fun () ->
+      match !state with
+      | None -> []
+      | Some st ->
+          let evs = ring_events_locked st in
+          let lines = List.map event_to_json evs in
+          (match st.sink with
+          | None -> ()
+          | Some oc ->
+              (* one self-contained record, past the threshold: the
+                 flight recorder exists precisely for abnormal ends *)
+              let buf = Buffer.create 1024 in
+              Printf.bprintf buf
+                "{\"event\":\"flight_recorder\",\"ts\":%s,\"reason\":"
+                (Obs_json.float (st.clock () -. st.t0));
+              Obs_json.escape_into buf reason;
+              Buffer.add_string buf ",\"events\":[";
+              List.iteri
+                (fun i line ->
+                  if i > 0 then Buffer.add_char buf ',';
+                  Buffer.add_string buf line)
+                lines;
+              Buffer.add_string buf "]}";
+              output_string oc (Buffer.contents buf);
+              output_char oc '\n';
+              flush oc);
+          lines)

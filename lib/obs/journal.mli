@@ -1,0 +1,93 @@
+(** Leveled structured event journal with a flight recorder.
+
+    Engines and the pipeline emit {e events} — a name, a level, a few
+    typed fields — through one process-global journal.  While the
+    journal is disabled (the default) every {!emit} costs a single
+    atomic load and allocates nothing, so emission sites can stay in
+    engine loops.
+
+    When started, the journal does two things with each event:
+
+    - appends it to a {e bounded ring buffer} (default 256 slots) that
+      always holds the most recent events of {e every} level — the
+      flight recorder.  On a crash, {!flight_dump} renders the ring so
+      the last moments before the failure are recoverable even when no
+      sink was configured or the sink's threshold filtered the
+      breadcrumbs out;
+    - writes it to the optional JSONL sink (one JSON object per line,
+      flushed) when its level passes the sink threshold.
+
+    Events carry a process-wide sequence number (a total order even
+    across domains), a timestamp relative to {!start}, and the id of
+    the emitting domain — multi-domain runs interleave safely; dumps
+    sort by sequence number, so artifacts are deterministic given a
+    deterministic emission order.
+
+    The journal is process-global like {!Metrics}: engines deep in the
+    library graph reach it without threading a context. *)
+
+(** Severity, ordered [Debug < Info < Warn < Error]. *)
+type level = Debug | Info | Warn | Error
+
+val level_name : level -> string
+(** ["debug"], ["info"], ["warn"], ["error"] — stable. *)
+
+val level_of_string : string -> level option
+(** Inverse of {!level_name} (case-insensitive). *)
+
+(** A typed field value. *)
+type value = Int of int | Float of float | Str of string | Bool of bool
+
+type event = {
+  e_seq : int;  (** process-wide sequence number, from 0 at {!start} *)
+  e_ts : float;  (** seconds since {!start} *)
+  e_level : level;
+  e_domain : int;  (** id of the emitting domain *)
+  e_name : string;  (** dotted site name, e.g. ["space.done"] *)
+  e_fields : (string * value) list;
+}
+
+val enabled : unit -> bool
+(** One atomic load — the guard emission sites test before building
+    their field lists. *)
+
+val start :
+  ?threshold:level ->
+  ?capacity:int ->
+  ?clock:(unit -> float) ->
+  ?sink:out_channel ->
+  unit ->
+  unit
+(** Enable the journal: reset the sequence counter and the ring (sized
+    [capacity], default 256, clamped to at least 1), anchor timestamps
+    at now, and attach [sink], to which events of level [>= threshold]
+    (default [Info]) are written as JSONL.  The ring records every
+    event regardless of [threshold].  The caller owns [sink] — the
+    journal flushes it but never closes it.  [clock] is injectable for
+    deterministic tests (default [Unix.gettimeofday]). *)
+
+val stop : unit -> unit
+(** Disable and detach the sink (flushing it first).  The ring's
+    contents are dropped. *)
+
+val emit : ?level:level -> string -> (string * value) list -> unit
+(** Record one event.  No-op (one atomic load) while disabled. *)
+
+val ring_events : unit -> event list
+(** The flight recorder's current contents, oldest first (sorted by
+    sequence number).  Empty while disabled. *)
+
+val ring_capacity : unit -> int
+(** The configured ring size (0 while disabled). *)
+
+val event_to_json : event -> string
+(** One JSON object:
+    [{"seq":0,"ts":1.5,"level":"info","domain":0,"event":"space.done",
+    "fields":{...}}]. *)
+
+val flight_dump : reason:string -> unit -> string list
+(** Render the ring as JSON lines (oldest first) and — when a sink is
+    attached — write a single [flight_recorder] event to it carrying
+    [reason] and the ring, {e bypassing the threshold}.  Returns the
+    rendered lines so callers can attach them to a report.  Empty list
+    while disabled. *)

@@ -6,10 +6,11 @@
 
 (* Counters and gauges are Atomic.t cells: the parallel engine mutates
    them from every domain, and an atomic increment is lock-free and
-   still a couple of nanoseconds when uncontended.  Histograms keep
-   plain mutable fields — multi-word updates would need a lock on the
-   hot path — and are documented single-domain (the parallel engine
-   observes them only from worker 0 / after the join). *)
+   still a couple of nanoseconds when uncontended.  A histogram update
+   touches several words (a bucket, the count, the sum, the max), so
+   each histogram carries its own mutex: observations from concurrent
+   domains serialize per histogram, never against each other or the
+   registry, and the disabled path still pays only the flag test. *)
 type counter = { c_name : string; c_value : int Atomic.t }
 type gauge = { g_name : string; g_value : int Atomic.t }
 
@@ -19,6 +20,7 @@ let num_buckets = 64
 
 type histogram = {
   h_name : string;
+  h_lock : Mutex.t;
   h_buckets : int array;
   mutable h_count : int;
   mutable h_sum : int;
@@ -65,6 +67,7 @@ let histogram name =
           let h =
             {
               h_name = name;
+              h_lock = Mutex.create ();
               h_buckets = Array.make num_buckets 0;
               h_count = 0;
               h_sum = 0;
@@ -99,13 +102,13 @@ let bucket_of v =
 let bucket_lower b = if b = 0 then 0 else 1 lsl (b - 1)
 
 let observe h v =
-  if Atomic.get enabled_flag then begin
-    let b = bucket_of v in
-    h.h_buckets.(b) <- h.h_buckets.(b) + 1;
-    h.h_count <- h.h_count + 1;
-    h.h_sum <- h.h_sum + v;
-    if v > h.h_max then h.h_max <- v
-  end
+  if Atomic.get enabled_flag then
+    Mutex.protect h.h_lock (fun () ->
+        let b = bucket_of v in
+        h.h_buckets.(b) <- h.h_buckets.(b) + 1;
+        h.h_count <- h.h_count + 1;
+        h.h_sum <- h.h_sum + v;
+        if v > h.h_max then h.h_max <- v)
 
 (* --- snapshots --- *)
 
@@ -141,19 +144,22 @@ let snapshot () =
       let hs =
         Hashtbl.fold
           (fun n h acc ->
-            let buckets = ref [] in
-            for b = num_buckets - 1 downto 0 do
-              if h.h_buckets.(b) > 0 then
-                buckets := (bucket_lower b, h.h_buckets.(b)) :: !buckets
-            done;
-            ( n,
-              {
-                hs_count = h.h_count;
-                hs_sum = h.h_sum;
-                hs_max = h.h_max;
-                hs_buckets = !buckets;
-              } )
-            :: acc)
+            (* take the histogram's own lock so a snapshot racing an
+               observe reads a consistent (buckets, count, sum, max) *)
+            Mutex.protect h.h_lock (fun () ->
+                let buckets = ref [] in
+                for b = num_buckets - 1 downto 0 do
+                  if h.h_buckets.(b) > 0 then
+                    buckets := (bucket_lower b, h.h_buckets.(b)) :: !buckets
+                done;
+                ( n,
+                  {
+                    hs_count = h.h_count;
+                    hs_sum = h.h_sum;
+                    hs_max = h.h_max;
+                    hs_buckets = !buckets;
+                  } )
+                :: acc))
           histograms []
         |> List.sort by_name
       in
@@ -167,10 +173,11 @@ let reset () =
       Hashtbl.iter (fun _ g -> Atomic.set g.g_value 0) gauges;
       Hashtbl.iter
         (fun _ h ->
-          Array.fill h.h_buckets 0 num_buckets 0;
-          h.h_count <- 0;
-          h.h_sum <- 0;
-          h.h_max <- 0)
+          Mutex.protect h.h_lock (fun () ->
+              Array.fill h.h_buckets 0 num_buckets 0;
+              h.h_count <- 0;
+              h.h_sum <- 0;
+              h.h_max <- 0))
         histograms)
 
 let to_json (s : snapshot) =

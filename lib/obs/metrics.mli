@@ -17,10 +17,10 @@
     Domain-safety: counters and gauges are atomic cells, safe to mutate
     from any number of OCaml domains (increments are lock-free);
     creation, {!snapshot} and {!reset} are serialized by a registry
-    mutex.  Histograms are the exception — their multi-word updates are
-    {e not} synchronized, so a histogram must only be observed from one
-    domain at a time (the parallel engine observes them from worker 0
-    or after the join). *)
+    mutex.  Histograms carry a per-histogram mutex: {!observe} is safe
+    from any number of domains, serializing only observations of the
+    same histogram, and {!snapshot}/{!reset} take the same lock so
+    concurrent reads are consistent. *)
 
 type counter
 type gauge

@@ -1,7 +1,13 @@
-(* Nestable wall-clock spans.  A recorder keeps a stack of open spans
-   (each new span's parent is the span below it) and a list of completed
-   events; the export is Chrome trace-event JSON, loadable in
-   chrome://tracing and Perfetto.
+(* Nestable wall-clock spans.  A recorder keeps one stack of open spans
+   per domain (each new span's parent is the span below it on the same
+   domain's stack) and a list of completed events; the export is Chrome
+   trace-event JSON, loadable in chrome://tracing and Perfetto, with
+   one lane ("tid") per domain so parallel workers render side by side.
+
+   Domain-safety: a single mutex serializes enter/exit/read — spans
+   bracket stages and workers, not hot-loop iterations, so the lock is
+   cold.  A span must be exited on the domain that entered it (each
+   domain pops its own stack).
 
    The clock is injectable so tests can drive a deterministic one;
    timestamps are relative to the recorder's creation. *)
@@ -10,6 +16,7 @@ type event = {
   ev_name : string;
   ev_id : int;
   ev_parent : int; (* -1 for a root span *)
+  ev_domain : int; (* id of the domain that ran the span *)
   ev_start : float; (* seconds since recorder creation *)
   ev_dur : float; (* seconds *)
 }
@@ -19,8 +26,10 @@ type span = int
 type t = {
   clock : unit -> float;
   t0 : float;
+  lock : Mutex.t;
   mutable next_id : int;
-  mutable open_spans : (int * string * float) list; (* innermost first *)
+  stacks : (int, (int * string * float) list) Hashtbl.t;
+      (* per-domain open spans, innermost first *)
   mutable completed : event list; (* reverse completion order *)
   mutable n_completed : int;
 }
@@ -29,54 +38,73 @@ let create ?(clock = Unix.gettimeofday) () =
   {
     clock;
     t0 = clock ();
+    lock = Mutex.create ();
     next_id = 0;
-    open_spans = [];
+    stacks = Hashtbl.create 8;
     completed = [];
     n_completed = 0;
   }
 
-let enter t name =
-  let id = t.next_id in
-  t.next_id <- id + 1;
-  t.open_spans <- (id, name, t.clock () -. t.t0) :: t.open_spans;
-  id
+let my_stack t =
+  Option.value
+    (Hashtbl.find_opt t.stacks (Domain.self () :> int))
+    ~default:[]
 
-(* Closing a span also closes any span still open inside it (tolerant
-   of mismatched nesting); exiting a span that is not open is a no-op. *)
+let set_my_stack t s = Hashtbl.replace t.stacks (Domain.self () :> int) s
+
+let enter t name =
+  Mutex.protect t.lock (fun () ->
+      let id = t.next_id in
+      t.next_id <- id + 1;
+      set_my_stack t ((id, name, t.clock () -. t.t0) :: my_stack t);
+      id)
+
+(* Closing a span also closes any span still open inside it on the same
+   domain (tolerant of mismatched nesting); exiting a span that is not
+   open here is a no-op. *)
 let exit t id =
-  if List.exists (fun (id', _, _) -> id' = id) t.open_spans then begin
-    let now = t.clock () -. t.t0 in
-    let rec pop = function
-      | [] -> []
-      | (id', name, start) :: rest ->
-          let parent = match rest with (p, _, _) :: _ -> p | [] -> -1 in
-          t.completed <-
-            {
-              ev_name = name;
-              ev_id = id';
-              ev_parent = parent;
-              ev_start = start;
-              ev_dur = now -. start;
-            }
-            :: t.completed;
-          t.n_completed <- t.n_completed + 1;
-          if id' = id then rest else pop rest
-    in
-    t.open_spans <- pop t.open_spans
-  end
+  Mutex.protect t.lock (fun () ->
+      let stack = my_stack t in
+      if List.exists (fun (id', _, _) -> id' = id) stack then begin
+        let now = t.clock () -. t.t0 in
+        let dom = (Domain.self () :> int) in
+        let rec pop = function
+          | [] -> []
+          | (id', name, start) :: rest ->
+              let parent = match rest with (p, _, _) :: _ -> p | [] -> -1 in
+              t.completed <-
+                {
+                  ev_name = name;
+                  ev_id = id';
+                  ev_parent = parent;
+                  ev_domain = dom;
+                  ev_start = start;
+                  ev_dur = now -. start;
+                }
+                :: t.completed;
+              t.n_completed <- t.n_completed + 1;
+              if id' = id then rest else pop rest
+        in
+        set_my_stack t (pop stack)
+      end)
 
 let with_span t name f =
   let s = enter t name in
   Fun.protect ~finally:(fun () -> exit t s) f
 
-let events t = List.rev t.completed
-let event_count t = t.n_completed
+let events t = Mutex.protect t.lock (fun () -> List.rev t.completed)
+let event_count t = Mutex.protect t.lock (fun () -> t.n_completed)
 let durations t = List.map (fun ev -> (ev.ev_name, ev.ev_dur)) (events t)
 
 (* Chrome trace-event format: complete ("ph":"X") events, microsecond
-   timestamps.  The parent id rides in "args" — the viewers nest by
-   time inclusion, tools can use the explicit link. *)
+   timestamps, one "tid" lane per emitting domain.  Sorted by span id —
+   enter order — so the export is deterministic whatever order
+   concurrent spans completed in.  The parent id rides in "args" — the
+   viewers nest by time inclusion, tools can use the explicit link. *)
 let to_trace_json t =
+  let evs =
+    List.sort (fun a b -> Int.compare a.ev_id b.ev_id) (events t)
+  in
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   List.iteri
@@ -85,11 +113,12 @@ let to_trace_json t =
       Buffer.add_string buf "{\"name\":";
       Obs_json.escape_into buf ev.ev_name;
       Printf.bprintf buf
-        ",\"cat\":\"cobegin\",\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":%s,\"dur\":%s,\"args\":{\"id\":%d,\"parent\":%d}}"
+        ",\"cat\":\"cobegin\",\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"ts\":%s,\"dur\":%s,\"args\":{\"id\":%d,\"parent\":%d}}"
+        ev.ev_domain
         (Obs_json.float (ev.ev_start *. 1e6))
         (Obs_json.float (ev.ev_dur *. 1e6))
         ev.ev_id ev.ev_parent)
-    (events t);
+    evs;
   Buffer.add_string buf "]}";
   Buffer.contents buf
 

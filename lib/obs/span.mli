@@ -1,9 +1,15 @@
 (** Nestable wall-clock spans, exported as Chrome trace-event JSON.
 
-    A recorder ({!t}) keeps a stack of open spans; each {!enter} links
-    the new span to the one currently innermost, so the export carries a
-    thread of parent ids.  {!to_trace_json} produces the trace-event
-    format loadable in [chrome://tracing] and Perfetto.
+    A recorder ({!t}) keeps one stack of open spans per domain; each
+    {!enter} links the new span to the one currently innermost on the
+    calling domain, so the export carries a thread of parent ids.
+    {!to_trace_json} produces the trace-event format loadable in
+    [chrome://tracing] and Perfetto, with one ["tid"] lane per domain —
+    parallel workers each get their own lane.
+
+    Domain-safety: all operations are serialized by the recorder's
+    mutex, so one recorder may be shared across worker domains.  A
+    span must be exited on the domain that entered it.
 
     The clock is injectable ({!create}) so tests drive a deterministic
     one; timestamps are relative to the recorder's creation. *)
@@ -17,7 +23,10 @@ type span
 type event = {
   ev_name : string;
   ev_id : int;  (** ids are sequential in {!enter} order *)
-  ev_parent : int;  (** the enclosing span's id, or [-1] for a root *)
+  ev_parent : int;
+      (** the enclosing span's id on the same domain, or [-1] for a
+          root *)
+  ev_domain : int;  (** id of the domain that ran the span *)
   ev_start : float;  (** seconds since recorder creation *)
   ev_dur : float;  (** seconds *)
 }
@@ -28,8 +37,8 @@ val create : ?clock:(unit -> float) -> unit -> t
 val enter : t -> string -> span
 
 val exit : t -> span -> unit
-(** Closes the span and anything still open inside it.  Exiting a span
-    that is not open is a no-op. *)
+(** Closes the span and anything still open inside it on the calling
+    domain.  Exiting a span that is not open there is a no-op. *)
 
 val with_span : t -> string -> (unit -> 'a) -> 'a
 (** [enter]/[exit] around [f], exception-safe. *)
@@ -45,7 +54,8 @@ val durations : t -> (string * float) list
 val to_trace_json : t -> string
 (** The completed spans as one Chrome trace-event JSON object
     ([{"traceEvents":[...]}]); timestamps and durations in
-    microseconds, complete ("ph":"X") events. *)
+    microseconds, complete ("ph":"X") events, sorted by span id, the
+    emitting domain as the ["tid"] lane. *)
 
 val write_trace : t -> string -> unit
 (** [write_trace t path] writes {!to_trace_json} to [path]. *)

@@ -22,4 +22,5 @@ let () =
       ("pipeline", Test_pipeline.suite);
       ("fault", Test_fault.suite);
       ("obs", Test_obs.suite);
+      ("report", Test_report.suite);
     ]

@@ -9,136 +9,8 @@ module Metrics = Cobegin_obs.Metrics
 module Span = Cobegin_obs.Span
 module Probe = Cobegin_obs.Probe
 
-(* A minimal JSON validity checker (the container ships no JSON
-   library): recursive descent over the grammar, accepting iff the whole
-   input is one well-formed value. *)
-let json_valid (s : string) : bool =
-  let n = String.length s in
-  let pos = ref 0 in
-  let peek () = if !pos < n then Some s.[!pos] else None in
-  let skip_ws () =
-    while
-      !pos < n
-      && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
-    do
-      incr pos
-    done
-  in
-  let fail = ref false in
-  let expect c =
-    if !pos < n && s.[!pos] = c then incr pos else fail := true
-  in
-  let rec value () =
-    skip_ws ();
-    match peek () with
-    | Some '{' -> obj ()
-    | Some '[' -> arr ()
-    | Some '"' -> str ()
-    | Some ('t' | 'f' | 'n') -> keyword ()
-    | Some ('-' | '0' .. '9') -> number ()
-    | _ -> fail := true
-  and obj () =
-    expect '{';
-    skip_ws ();
-    if peek () = Some '}' then incr pos
-    else begin
-      let continue = ref true in
-      while !continue && not !fail do
-        skip_ws ();
-        str ();
-        skip_ws ();
-        expect ':';
-        value ();
-        skip_ws ();
-        match peek () with
-        | Some ',' -> incr pos
-        | Some '}' ->
-            incr pos;
-            continue := false
-        | _ ->
-            fail := true;
-            continue := false
-      done
-    end
-  and arr () =
-    expect '[';
-    skip_ws ();
-    if peek () = Some ']' then incr pos
-    else begin
-      let continue = ref true in
-      while !continue && not !fail do
-        value ();
-        skip_ws ();
-        match peek () with
-        | Some ',' -> incr pos
-        | Some ']' ->
-            incr pos;
-            continue := false
-        | _ ->
-            fail := true;
-            continue := false
-      done
-    end
-  and str () =
-    expect '"';
-    let closed = ref false in
-    while (not !closed) && not !fail do
-      if !pos >= n then fail := true
-      else
-        match s.[!pos] with
-        | '"' ->
-            incr pos;
-            closed := true
-        | '\\' -> pos := !pos + 2
-        | c when Char.code c < 0x20 -> fail := true
-        | _ -> incr pos
-    done
-  and keyword () =
-    let kw w =
-      if !pos + String.length w <= n && String.sub s !pos (String.length w) = w
-      then pos := !pos + String.length w
-      else fail := true
-    in
-    match peek () with
-    | Some 't' -> kw "true"
-    | Some 'f' -> kw "false"
-    | _ -> kw "null"
-  and number () =
-    if peek () = Some '-' then incr pos;
-    let digits = ref 0 in
-    let eat_digits () =
-      while
-        !pos < n && match s.[!pos] with '0' .. '9' -> true | _ -> false
-      do
-        incr pos;
-        incr digits
-      done
-    in
-    eat_digits ();
-    if !digits = 0 then fail := true;
-    if peek () = Some '.' then begin
-      incr pos;
-      digits := 0;
-      eat_digits ();
-      if !digits = 0 then fail := true
-    end;
-    match peek () with
-    | Some ('e' | 'E') ->
-        incr pos;
-        (match peek () with Some ('+' | '-') -> incr pos | _ -> ());
-        digits := 0;
-        eat_digits ();
-        if !digits = 0 then fail := true
-    | _ -> ()
-  in
-  value ();
-  skip_ws ();
-  (not !fail) && !pos = n
-
-let contains haystack needle =
-  let nh = String.length haystack and nn = String.length needle in
-  let rec at i = i + nn <= nh && (String.sub haystack i nn = needle || at (i + 1)) in
-  at 0
+(* [json_valid] and [contains] moved to Helpers — the report/manifest/
+   journal suites validate their artifacts through the same checker. *)
 
 (* Run [f] with telemetry enabled and fresh values, restoring the
    disabled default afterwards so other suites see pristine state. *)
@@ -213,6 +85,44 @@ let span_tests =
             check_bool "a took 2s" true (da = 2.0);
             check_bool "b took 1s" true (db = 1.0)
         | _ -> Alcotest.fail "wrong shape");
+    case "one shared recorder: each domain gets its own stack and lane"
+      (fun () ->
+        let t = Span.create ~clock:(fun () -> 0.0) () in
+        let worker i () =
+          Span.with_span t (Printf.sprintf "worker%d" i) (fun () ->
+              Span.with_span t "inner" ignore)
+        in
+        let domains = Array.init 3 (fun i -> Domain.spawn (worker i)) in
+        Array.iter Domain.join domains;
+        let evs = Span.events t in
+        check_int "3 domains x 2 spans" 6 (List.length evs);
+        (* each inner's parent is its own domain's worker span, and the
+           lanes (ev_domain) are distinct per worker *)
+        let lanes =
+          List.filter_map
+            (fun ev ->
+              if ev.Span.ev_name <> "inner" then Some ev.Span.ev_domain
+              else None)
+            evs
+          |> List.sort_uniq Int.compare
+        in
+        check_int "3 distinct lanes" 3 (List.length lanes);
+        List.iter
+          (fun ev ->
+            if ev.Span.ev_name = "inner" then begin
+              let parent =
+                List.find (fun p -> p.Span.ev_id = ev.Span.ev_parent) evs
+              in
+              check_int "parent on same lane" ev.Span.ev_domain
+                parent.Span.ev_domain;
+              check_bool "parent is a worker span" true
+                (String.length parent.Span.ev_name > 6
+                && String.sub parent.Span.ev_name 0 6 = "worker")
+            end)
+          evs;
+        let json = Span.to_trace_json t in
+        check_bool "trace valid" true (json_valid json);
+        check_bool "tid lanes present" true (contains json "\"tid\":"));
   ]
 
 let metrics_tests =
@@ -266,6 +176,28 @@ let metrics_tests =
             Metrics.observe (Metrics.histogram "test.h") 42;
             check_bool "valid" true
               (json_valid (Metrics.to_json (Metrics.snapshot ())))));
+    case "histogram hammered from 4 domains loses no observation" (fun () ->
+        with_metrics (fun () ->
+            let h = Metrics.histogram "test.hammer" in
+            let per_domain = 10_000 in
+            let worker () =
+              for i = 1 to per_domain do
+                Metrics.observe h (i land 1023)
+              done
+            in
+            let domains = Array.init 4 (fun _ -> Domain.spawn worker) in
+            Array.iter Domain.join domains;
+            let snap = Metrics.snapshot () in
+            let hs = List.assoc "test.hammer" snap.Metrics.s_histograms in
+            check_int "count" (4 * per_domain) hs.Metrics.hs_count;
+            let expected_sum =
+              let s = ref 0 in
+              for i = 1 to per_domain do
+                s := !s + (i land 1023)
+              done;
+              4 * !s
+            in
+            check_int "sum" expected_sum hs.Metrics.hs_sum));
     case "disabled: mutations are no-ops and allocate nothing" (fun () ->
         Metrics.set_enabled false;
         Metrics.reset ();

@@ -175,7 +175,12 @@ let stubborn_vs_full_analysis =
    > 0 clean (1 is reserved for usage/input errors upstream). *)
 let exit_code_tests =
   let crash =
-    { Pipeline.stage = "races"; diagnostic = "boom"; backtrace = None }
+    {
+      Pipeline.stage = "races";
+      diagnostic = "boom";
+      backtrace = None;
+      flight = [];
+    }
   in
   let trunc = Budget.Truncated (Budget.Configs 5) in
   [
