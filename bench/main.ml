@@ -1031,6 +1031,140 @@ let e20smoke () =
   end;
   row "gate passed: journal breadcrumbs are in the noise@."
 
+(* --- E21: serve daemon — sustained requests/sec, cold vs warm ---
+
+   One in-process daemon per pool size, driven over its Unix socket
+   exactly like an external client.  The cold pass submits every
+   corpus model once (all misses: each request runs the full pipeline,
+   capped at 20k configurations); the warm pass submits the same
+   requests again from [pool] concurrent client domains (all hits: the
+   content-addressed cache replays the stored report bytes).  The
+   smoke gate asserts what the cache promises — every warm response is
+   a hit and the warm pass beats the cold pass. *)
+
+module Serve = Cobegin_serve.Serve
+module Sjson = Cobegin_serve.Sjson
+
+let e21_session ~pool f =
+  let socket =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "cobegin-e21-%d-%d.sock" (Unix.getpid ()) pool)
+  in
+  let defaults = { Pipeline.default_options with max_configs = 20_000 } in
+  let daemon =
+    Serve.make
+      {
+        Serve.socket;
+        capacity = 64;
+        cache_dir = None;
+        pool;
+        defaults;
+        spans = None;
+      }
+  in
+  let d = Domain.spawn (fun () -> Serve.run daemon) in
+  let rec req ?(tries = 100) line =
+    match Serve.request ~socket line with
+    | r -> r
+    | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _)
+      when tries > 0 ->
+        Unix.sleepf 0.05;
+        req ~tries:(tries - 1) line
+  in
+  ignore (req {|{"op":"ping"}|});
+  let result = f req in
+  ignore (req {|{"op":"shutdown"}|});
+  Domain.join d;
+  result
+
+let e21_lines () =
+  List.map
+    (fun name -> Serve.analyze_line (Option.get (Corpus.find name)))
+    Corpus.names
+
+let e21_is_hit resp =
+  match Sjson.parse resp with
+  | Ok j -> Sjson.member "cache" j = Some (Sjson.Str "hit")
+  | Error _ -> false
+
+(* (wall seconds, hit count) of one sequential pass over [lines]. *)
+let e21_pass req lines =
+  let t0 = Unix.gettimeofday () in
+  let hits =
+    List.fold_left
+      (fun acc line -> if e21_is_hit (req line) then acc + 1 else acc)
+      0 lines
+  in
+  (Unix.gettimeofday () -. t0, hits)
+
+let e21_measure ~pool =
+  let lines = e21_lines () in
+  e21_session ~pool (fun req ->
+      let cold_s, cold_hits = e21_pass req lines in
+      (* warm: [pool] concurrent clients replaying the whole corpus *)
+      let t0 = Unix.gettimeofday () in
+      let clients =
+        List.init pool (fun _ ->
+            Domain.spawn (fun () ->
+                List.fold_left
+                  (fun acc line ->
+                    if e21_is_hit (req line) then acc + 1 else acc)
+                  0 lines))
+      in
+      let warm_hits = List.fold_left (fun a d -> a + Domain.join d) 0 clients in
+      let warm_s = Unix.gettimeofday () -. t0 in
+      let n = List.length lines in
+      (n, cold_s, cold_hits, warm_s, warm_hits))
+
+let e21 () =
+  section "E21" "serve daemon: sustained requests/sec, cold vs warm";
+  List.iter
+    (fun pool ->
+      let n, cold_s, cold_hits, warm_s, warm_hits = e21_measure ~pool in
+      row
+        "{\"pool\": %d, \"phase\": \"cold\", \"requests\": %d, \"wall_s\": \
+         %.3f, \"req_per_s\": %.1f, \"hits\": %d}@."
+        pool n cold_s
+        (float_of_int n /. cold_s)
+        cold_hits;
+      row
+        "{\"pool\": %d, \"phase\": \"warm\", \"requests\": %d, \"wall_s\": \
+         %.3f, \"req_per_s\": %.1f, \"hits\": %d}@."
+        pool (pool * n) warm_s
+        (float_of_int (pool * n) /. warm_s)
+        warm_hits)
+    [ 1; 4 ]
+
+let e21smoke () =
+  section "E21smoke" "serve cache gate (CI gate)";
+  let lines = e21_lines () in
+  let cold_s, cold_hits, warm_s, warm_hits, n =
+    e21_session ~pool:2 (fun req ->
+        let cold_s, cold_hits = e21_pass req lines in
+        let warm_s, warm_hits = e21_pass req lines in
+        (cold_s, cold_hits, warm_s, warm_hits, List.length lines))
+  in
+  row "cold %d requests in %.3fs (%d hits); warm %d in %.3fs (%d hits)@." n
+    cold_s cold_hits n warm_s warm_hits;
+  if cold_hits <> 0 then begin
+    row "GATE FAILED: %d cold submissions hit a supposedly empty cache@."
+      cold_hits;
+    exit 1
+  end;
+  if warm_hits <> n then begin
+    row "GATE FAILED: only %d of %d warm submissions were cache hits@."
+      warm_hits n;
+    exit 1
+  end;
+  if warm_s >= cold_s then begin
+    row "GATE FAILED: warm pass (%.3fs) not faster than cold (%.3fs)@." warm_s
+      cold_s;
+    exit 1
+  end;
+  row "gate passed: every second submission a hit, warm %.0fx faster@."
+    (cold_s /. warm_s)
+
 (* --- Bechamel timings: one per experiment family --- *)
 
 let bechamel () =
@@ -1106,6 +1240,7 @@ let experiments =
     ("E15", e15); ("E16", e16); ("E16smoke", e16smoke); ("E17", e17);
     ("E18", e18); ("E18smoke", e18smoke); ("E19", e19);
     ("E19smoke", e19smoke); ("E20", e20); ("E20smoke", e20smoke);
+    ("E21", e21); ("E21smoke", e21smoke);
     ("TIMING", bechamel);
   ]
 

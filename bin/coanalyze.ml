@@ -990,6 +990,257 @@ let examples_cmd =
     (Cmd.info "examples" ~doc:"Print a built-in example program.")
     Term.(const run $ list_arg $ name_arg)
 
+(* --- serve / client: the persistent analysis daemon --- *)
+
+module Serve = Cobegin_serve.Serve
+module Sjson = Cobegin_serve.Sjson
+
+let socket_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"SOCKET" ~doc:"Path of the Unix-domain socket.")
+
+let cache_cap_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "cache-cap" ] ~docv:"N"
+        ~doc:
+          "Capacity of the in-memory result cache, in entries (LRU \
+           eviction; default 64).")
+
+let cache_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache-dir" ] ~docv:"DIR"
+        ~doc:
+          "Persist cache entries under $(docv) (one atomically-written \
+           file per run key) and consult them on a memory miss, so warm \
+           results survive a daemon restart.")
+
+let serve_cmd =
+  let run socket cache_cap cache_dir jobs max_configs max_transitions
+      timeout_s max_heap_mb retries log log_level trace chaos =
+    match install_chaos chaos with
+    | Error e ->
+        Format.eprintf "%s@." e;
+        1
+    | Ok () -> (
+        let log_oc = Option.map open_out log in
+        if log_oc <> None then
+          Obs.Journal.start ~threshold:log_level ?sink:log_oc ();
+        let spans = Option.map (fun _ -> Obs.Span.create ()) trace in
+        let finish code =
+          (match (trace, spans) with
+          | Some path, Some sp -> Obs.Span.write_trace sp path
+          | _ -> ());
+          Obs.Journal.stop ();
+          Option.iter close_out log_oc;
+          code
+        in
+        let defaults =
+          {
+            Pipeline.default_options with
+            Pipeline.max_configs;
+            max_transitions;
+            timeout_s;
+            max_heap_words = Option.map heap_words_of_mb max_heap_mb;
+            retries = max 0 retries;
+          }
+        in
+        let pool = max 1 jobs in
+        let t =
+          Serve.make
+            {
+              Serve.socket;
+              capacity = cache_cap;
+              cache_dir;
+              pool;
+              defaults;
+              spans;
+            }
+        in
+        Format.eprintf "serving on %s (pool %d, cache %d entries%s)@." socket
+          pool (max 1 cache_cap)
+          (match cache_dir with Some d -> ", disk tier " ^ d | None -> "");
+        match Serve.run t with
+        | () -> finish 0
+        | exception Unix.Unix_error (err, fn, arg) ->
+            Format.eprintf "serve: %s: %s %s@." fn (Unix.error_message err)
+              arg;
+            finish 1)
+  in
+  let jobs_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Worker domains serving requests concurrently (default 1).  \
+             Per-request exploration stays sequential: the daemon \
+             parallelizes across requests, not within one.")
+  in
+  let retries_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Supervisor retry cap for crashed stages (default 1); a \
+             request may lower it, never raise it.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the persistent analysis daemon: a Unix-domain-socket server \
+          accepting newline-delimited JSON requests \
+          ({\"program\":SRC,\"options\":{...}}, plus \
+          {\"op\":\"ping\"|\"stats\"|\"shutdown\"}), replying with the \
+          deterministic report JSON and its exit code.  Results are \
+          memoized in a content-addressed cache keyed by program digest \
+          × options fingerprint × memory model; repeated submissions are \
+          cache hits with byte-identical reports.  The budget flags are \
+          per-request defaults and caps: requests may lower them, never \
+          raise them.")
+    Term.(
+      const run $ socket_arg $ cache_cap_arg $ cache_dir_arg $ jobs_arg
+      $ max_configs_arg $ max_transitions_arg $ timeout_arg $ max_heap_mb_arg
+      $ retries_arg $ log_arg $ log_level_arg $ trace_arg $ chaos_arg)
+
+(* The request mirror of mk_options: every field spelled out, so the
+   daemon's decoder (not this client) is the single cap-enforcement
+   point. *)
+let client_options_json (o : Pipeline.options) =
+  let buf = Buffer.create 256 in
+  Buffer.add_char buf '{';
+  Buffer.add_string buf
+    (Printf.sprintf {|"engine":"%s"|} (Report.engine_name o.Pipeline.engine));
+  Buffer.add_string buf
+    (Printf.sprintf {|,"memory_model":"%s"|}
+       (Cobegin_semantics.Step.model_name o.Pipeline.memory_model));
+  Buffer.add_string buf
+    (Printf.sprintf {|,"coarsen":%b,"inline":%b,"races":%b,"lint":%b|}
+       o.Pipeline.coarsen o.Pipeline.inline o.Pipeline.find_races
+       o.Pipeline.lint);
+  Buffer.add_string buf
+    (Printf.sprintf {|,"interfere":%b,"max_configs":%d|} o.Pipeline.interfere
+       o.Pipeline.max_configs);
+  Option.iter
+    (fun n -> Buffer.add_string buf (Printf.sprintf {|,"max_transitions":%d|} n))
+    o.Pipeline.max_transitions;
+  Option.iter
+    (fun s -> Buffer.add_string buf (Printf.sprintf {|,"timeout_s":%g|} s))
+    o.Pipeline.timeout_s;
+  Option.iter
+    (fun w -> Buffer.add_string buf (Printf.sprintf {|,"max_heap_words":%d|} w))
+    o.Pipeline.max_heap_words;
+  Buffer.add_string buf
+    (Printf.sprintf {|,"jobs":%d,"retries":%d}|} o.Pipeline.jobs
+       o.Pipeline.retries);
+  Buffer.contents buf
+
+let client_cmd =
+  let run socket file options ping stats shutdown =
+    let op_request name = Printf.sprintf {|{"op":"%s"}|} name in
+    try
+      if ping then begin
+        print_endline (Serve.request ~socket (op_request "ping"));
+        0
+      end
+      else if stats then begin
+        print_endline (Serve.request ~socket (op_request "stats"));
+        0
+      end
+      else if shutdown then begin
+        print_endline (Serve.request ~socket (op_request "shutdown"));
+        0
+      end
+      else
+        match file with
+        | None ->
+            Format.eprintf
+              "missing FILE (or one of --ping/--stats/--shutdown)@.";
+            1
+        | Some path -> (
+            let source =
+              In_channel.with_open_bin path In_channel.input_all
+            in
+            let line =
+              Serve.analyze_line
+                ~options_json:(client_options_json options)
+                source
+            in
+            let resp = Serve.request ~socket line in
+            match Sjson.parse resp with
+            | Error e ->
+                Format.eprintf "client: bad response: %s@." e;
+                1
+            | Ok j -> (
+                let code =
+                  Option.bind (Sjson.member "exit_code" j) Sjson.to_int
+                in
+                match Sjson.member "ok" j with
+                | Some (Sjson.Bool true) ->
+                    (* the report bytes, verbatim, where analyze --json -
+                       would print them; the cache verdict on stderr *)
+                    Option.iter print_endline (Serve.response_report_raw resp);
+                    Option.iter
+                      (fun c -> Format.eprintf "cache: %s@." c)
+                      (Option.bind (Sjson.member "cache" j) Sjson.to_string);
+                    Option.value code ~default:0
+                | _ ->
+                    let msg =
+                      match
+                        Option.bind (Sjson.member "error" j) Sjson.to_string
+                      with
+                      | Some m -> m
+                      | None -> resp
+                    in
+                    Format.eprintf "error: %s@." msg;
+                    Option.value code ~default:1))
+    with
+    | Unix.Unix_error (err, _, _) ->
+        Format.eprintf "client: cannot reach %s: %s@." socket
+          (Unix.error_message err);
+        1
+    | End_of_file ->
+        Format.eprintf "client: daemon hung up without replying@.";
+        1
+    | Sys_error e ->
+        Format.eprintf "%s@." e;
+        1
+  in
+  let file_arg =
+    Arg.(
+      value
+      & pos 1 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Source file to submit for analysis.")
+  in
+  let ping_arg =
+    Arg.(value & flag & info [ "ping" ] ~doc:"Liveness probe; print the reply.")
+  in
+  let stats_arg =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:"Print the daemon's request and cache counters.")
+  in
+  let shutdown_arg =
+    Arg.(
+      value & flag
+      & info [ "shutdown" ] ~doc:"Ask the daemon to stop, then exit.")
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Submit one request to a running $(b,coanalyze serve) daemon.  \
+          With $(i,FILE), submits it for analysis and prints the raw \
+          report JSON on stdout (byte-identical to $(b,analyze --json -)) \
+          with the cache verdict ($(b,cache: hit) or $(b,cache: miss)) on \
+          stderr, exiting with the analysis's own exit code.")
+    Term.(
+      const run $ socket_arg $ file_arg $ options_term $ ping_arg
+      $ stats_arg $ shutdown_arg)
+
 let main_cmd =
   let doc =
     "static analysis of shared-memory cobegin programs by state-space \
@@ -1005,6 +1256,8 @@ let main_cmd =
       interfere_cmd;
       parallel_cmd;
       examples_cmd;
+      serve_cmd;
+      client_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

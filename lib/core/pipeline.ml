@@ -239,6 +239,17 @@ let transform (opts : options) prog =
   let prog = if opts.coarsen then Coarsen.program prog else prog in
   prog
 
+(* The digest-addressed key a run's result is memoized under — the same
+   key the CLI's --manifest records (which digests the post-transform
+   program), derivable *before* analysis: transforms are cheap and
+   deterministic, so the serve daemon computes the key, looks its cache
+   up, and only analyzes on a miss. *)
+let run_key (o : options) prog =
+  Cobegin_obs.Manifest.key
+    ~program_digest:(Report.program_digest (transform o prog))
+    ~options_fingerprint:(options_fingerprint o)
+    ~memory_model:(Step.model_name o.memory_model)
+
 let empty_log =
   { Event.accesses = []; allocs = []; precise_pstrings = true }
 

@@ -105,6 +105,14 @@ val options_fingerprint : options -> string
     they request the same analysis (deliberately including [jobs] and
     [retries]: a degraded ladder changes what ran). *)
 
+val run_key : options -> Ast.program -> string
+(** The digest-addressed key the run's result is memoized under — the
+    {!Cobegin_obs.Manifest.key} of the post-transform program digest,
+    {!options_fingerprint}, memory model and manifest format version,
+    identical to the key a [--manifest] record of the same run carries.
+    Cheap (transforms are linear), so a result cache derives it before
+    deciding whether to analyze at all. *)
+
 type exploration_stats = Report.exploration_stats = {
   configurations : int;
   transitions : int;  (** 0 for abstract engines *)

@@ -1,0 +1,32 @@
+(* Crash-safe file writes (see atomic_io.mli).
+
+   The checkpoint subsystem established the pattern: write the whole
+   payload to a temp file in the destination directory, then rename it
+   into place.  POSIX rename is atomic within a filesystem, so a reader
+   (a restarted daemon re-reading its cache directory, a manifest
+   consumer) sees either the previous file or the complete new one —
+   never a torn prefix from a crash (or an injected --chaos fault)
+   mid-write.
+
+   The temp name carries the pid and a process-wide counter so
+   concurrent writers — worker domains persisting cache entries for
+   different keys into one directory, or racing on the same key — never
+   collide on the temp file; last rename wins, and every rename installs
+   a complete payload. *)
+
+let tmp_counter = Atomic.make 0
+
+let write_string ~path content =
+  let tmp =
+    Printf.sprintf "%s.%d.%d.tmp" path (Unix.getpid ())
+      (Atomic.fetch_and_add tmp_counter 1)
+  in
+  let oc = open_out_bin tmp in
+  (try
+     output_string oc content;
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path

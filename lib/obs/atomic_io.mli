@@ -1,0 +1,17 @@
+(** Crash-safe whole-file writes: temp file + atomic rename.
+
+    One shared implementation of the checkpoint-style write discipline,
+    used for every artifact a restarted process may re-read — run
+    manifests ({!Manifest.write}) and the serve daemon's on-disk cache
+    entries.  A crash (or an injected [--chaos] fault) at any point
+    leaves either the previous file or the complete new one on disk,
+    never a torn prefix. *)
+
+val write_string : path:string -> string -> unit
+(** [write_string ~path content] writes [content] to a uniquely-named
+    temp file next to [path] (same directory, so the rename never
+    crosses a filesystem) and renames it over [path].  Safe to call
+    concurrently from several domains, for the same or different
+    paths: every rename installs a complete payload.
+    @raise Sys_error when the directory is missing or unwritable; the
+    temp file is removed on the way out. *)

@@ -145,6 +145,17 @@ let ring_events () =
   Mutex.protect lock (fun () ->
       match !state with None -> [] | Some st -> ring_events_locked st)
 
+(* Per-run scoping of the flight recorder: the journal is process-global
+   and the ring would otherwise persist across analyses in one process —
+   a stage crash in run N would dump run N-1's breadcrumbs into its
+   flight record.  Clearing drops the slots only; the sequence counter
+   keeps running so event ordering stays a process-wide total order. *)
+let clear_ring () =
+  Mutex.protect lock (fun () ->
+      match !state with
+      | None -> ()
+      | Some st -> Array.fill st.ring 0 (Array.length st.ring) None)
+
 let ring_capacity () =
   Mutex.protect lock (fun () ->
       match !state with None -> 0 | Some st -> Array.length st.ring)

@@ -80,6 +80,15 @@ val ring_events : unit -> event list
 val ring_capacity : unit -> int
 (** The configured ring size (0 while disabled). *)
 
+val clear_ring : unit -> unit
+(** Empty the flight recorder without stopping the journal: the ring's
+    slots are dropped, the sink stays attached, and the sequence
+    counter keeps running (ordering stays a process-wide total order).
+    Callers that run several analyses in one process — the serve
+    daemon, a test harness — clear the ring at each run's start so a
+    crash dumps only that run's breadcrumbs, never a predecessor's.
+    No-op while disabled. *)
+
 val event_to_json : event -> string
 (** One JSON object:
     [{"seq":0,"ts":1.5,"level":"info","domain":0,"event":"space.done",

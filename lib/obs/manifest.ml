@@ -88,8 +88,7 @@ let to_json m =
   Buffer.add_char buf '}';
   Buffer.contents buf
 
-let write m path =
-  let oc = open_out path in
-  output_string oc (to_json m);
-  output_char oc '\n';
-  close_out oc
+(* Atomic (tmp+rename): a crash mid-write must never leave a torn,
+   unparseable manifest behind — a restarted result cache would read it
+   as garbage.  Same discipline as checkpoints and cache entries. *)
+let write m path = Atomic_io.write_string ~path (to_json m ^ "\n")

@@ -62,4 +62,7 @@ val to_json : t -> string
 (** One JSON object; absent provenance fields are [null]. *)
 
 val write : t -> string -> unit
-(** [write m path] writes {!to_json} plus a newline to [path]. *)
+(** [write m path] writes {!to_json} plus a newline to [path],
+    atomically ({!Atomic_io.write_string}): a crash mid-write leaves
+    the previous manifest (or nothing), never a torn record a restarted
+    cache would misread. *)

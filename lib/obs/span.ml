@@ -92,6 +92,16 @@ let with_span t name f =
   let s = enter t name in
   Fun.protect ~finally:(fun () -> exit t s) f
 
+(* Per-run scoping for a reused recorder: drop completed events and any
+   stray open stacks so the next run's durations and trace export carry
+   only its own spans.  Span ids keep ascending (enter order stays a
+   total order across resets); the time origin is unchanged. *)
+let reset t =
+  Mutex.protect t.lock (fun () ->
+      Hashtbl.reset t.stacks;
+      t.completed <- [];
+      t.n_completed <- 0)
+
 let events t = Mutex.protect t.lock (fun () -> List.rev t.completed)
 let event_count t = Mutex.protect t.lock (fun () -> t.n_completed)
 let durations t = List.map (fun ev -> (ev.ev_name, ev.ev_dur)) (events t)

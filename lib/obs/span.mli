@@ -43,6 +43,12 @@ val exit : t -> span -> unit
 val with_span : t -> string -> (unit -> 'a) -> 'a
 (** [enter]/[exit] around [f], exception-safe. *)
 
+val reset : t -> unit
+(** Drop every completed event and any span still open, keeping the
+    recorder (and its time origin) alive — per-run scoping when one
+    recorder outlives many analyses in a process, e.g. the serve
+    daemon between requests.  Span ids keep ascending across resets. *)
+
 val events : t -> event list
 (** Completed spans, in completion order. *)
 

@@ -1,0 +1,167 @@
+(* Content-addressed result cache (see cache.mli).
+
+   Memory tier: a classic LRU — hash table from key to an intrusive
+   doubly-linked node, most-recent at [mru].  Disk tier (optional): one
+   file per key, written atomically (Atomic_io, the same tmp+rename
+   helper run manifests use), re-read on a memory miss so entries
+   survive a daemon restart.  Everything is serialized by one mutex;
+   the disk reads/writes happen under it too, which is fine at the
+   request rates a Unix-socket analysis daemon sees.
+
+   Disk entry format, two lines:
+
+     {"format_version":V,"key":"K","exit_code":C,"report_bytes":N}
+     <the report JSON, exactly N bytes>
+
+   A load validates all four fields against the file name and contents;
+   anything that does not check out — torn file, stale schema, renamed
+   file — is treated as a miss, never an error. *)
+
+module Atomic_io = Cobegin_obs.Atomic_io
+module Report = Cobegin_core.Report
+
+type entry = { exit_code : int; report : string }
+type stats = { hits : int; misses : int; entries : int; capacity : int }
+
+type node = {
+  n_key : string;
+  n_entry : entry;
+  mutable prev : node option; (* toward the MRU end *)
+  mutable next : node option; (* toward the LRU end *)
+}
+
+type t = {
+  lock : Mutex.t;
+  capacity : int;
+  dir : string option;
+  tbl : (string, node) Hashtbl.t;
+  mutable mru : node option;
+  mutable lru : node option;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let rec mkdirs d =
+  if not (Sys.file_exists d) then begin
+    mkdirs (Filename.dirname d);
+    try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let create ?dir ~capacity () =
+  Option.iter mkdirs dir;
+  {
+    lock = Mutex.create ();
+    capacity = max 1 capacity;
+    dir;
+    tbl = Hashtbl.create 64;
+    mru = None;
+    lru = None;
+    hits = 0;
+    misses = 0;
+  }
+
+(* --- the linked list (callers hold the lock) --- *)
+
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.mru <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.lru <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.mru;
+  (match t.mru with Some m -> m.prev <- Some n | None -> t.lru <- Some n);
+  t.mru <- Some n
+
+let insert t key entry =
+  let n = { n_key = key; n_entry = entry; prev = None; next = None } in
+  Hashtbl.replace t.tbl key n;
+  push_front t n;
+  while Hashtbl.length t.tbl > t.capacity do
+    match t.lru with
+    | None -> assert false
+    | Some victim ->
+        unlink t victim;
+        Hashtbl.remove t.tbl victim.n_key
+  done
+
+(* --- the disk tier --- *)
+
+let entry_path dir key = Filename.concat dir (key ^ ".entry")
+
+let disk_write dir key (e : entry) =
+  let meta =
+    Printf.sprintf
+      {|{"format_version":%d,"key":"%s","exit_code":%d,"report_bytes":%d}|}
+      Report.format_version key e.exit_code (String.length e.report)
+  in
+  Atomic_io.write_string ~path:(entry_path dir key)
+    (meta ^ "\n" ^ e.report ^ "\n")
+
+let disk_load dir key =
+  let path = entry_path dir key in
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error _ -> None
+  | content -> (
+      match String.index_opt content '\n' with
+      | None -> None
+      | Some i -> (
+          let meta_line = String.sub content 0 i in
+          let rest = String.sub content (i + 1) (String.length content - i - 1) in
+          let report =
+            let n = String.length rest in
+            if n > 0 && rest.[n - 1] = '\n' then String.sub rest 0 (n - 1)
+            else rest
+          in
+          match Sjson.parse meta_line with
+          | Error _ -> None
+          | Ok m -> (
+              let field name conv = Option.bind (Sjson.member name m) conv in
+              match
+                ( field "format_version" Sjson.to_int,
+                  field "key" Sjson.to_string,
+                  field "exit_code" Sjson.to_int,
+                  field "report_bytes" Sjson.to_int )
+              with
+              | Some fv, Some k, Some exit_code, Some bytes
+                when fv = Report.format_version
+                     && k = key
+                     && bytes = String.length report ->
+                  Some { exit_code; report }
+              | _ -> None)))
+
+(* --- the public operations --- *)
+
+let find t key =
+  Mutex.protect t.lock (fun () ->
+      match Hashtbl.find_opt t.tbl key with
+      | Some n ->
+          unlink t n;
+          push_front t n;
+          t.hits <- t.hits + 1;
+          Some n.n_entry
+      | None -> (
+          match Option.bind t.dir (fun d -> disk_load d key) with
+          | Some e ->
+              (* promoted back into the memory tier; still a hit — the
+                 result was served without re-analyzing *)
+              insert t key e;
+              t.hits <- t.hits + 1;
+              Some e
+          | None ->
+              t.misses <- t.misses + 1;
+              None))
+
+let store t key entry =
+  Mutex.protect t.lock (fun () ->
+      if not (Hashtbl.mem t.tbl key) then insert t key entry;
+      Option.iter (fun d -> disk_write d key entry) t.dir)
+
+let stats t =
+  Mutex.protect t.lock (fun () ->
+      {
+        hits = t.hits;
+        misses = t.misses;
+        entries = Hashtbl.length t.tbl;
+        capacity = t.capacity;
+      })

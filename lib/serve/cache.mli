@@ -1,0 +1,49 @@
+(** Content-addressed result cache for the serve daemon.
+
+    Keys are digest-addressed run keys ({!Cobegin_core.Pipeline.run_key}
+    — 16 hex digits over program digest × options fingerprint × memory
+    model × report schema version); values are the rendered report JSON
+    plus its exit code, so a hit replays the exact bytes a fresh run
+    would have produced.
+
+    Two tiers: a bounded in-memory LRU (capacity in entries), and an
+    optional on-disk store — one file per key under [dir], written
+    atomically with the run-manifest tmp+rename helper
+    ({!Cobegin_obs.Atomic_io}), consulted on a memory miss so warm
+    results survive a daemon restart.  The disk tier is unbounded; LRU
+    eviction drops the memory node only.  A disk file that fails
+    validation (torn write, stale report schema, wrong key) loads as a
+    miss, never an error.
+
+    All operations are domain-safe (one internal mutex). *)
+
+type t
+
+type entry = {
+  exit_code : int;  (** the code the producing run exited with *)
+  report : string;  (** the run's [Report.to_json] bytes, verbatim *)
+}
+
+type stats = {
+  hits : int;  (** finds served from memory or disk *)
+  misses : int;  (** finds that found nothing *)
+  entries : int;  (** memory-tier occupancy *)
+  capacity : int;
+}
+
+val create : ?dir:string -> capacity:int -> unit -> t
+(** [capacity] is clamped to at least 1.  [dir] enables the disk tier;
+    it is created (recursively) if missing. *)
+
+val find : t -> string -> entry option
+(** Memory first (promoting the node to most-recent), then disk (a
+    valid disk entry is promoted into the memory tier). *)
+
+val store : t -> string -> entry -> unit
+(** Insert at most-recent, evicting least-recent entries beyond
+    capacity, and persist to the disk tier when one is configured.  A
+    key already in memory keeps its existing entry (two concurrent
+    misses of the same key store byte-identical values anyway — the
+    report JSON is deterministic). *)
+
+val stats : t -> stats

@@ -1,0 +1,388 @@
+(* The persistent analysis daemon (see serve.mli).
+
+   One Unix-domain listening socket, a fixed pool of worker domains,
+   newline-delimited JSON requests.  The accept loop is a select with a
+   short timeout so the stop flag (set by a shutdown request) is
+   noticed promptly; client fds flow to the workers through a
+   mutex+condition queue, [None] sentinels drain the pool on shutdown.
+
+   Per-request isolation of the process-global observability state —
+   the bugfixes this daemon exposed: when the journal is running or a
+   span recorder is attached, the reset+analyze section is serialized
+   under [scope_lock] and each request starts from [Metrics.reset],
+   [Journal.clear_ring] and [Span.reset], so one request's telemetry,
+   flight-recorder breadcrumbs and counters never leak into the next
+   request's report or crash dump.  With telemetry off (the default)
+   requests run fully concurrently.
+
+   Cache policy: only pristine runs are memoized — no stage failures,
+   not degraded, an empty recovery ladder, and no fault plan installed
+   — so a chaos-disturbed or partially-recovered result can never
+   poison the cache. *)
+
+module Journal = Cobegin_obs.Journal
+module Metrics = Cobegin_obs.Metrics
+module Span = Cobegin_obs.Span
+module Step = Cobegin_semantics.Step
+module Analyzer = Cobegin_absint.Analyzer
+module Machine = Cobegin_absint.Machine
+open Cobegin_core
+
+type config = {
+  socket : string;
+  capacity : int;
+  cache_dir : string option;
+  pool : int;
+  defaults : Pipeline.options;
+  spans : Span.t option;
+}
+
+type t = {
+  cfg : config;
+  cache : Cache.t;
+  scope_lock : Mutex.t;
+  stop : bool Atomic.t;
+  requests : int Atomic.t;
+  failures : int Atomic.t;
+}
+
+let make cfg =
+  {
+    cfg;
+    cache = Cache.create ?dir:cfg.cache_dir ~capacity:cfg.capacity ();
+    scope_lock = Mutex.create ();
+    stop = Atomic.make false;
+    requests = Atomic.make 0;
+    failures = Atomic.make 0;
+  }
+
+(* --- JSON assembly --- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let error_response msg =
+  Printf.sprintf {|{"ok":false,"error":"%s","exit_code":1}|} (json_escape msg)
+
+(* "report" must stay the LAST field: response_report_raw slices the
+   raw report bytes out by position, preserving byte determinism
+   without a JSON round-trip. *)
+let report_response ~cache_tag ~key ~exit_code ~report =
+  Printf.sprintf
+    {|{"ok":true,"cache":"%s","key":"%s","exit_code":%d,"report":%s}|}
+    cache_tag key exit_code report
+
+(* --- request options --- *)
+
+let folding_of_string s =
+  match String.lowercase_ascii s with
+  | "exact" -> Some Machine.Exact
+  | "control" | "taylor" -> Some Machine.Control
+  | "clan" | "mcdowell" -> Some Machine.Clan
+  | _ -> None
+
+let engine_of_string s =
+  match String.lowercase_ascii s with
+  | "full" | "concrete/full" -> Some Pipeline.Concrete_full
+  | "stubborn" | "concrete/stubborn" -> Some Pipeline.Concrete_stubborn
+  | s -> (
+      match String.split_on_char '/' s with
+      | [ "abstract" ] ->
+          Some (Pipeline.Abstract (Analyzer.Intervals, Machine.Control))
+      | [ "abstract"; d ] ->
+          Option.map
+            (fun d -> Pipeline.Abstract (d, Machine.Control))
+            (Analyzer.domain_of_string d)
+      | [ "abstract"; d; f ] -> (
+          match (Analyzer.domain_of_string d, folding_of_string f) with
+          | Some d, Some f -> Some (Pipeline.Abstract (d, f))
+          | _ -> None)
+      | _ -> None)
+
+let min_opt cap v = match cap with None -> Some v | Some c -> Some (min c v)
+
+let options_of_json ~(defaults : Pipeline.options) json =
+  let ( let* ) = Result.bind in
+  let set acc (k, v) =
+    let* (o : Pipeline.options) = acc in
+    let str () =
+      match Sjson.to_string v with
+      | Some s -> Ok s
+      | None -> Error (Printf.sprintf "option %s must be a string" k)
+    in
+    let boolean () =
+      match Sjson.to_bool v with
+      | Some b -> Ok b
+      | None -> Error (Printf.sprintf "option %s must be a boolean" k)
+    in
+    let posint () =
+      match Sjson.to_int v with
+      | Some i when i > 0 -> Ok i
+      | _ -> Error (Printf.sprintf "option %s must be a positive integer" k)
+    in
+    match k with
+    | "engine" -> (
+        let* s = str () in
+        match engine_of_string s with
+        | Some e -> Ok { o with Pipeline.engine = e }
+        | None -> Error (Printf.sprintf "unknown engine %S" s))
+    | "memory_model" | "memory-model" -> (
+        let* s = str () in
+        match Step.model_of_string s with
+        | Some m -> Ok { o with Pipeline.memory_model = m }
+        | None -> Error (Printf.sprintf "unknown memory model %S" s))
+    | "coarsen" ->
+        let* b = boolean () in
+        Ok { o with Pipeline.coarsen = b }
+    | "inline" ->
+        let* b = boolean () in
+        Ok { o with Pipeline.inline = b }
+    | "races" | "find_races" ->
+        let* b = boolean () in
+        Ok { o with Pipeline.find_races = b }
+    | "lint" ->
+        let* b = boolean () in
+        Ok { o with Pipeline.lint = b }
+    | "interfere" ->
+        let* b = boolean () in
+        Ok { o with Pipeline.interfere = b }
+    | "max_configs" ->
+        let* i = posint () in
+        Ok { o with Pipeline.max_configs = min i defaults.Pipeline.max_configs }
+    | "max_transitions" ->
+        let* i = posint () in
+        Ok
+          {
+            o with
+            Pipeline.max_transitions =
+              min_opt defaults.Pipeline.max_transitions i;
+          }
+    | "timeout_s" -> (
+        match Sjson.to_float v with
+        | Some f when f > 0.0 ->
+            Ok { o with Pipeline.timeout_s = min_opt defaults.Pipeline.timeout_s f }
+        | _ -> Error "option timeout_s must be a positive number")
+    | "max_heap_words" ->
+        let* i = posint () in
+        Ok
+          {
+            o with
+            Pipeline.max_heap_words = min_opt defaults.Pipeline.max_heap_words i;
+          }
+    | "jobs" ->
+        let* i = posint () in
+        Ok { o with Pipeline.jobs = min i defaults.Pipeline.jobs }
+    | "retries" -> (
+        match Sjson.to_int v with
+        | Some i when i >= 0 ->
+            Ok { o with Pipeline.retries = min i defaults.Pipeline.retries }
+        | _ -> Error "option retries must be a non-negative integer")
+    | k -> Error (Printf.sprintf "unknown option %S" k)
+  in
+  match json with
+  | Sjson.Null -> Ok defaults
+  | Sjson.Obj fields -> List.fold_left set (Ok defaults) fields
+  | _ -> Error "options must be an object"
+
+(* --- request handling --- *)
+
+let with_request_scope t f =
+  if Journal.enabled () || Option.is_some t.cfg.spans then
+    Mutex.protect t.scope_lock (fun () ->
+        Metrics.reset ();
+        Journal.clear_ring ();
+        Option.iter Span.reset t.cfg.spans;
+        f ())
+  else f ()
+
+let cacheable (r : Pipeline.report) =
+  r.stage_failures = []
+  && (not r.degraded)
+  && r.recovery = []
+  && Fault.installed () = None
+
+let handle_analyze t req =
+  match Option.map Sjson.to_string (Sjson.member "program" req) with
+  | None -> error_response "request needs a \"program\" field"
+  | Some None -> error_response "\"program\" must be a string"
+  | Some (Some source) -> (
+      let opts_json =
+        Option.value ~default:Sjson.Null (Sjson.member "options" req)
+      in
+      match options_of_json ~defaults:t.cfg.defaults opts_json with
+      | Error msg -> error_response msg
+      | Ok options -> (
+          match Pipeline.load_source source with
+          | exception e -> error_response (Printexc.to_string e)
+          | prog -> (
+              let key = Pipeline.run_key options prog in
+              match Cache.find t.cache key with
+              | Some (e : Cache.entry) ->
+                  report_response ~cache_tag:"hit" ~key ~exit_code:e.exit_code
+                    ~report:e.report
+              | None -> (
+                  match
+                    with_request_scope t (fun () ->
+                        Pipeline.analyze ~options ?spans:t.cfg.spans prog)
+                  with
+                  | exception e -> error_response (Printexc.to_string e)
+                  | r ->
+                      let exit_code = Report.report_exit_code r in
+                      let report = Report.to_json r in
+                      if cacheable r then
+                        Cache.store t.cache key { exit_code; report };
+                      report_response ~cache_tag:"miss" ~key ~exit_code ~report))))
+
+let is_error resp =
+  String.length resp >= 11 && String.sub resp 0 11 = {|{"ok":false|}
+
+let handle_line t line =
+  Atomic.incr t.requests;
+  let resp, shutdown =
+    match Sjson.parse line with
+    | Error msg -> (error_response ("bad request JSON: " ^ msg), false)
+    | Ok req -> (
+        match Option.bind (Sjson.member "op" req) Sjson.to_string with
+        | Some "ping" -> ({|{"ok":true,"op":"ping"}|}, false)
+        | Some "stats" ->
+            let s = Cache.stats t.cache in
+            ( Printf.sprintf
+                {|{"ok":true,"op":"stats","requests":%d,"failures":%d,"hits":%d,"misses":%d,"entries":%d,"capacity":%d}|}
+                (Atomic.get t.requests) (Atomic.get t.failures) s.Cache.hits
+                s.Cache.misses s.Cache.entries s.Cache.capacity,
+              false )
+        | Some "shutdown" -> ({|{"ok":true,"op":"shutdown"}|}, true)
+        | Some "analyze" | None -> (handle_analyze t req, false)
+        | Some op -> (error_response (Printf.sprintf "unknown op %S" op), false))
+  in
+  if is_error resp then Atomic.incr t.failures;
+  (resp, shutdown)
+
+(* --- the daemon loop --- *)
+
+let serve_connection t fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let rec loop () =
+    match input_line ic with
+    | exception (End_of_file | Sys_error _) -> ()
+    | line when String.trim line = "" -> loop ()
+    | line ->
+        let resp, shutdown = handle_line t line in
+        (try
+           output_string oc resp;
+           output_char oc '\n';
+           flush oc
+         with Sys_error _ -> ());
+        if shutdown then Atomic.set t.stop true else loop ()
+  in
+  loop ();
+  (* close the fd exactly once: closing [oc] closes the descriptor, and
+     [ic] must then be abandoned — a second close could hit an fd
+     number another domain has already reused *)
+  close_out_noerr oc
+
+let rec worker_loop t q lock cond =
+  let job =
+    Mutex.protect lock (fun () ->
+        while Queue.is_empty q do
+          Condition.wait cond lock
+        done;
+        Queue.pop q)
+  in
+  match job with
+  | None -> ()
+  | Some fd ->
+      serve_connection t fd;
+      worker_loop t q lock cond
+
+let run t =
+  (try ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore)
+   with Invalid_argument _ -> ());
+  (try Unix.unlink t.cfg.socket with Unix.Unix_error _ -> ());
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      try Unix.unlink t.cfg.socket with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  Unix.bind sock (Unix.ADDR_UNIX t.cfg.socket);
+  Unix.listen sock 64;
+  let q = Queue.create () in
+  let lock = Mutex.create () in
+  let cond = Condition.create () in
+  let push job =
+    Mutex.protect lock (fun () ->
+        Queue.push job q;
+        Condition.signal cond)
+  in
+  let pool = max 1 t.cfg.pool in
+  let workers =
+    List.init pool (fun _ -> Domain.spawn (fun () -> worker_loop t q lock cond))
+  in
+  while not (Atomic.get t.stop) do
+    match Unix.select [ sock ] [] [] 0.2 with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | [], _, _ -> ()
+    | _ :: _, _, _ -> (
+        match Unix.accept sock with
+        | fd, _ -> push (Some fd)
+        | exception Unix.Unix_error _ -> ())
+  done;
+  List.iter (fun _ -> push None) workers;
+  List.iter Domain.join workers
+
+(* --- client side --- *)
+
+let analyze_line ?options_json program =
+  match options_json with
+  | None -> Printf.sprintf {|{"program":"%s"}|} (json_escape program)
+  | Some o ->
+      Printf.sprintf {|{"program":"%s","options":%s}|} (json_escape program) o
+
+let request ~socket line =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match
+    Unix.connect fd (Unix.ADDR_UNIX socket);
+    let oc = Unix.out_channel_of_descr fd in
+    let ic = Unix.in_channel_of_descr fd in
+    output_string oc line;
+    output_char oc '\n';
+    flush oc;
+    let resp = input_line ic in
+    (* one close per fd: [oc] owns it, [ic] is abandoned *)
+    close_out_noerr oc;
+    ignore ic;
+    resp
+  with
+  | resp -> resp
+  | exception e ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise e
+
+let response_report_raw resp =
+  let marker = {|,"report":|} in
+  let mlen = String.length marker in
+  let n = String.length resp in
+  let rec find i =
+    if i + mlen > n then None
+    else if String.sub resp i mlen = marker then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | Some i when n > 0 && resp.[n - 1] = '}' ->
+      Some (String.sub resp (i + mlen) (n - (i + mlen) - 1))
+  | _ -> None

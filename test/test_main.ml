@@ -23,4 +23,5 @@ let () =
       ("fault", Test_fault.suite);
       ("obs", Test_obs.suite);
       ("report", Test_report.suite);
+      ("serve", Test_serve.suite);
     ]

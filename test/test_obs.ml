@@ -343,6 +343,45 @@ let pipeline_tests =
         check_int "recorder accumulated both"
           (2 * List.length r1.Pipeline.telemetry)
           (Span.event_count spans));
+    case "two runs in one process: Metrics.reset scopes counters per run"
+      (fun () ->
+        (* the serve-daemon bugfix pinned: without the per-request
+           reset, the second run's snapshot reports the sum of both *)
+        with_metrics (fun () ->
+            let open Cobegin_core in
+            let prog = parse Cobegin_models.Figures.fig2 in
+            let expansions = Metrics.counter "space.expansions" in
+            let _ = Pipeline.analyze prog in
+            let first = Metrics.counter_value expansions in
+            check_bool "first run counted" true (first > 0);
+            let _ = Pipeline.analyze prog in
+            check_int "without reset, runs accumulate" (2 * first)
+              (Metrics.counter_value expansions);
+            Metrics.reset ();
+            let _ = Pipeline.analyze prog in
+            check_int "after reset, the snapshot is one run's worth" first
+              (Metrics.counter_value expansions)));
+    case "Span.reset scopes a reused recorder per run" (fun () ->
+        let open Cobegin_core in
+        let spans = Span.create () in
+        let prog = parse Cobegin_models.Figures.fig2 in
+        let r1 = Pipeline.analyze ~spans prog in
+        Span.reset spans;
+        let r2 = Pipeline.analyze ~spans prog in
+        check_int "recorder holds only the second run"
+          (List.length r2.Pipeline.telemetry)
+          (Span.event_count spans);
+        check_int "reports see one run each"
+          (List.length r1.Pipeline.telemetry)
+          (List.length r2.Pipeline.telemetry);
+        (* ids keep ascending across resets, so traces stay mergeable *)
+        let min_id =
+          List.fold_left
+            (fun acc e -> min acc e.Span.ev_id)
+            max_int (Span.events spans)
+        in
+        check_bool "ids continue after reset" true
+          (min_id >= List.length r1.Pipeline.telemetry));
     case "engines tick a probe during exploration" (fun () ->
         let open Cobegin_explore in
         let fired = ref 0 in

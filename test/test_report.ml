@@ -198,6 +198,45 @@ let report_tests =
                     Alcotest.fail
                       (Printf.sprintf "expected 1 failure, got %d"
                          (List.length fs)))));
+    case "clear_ring scopes flights: no first-run events in a second run's \
+          crash dump"
+      (fun () ->
+        (* the serve-daemon bugfix pinned: two pipeline runs in one
+           process share the journal's ring, so a crash in the second
+           run used to dump the first run's breadcrumbs too *)
+        with_journal (fun () ->
+            let prog = fig2 () in
+            let crash_second_run () =
+              (match Fault.parse "crash@pipeline.side-effects:1" with
+              | Ok plan -> Fault.install plan
+              | Error e -> Alcotest.fail e);
+              Fun.protect ~finally:Fault.clear (fun () ->
+                  let options =
+                    { Pipeline.default_options with retries = 0 }
+                  in
+                  let r = Pipeline.analyze ~options prog in
+                  match r.Pipeline.stage_failures with
+                  | [ f ] -> f.Pipeline.flight
+                  | _ -> Alcotest.fail "expected 1 failure")
+            in
+            (* control: without scoping, the first run's marker leaks
+               into the second run's flight dump *)
+            let _ = Pipeline.analyze prog in
+            Journal.emit "marker.first-run" [];
+            let leaked = crash_second_run () in
+            check_bool "unscoped ring leaks the first run" true
+              (List.exists (fun l -> contains l "marker.first-run") leaked);
+            (* scoped: clearing the ring between runs isolates the dump *)
+            let _ = Pipeline.analyze prog in
+            Journal.emit "marker.first-run" [];
+            Journal.clear_ring ();
+            let flight = crash_second_run () in
+            check_bool "second run still dumps a flight" true (flight <> []);
+            List.iter
+              (fun l ->
+                check_bool "no first-run marker in the flight" false
+                  (contains l "marker.first-run"))
+              flight));
     case "without the journal, a crash reports an empty flight" (fun () ->
         (match Fault.parse "crash@pipeline.side-effects:1" with
         | Ok plan -> Fault.install plan
